@@ -1,0 +1,251 @@
+package eacache_test
+
+import (
+	"bytes"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+	"eacache/internal/dist"
+	"eacache/internal/experiments"
+	"eacache/internal/group"
+	"eacache/internal/hproto"
+	"eacache/internal/icp"
+	"eacache/internal/sim"
+	"eacache/internal/trace"
+)
+
+// benchScale is the trace scale the paper-artifact benchmarks run at. The
+// cache sizes are scaled by the same factor, preserving the cache-to-
+// working-set ratio of the paper's configurations. cmd/experiments -full
+// regenerates the artifacts at full paper scale.
+const benchScale = 0.02
+
+var (
+	benchOnce    sync.Once
+	benchRecords []trace.Record
+)
+
+func benchTrace(b *testing.B) []trace.Record {
+	b.Helper()
+	benchOnce.Do(func() {
+		records, err := trace.Generate(trace.BULike().Scaled(benchScale))
+		if err != nil {
+			panic(err)
+		}
+		benchRecords = trace.CleanZeroSizes(records, trace.DefaultDocSize)
+		trace.SortByTime(benchRecords)
+	})
+	return benchRecords
+}
+
+func newBenchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	return experiments.NewSuite(benchTrace(b), experiments.Config{
+		Sizes: experiments.ScaledSizes(benchScale),
+	})
+}
+
+// benchArtifact runs one paper artifact once per iteration on a fresh
+// (unmemoized) suite, so the benchmark measures the real regeneration cost.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	benchTrace(b)
+	b.ResetTimer()
+	var table *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = newBenchSuite(b).Experiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if table == nil || len(table.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	b.ReportMetric(float64(len(table.Rows)), "rows")
+}
+
+// BenchmarkFig1 regenerates paper Figure 1 (document hit rates, ad-hoc vs
+// EA, 4-cache group across aggregate sizes).
+func BenchmarkFig1(b *testing.B) { benchArtifact(b, "fig1") }
+
+// BenchmarkFig2 regenerates paper Figure 2 (byte hit rates).
+func BenchmarkFig2(b *testing.B) { benchArtifact(b, "fig2") }
+
+// BenchmarkFig3 regenerates paper Figure 3 (estimated average latency,
+// equation 6 with the paper's 146/342/2784ms model).
+func BenchmarkFig3(b *testing.B) { benchArtifact(b, "fig3") }
+
+// BenchmarkTable1 regenerates paper Table 1 (average cache expiration age).
+func BenchmarkTable1(b *testing.B) { benchArtifact(b, "table1") }
+
+// BenchmarkTable2 regenerates paper Table 2 (local/remote hit split and
+// latency for both schemes).
+func BenchmarkTable2(b *testing.B) { benchArtifact(b, "table2") }
+
+// BenchmarkGroupSize regenerates the §4.2 group-size claims (2/4/8 caches).
+func BenchmarkGroupSize(b *testing.B) { benchArtifact(b, "groupsize") }
+
+// BenchmarkReplication regenerates the replication-control study behind the
+// paper's §2 motivation.
+func BenchmarkReplication(b *testing.B) { benchArtifact(b, "replication") }
+
+// BenchmarkAblationLFU regenerates the LFU-replacement ablation (paper
+// §3.2.2 expiration-age definition).
+func BenchmarkAblationLFU(b *testing.B) { benchArtifact(b, "ablation-policy") }
+
+// BenchmarkAblationWindow regenerates the expiration-age window ablation
+// (the paper's "(Ti, Tj)" choice).
+func BenchmarkAblationWindow(b *testing.B) { benchArtifact(b, "ablation-window") }
+
+// BenchmarkHierarchy regenerates the hierarchical-architecture experiment
+// (paper §3.3 algorithm).
+func BenchmarkHierarchy(b *testing.B) { benchArtifact(b, "hierarchy") }
+
+// BenchmarkLocation regenerates the ICP-vs-Summary-Cache-digest comparison
+// (related work extension).
+func BenchmarkLocation(b *testing.B) { benchArtifact(b, "location") }
+
+// BenchmarkPartitioned regenerates the placement-extremes comparison
+// against consistent-hash partitioning (related work extension).
+func BenchmarkPartitioned(b *testing.B) { benchArtifact(b, "partitioned") }
+
+// BenchmarkCoherence regenerates the freshness-tax (TTL) experiment.
+func BenchmarkCoherence(b *testing.B) { benchArtifact(b, "coherence") }
+
+// BenchmarkWorstCase regenerates the §2 worst-case broadcast experiment
+// (full replication drives effective space to aggregate/N).
+func BenchmarkWorstCase(b *testing.B) { benchArtifact(b, "worstcase") }
+
+// BenchmarkModelCheck regenerates the simulator-vs-analytical-model
+// validation.
+func BenchmarkModelCheck(b *testing.B) { benchArtifact(b, "model-check") }
+
+// BenchmarkSimulatorThroughput measures raw trace-replay speed through a
+// 4-cache EA group (requests per op reported as custom metric).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	records := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := group.New(group.Config{
+			Caches:         4,
+			AggregateBytes: 2 << 20,
+			Scheme:         core.EA{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(g, records, sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(records)), "requests/op")
+}
+
+// BenchmarkCacheLRU measures the cache substrate's hot path: Put with
+// eviction pressure plus Get.
+func BenchmarkCacheLRU(b *testing.B) {
+	benchCachePolicy(b, "lru")
+}
+
+// BenchmarkCacheLFU measures the heap-based LFU policy on the same path.
+func BenchmarkCacheLFU(b *testing.B) {
+	benchCachePolicy(b, "lfu")
+}
+
+// BenchmarkCacheGDS measures the GreedyDual-Size policy on the same path.
+func BenchmarkCacheGDS(b *testing.B) {
+	benchCachePolicy(b, "gds")
+}
+
+func benchCachePolicy(b *testing.B, policy string) {
+	b.Helper()
+	p, ok := cache.NewPolicy(policy)
+	if !ok {
+		b.Fatalf("unknown policy %q", policy)
+	}
+	s, err := cache.New(cache.Config{Capacity: 1 << 20, Policy: p})
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := make([]string, 4096)
+	for i := range urls {
+		urls[i] = "http://bench.example.edu/doc" + strconv.Itoa(i)
+	}
+	now := time.Unix(784900000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := urls[i%len(urls)]
+		if _, ok := s.Get(u, now); !ok {
+			if _, err := s.Put(cache.Document{URL: u, Size: 2048}, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+		now = now.Add(time.Second)
+	}
+}
+
+// BenchmarkICPMarshalParse measures one query encode/decode round trip.
+func BenchmarkICPMarshalParse(b *testing.B) {
+	m := icp.Query(7, "http://cs-www.example.edu/courses/cs101/assignment1.html")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := m.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := icp.Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHprotoRoundTrip measures an inter-proxy request head round trip
+// with the expiration-age piggyback.
+func BenchmarkHprotoRoundTrip(b *testing.B) {
+	req := hproto.Request{
+		URL:          "http://cs-www.example.edu/index.html",
+		RequesterAge: 90 * time.Second,
+		SizeHint:     4096,
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := hproto.WriteRequest(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZipfSample measures the popularity sampler the workload
+// generator leans on.
+func BenchmarkZipfSample(b *testing.B) {
+	z, err := dist.NewZipf(46830, 0.75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := dist.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Rank(r)
+	}
+}
+
+// BenchmarkTraceGenerate measures synthetic workload generation at 1% of
+// paper scale.
+func BenchmarkTraceGenerate(b *testing.B) {
+	cfg := trace.BULike().Scaled(0.01)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Command cachesim runs one trace-driven cooperative caching simulation
+// and prints the paper's metrics for it.
+//
+// Usage:
+//
+//	cachesim -trace trace.txt -scheme ea -caches 4 -aggregate 10MB
+//	tracegen -scale 0.01 | cachesim -scheme adhoc -caches 8 -aggregate 1MB
+//	cachesim -trace bu.log -format bu -scheme ea ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+	"eacache/internal/group"
+	"eacache/internal/proxy"
+	"eacache/internal/sim"
+	"eacache/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tracePath  = fs.String("trace", "", "trace file (default stdin)")
+		format     = fs.String("format", "canonical", `trace format: "canonical", "bu" or "squid"`)
+		schemeName = fs.String("scheme", "ea", `placement scheme: "adhoc", "ea" or "never"`)
+		caches     = fs.Int("caches", 4, "number of caches in the group")
+		aggregate  = fs.String("aggregate", "10MB", "aggregate group size (e.g. 100KB, 1MB, 1GB)")
+		policy     = fs.String("policy", "lru", `replacement policy: "lru", "lfu", "gds" or "size"`)
+		arch       = fs.String("arch", "distributed", `architecture: "distributed" or "hierarchical"`)
+		window     = fs.Int("window", cache.WindowAll, "expiration-age window in evictions (0 = cumulative)")
+		horizon    = fs.Duration("horizon", 0, "expiration-age time horizon (0 = group default)")
+		location   = fs.String("location", "icp", `document location: "icp" or "digest"`)
+		ttl        = fs.Bool("ttl", false, "stamp era-mix freshness lifetimes on documents (coherence)")
+		warmup     = fs.Float64("warmup", 0, "fraction of the trace replayed uncounted to warm the caches")
+		popularity = fs.Bool("popularity", false, "print the trace's popularity analysis")
+		decisions  = fs.Int("decisions", 0, "print the first N placement decisions (expiration ages and store/promote outcomes)")
+		perCache   = fs.Bool("per-cache", false, "print per-cache breakdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	records, err := loadTrace(*tracePath, *format, stdin)
+	if err != nil {
+		return err
+	}
+	records = trace.CleanZeroSizes(records, trace.DefaultDocSize)
+	trace.SortByTime(records)
+
+	aggBytes, err := ParseBytes(*aggregate)
+	if err != nil {
+		return err
+	}
+	scheme, ok := core.New(*schemeName)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	architecture := group.Distributed
+	if *arch == "hierarchical" {
+		architecture = group.Hierarchical
+	} else if *arch != "distributed" {
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+	loc := proxy.LocateICP
+	if *location == "digest" {
+		loc = proxy.LocateDigest
+	} else if *location != "icp" {
+		return fmt.Errorf("unknown location mechanism %q", *location)
+	}
+	var origin proxy.Origin = proxy.SizeHintOrigin{}
+	if *ttl {
+		origin = proxy.EraTTLOrigin()
+	}
+	if _, ok := cache.NewPolicy(*policy); !ok {
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	var tracer proxy.Tracer
+	if *decisions > 0 {
+		limit := *decisions
+		lineTracer := proxy.WriteTracer(stdout)
+		tracer = proxy.TracerFunc(func(e proxy.Event) {
+			if limit > 0 {
+				limit--
+				lineTracer.Trace(e)
+			}
+		})
+	}
+
+	g, err := group.New(group.Config{
+		Caches:         *caches,
+		AggregateBytes: aggBytes,
+		Scheme:         scheme,
+		NewPolicy: func() cache.Policy {
+			p, _ := cache.NewPolicy(*policy)
+			return p
+		},
+		ExpirationWindow:  *window,
+		ExpirationHorizon: *horizon,
+		Architecture:      architecture,
+		Location:          loc,
+		Origin:            origin,
+		Tracer:            tracer,
+	})
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	rep, err := sim.Run(g, records, sim.Config{Warmup: *warmup})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "trace: %s\n", trace.ComputeStats(records))
+	if *popularity {
+		fmt.Fprintf(stdout, "popularity: %s\n", trace.ComputePopularity(records))
+	}
+	fmt.Fprintf(stdout, "run:   %s (simulated in %s)\n", rep, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "replication: %.3f copies/doc over %d unique resident docs (%d replicated)\n",
+		rep.Replication.MeanCopies(), rep.Replication.UniqueDocs, rep.Replication.ReplicatedDocs)
+	if *perCache {
+		for _, p := range rep.PerProxy {
+			age := "no evictions"
+			if p.ExpirationAge != cache.NoContention {
+				age = fmt.Sprintf("exp-age %.1fs", p.ExpirationAge.Seconds())
+			}
+			fmt.Fprintf(stdout,
+				"  %s: reqs=%d local=%d remote=%d miss=%d evictions=%d resident=%d (%s) %s\n",
+				p.ID, p.Counters.Requests, p.Counters.LocalHits, p.Counters.RemoteHits,
+				p.Counters.Misses, p.Evictions, p.ResidentDocs, sim.FormatBytes(p.ResidentBytes), age)
+		}
+	}
+	return nil
+}
+
+func loadTrace(path, format string, stdin io.Reader) ([]trace.Record, error) {
+	var r io.Reader = stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "canonical":
+		return trace.Read(r)
+	case "bu":
+		records, skipped, err := trace.ReadBU(r)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "cachesim: skipped %d unparseable BU log lines\n", skipped)
+		}
+		return records, nil
+	case "squid":
+		records, skipped, err := trace.ReadSquid(r)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "cachesim: skipped %d non-GET or unparseable squid log lines\n", skipped)
+		}
+		return records, nil
+	default:
+		return nil, fmt.Errorf("unknown trace format %q", format)
+	}
+}
+
+// ParseBytes parses sizes like "100KB", "1MB", "1GB", "4096".
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("size must be positive, got %d", n)
+	}
+	return n * mult, nil
+}

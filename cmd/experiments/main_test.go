@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eacache/internal/experiments"
+	"eacache/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range experiments.IDs {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("missing %q in list:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-run", "fig1,table1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== fig1:") || !strings.Contains(s, "== table1:") {
+		t.Fatalf("missing experiment headers:\n%s", s)
+	}
+	if strings.Contains(s, "== fig2:") {
+		t.Fatal("ran an experiment that was not requested")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-run", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	records, err := trace.Generate(trace.BULike().Scaled(0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, records); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-trace", path, "-run", "replication"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== replication:") {
+		t.Fatalf("missing output:\n%s", out.String())
+	}
+}
+
+func TestRunMissingTraceFile(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-trace", "/nonexistent/t.txt"}, &out, &errOut); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunMultiSeedMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-seeds", "3"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "multiseed") || !strings.Contains(s, "+/-") {
+		t.Fatalf("multiseed output missing:\n%s", s)
+	}
+}
+
+func TestRunMultiSeedRejectsTraceFile(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-seeds", "3", "-trace", "/tmp/whatever.txt"}, &out, &errOut); err == nil {
+		t.Fatal("-seeds with -trace accepted")
+	}
+}

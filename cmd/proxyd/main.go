@@ -1,0 +1,254 @@
+// Command proxyd runs one live cooperative caching proxy on real sockets:
+// ICP (RFC 2186) over UDP for neighbour queries and the hproto fetch
+// protocol over TCP, with cache expiration ages piggybacked per the paper.
+//
+// A node can also run as the origin server for the group (-origin-mode),
+// and -demo spins up an entire cooperative group plus origin in one process
+// and replays a small synthetic workload through it.
+//
+// Usage:
+//
+//	proxyd -origin-mode -http 127.0.0.1:8000
+//	proxyd -icp 127.0.0.1:3130 -http 127.0.0.1:8081 -origin 127.0.0.1:8000 \
+//	       -peer 127.0.0.1:3131/127.0.0.1:8082 -scheme ea -capacity 10MB
+//	proxyd -demo -nodes 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+	"eacache/internal/dist"
+	"eacache/internal/metrics"
+	"eacache/internal/netnode"
+	"eacache/internal/proxy"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "proxyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("proxyd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		icpAddr    = fs.String("icp", "127.0.0.1:3130", "ICP (UDP) listen address")
+		httpAddr   = fs.String("http", "127.0.0.1:8081", "fetch (TCP) listen address")
+		originAddr = fs.String("origin", "", "origin server address for miss resolution")
+		parentAddr = fs.String("parent", "", "hierarchical parent's fetch (TCP) address; misses resolve through it")
+		schemeName = fs.String("scheme", "ea", `placement scheme: "adhoc", "ea" or "never"`)
+		location   = fs.String("location", "icp", `document location: "icp" or "digest"`)
+		capacity   = fs.String("capacity", "10MB", "cache capacity")
+		peers      peerList
+		originMode = fs.Bool("origin-mode", false, "run as the group's origin server instead of a proxy")
+		demo       = fs.Bool("demo", false, "run a self-contained demo group and exit")
+		demoNodes  = fs.Int("nodes", 3, "group size for -demo")
+		demoReqs   = fs.Int("requests", 600, "requests to replay in -demo")
+	)
+	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr> (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(stderr, "proxyd ", log.LstdFlags)
+
+	if *demo {
+		return runDemo(stdout, logger, *demoNodes, *demoReqs, *schemeName)
+	}
+
+	if *originMode {
+		origin, err := netnode.NewOriginServer(*httpAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer origin.Close()
+		fmt.Fprintf(stdout, "origin server on %s\n", origin.Addr())
+		waitForSignal()
+		return nil
+	}
+
+	capBytes, err := parseBytes(*capacity)
+	if err != nil {
+		return err
+	}
+	scheme, ok := core.New(*schemeName)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	loc := proxy.LocateICP
+	if *location == "digest" {
+		loc = proxy.LocateDigest
+	} else if *location != "icp" {
+		return fmt.Errorf("unknown location mechanism %q", *location)
+	}
+	store, err := cache.New(cache.Config{
+		Capacity:         capBytes,
+		ExpirationWindow: cache.DefaultExpirationWindow,
+	})
+	if err != nil {
+		return err
+	}
+	node, err := netnode.New(netnode.Config{
+		ID:         "proxyd",
+		ICPAddr:    *icpAddr,
+		HTTPAddr:   *httpAddr,
+		Store:      store,
+		Scheme:     scheme,
+		OriginAddr: *originAddr,
+		ParentAddr: *parentAddr,
+		Location:   loc,
+		Logger:     logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	node.SetPeers(peers.peers)
+
+	fmt.Fprintf(stdout, "proxy up: icp=%s http=%s scheme=%s capacity=%s peers=%d\n",
+		node.ICPAddr(), node.HTTPAddr(), scheme.Name(), *capacity, len(peers.peers))
+	waitForSignal()
+	return nil
+}
+
+// runDemo builds an origin plus an n-node cooperative group on loopback,
+// replays a Zipf workload through it, and prints what happened on the wire.
+func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName string) error {
+	scheme, ok := core.New(schemeName)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+
+	origin, err := netnode.NewOriginServer("127.0.0.1:0", logger)
+	if err != nil {
+		return err
+	}
+	defer origin.Close()
+
+	nodes := make([]*netnode.Node, 0, n)
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		store, err := cache.New(cache.Config{
+			Capacity:         256 << 10,
+			ExpirationWindow: cache.DefaultExpirationWindow,
+		})
+		if err != nil {
+			return err
+		}
+		node, err := netnode.New(netnode.Config{
+			ID:         fmt.Sprintf("node-%d", i),
+			ICPAddr:    "127.0.0.1:0",
+			HTTPAddr:   "127.0.0.1:0",
+			Store:      store,
+			Scheme:     scheme,
+			OriginAddr: origin.Addr(),
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, node)
+	}
+	for i, nd := range nodes {
+		var ps []netnode.Peer
+		for j, other := range nodes {
+			if i == j {
+				continue
+			}
+			ps = append(ps, netnode.Peer{ICP: other.ICPAddr(), HTTP: other.HTTPAddr()})
+		}
+		nd.SetPeers(ps)
+	}
+
+	fmt.Fprintf(stdout, "demo group: %d nodes, scheme=%s, origin=%s\n", n, scheme.Name(), origin.Addr())
+
+	rng := dist.NewRNG(42)
+	zipf, err := dist.NewZipf(200, 0.8)
+	if err != nil {
+		return err
+	}
+	var counters metrics.Counters
+	for i := 0; i < requests; i++ {
+		node := nodes[rng.Intn(len(nodes))]
+		url := fmt.Sprintf("http://demo.example.edu/doc%03d.html", zipf.Rank(rng))
+		res, err := node.Request(url, 2048+int64(rng.Intn(4096)))
+		if err != nil {
+			return err
+		}
+		counters.Record(res.Outcome, res.Size)
+	}
+
+	fmt.Fprintf(stdout,
+		"replayed %d requests over the wire: local=%.1f%% remote=%.1f%% miss=%.1f%% (origin served %d fetches)\n",
+		counters.Requests, 100*counters.LocalHitRate(), 100*counters.RemoteHitRate(),
+		100*counters.MissRate(), origin.Fetches())
+	fmt.Fprintf(stdout, "estimated mean latency (paper model): %s\n",
+		metrics.PaperLatencies.EstimatedAverageLatency(&counters))
+	return nil
+}
+
+// peerList parses repeated -peer <icp>/<http> flags.
+type peerList struct {
+	peers []netnode.Peer
+}
+
+func (p *peerList) String() string {
+	parts := make([]string, len(p.peers))
+	for i, peer := range p.peers {
+		parts[i] = fmt.Sprintf("%s/%s", peer.ICP, peer.HTTP)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *peerList) Set(v string) error {
+	icpPart, httpPart, found := strings.Cut(v, "/")
+	if !found {
+		return fmt.Errorf("peer %q: want <icp-addr>/<http-addr>", v)
+	}
+	udp, err := net.ResolveUDPAddr("udp", icpPart)
+	if err != nil {
+		return fmt.Errorf("peer %q: %w", v, err)
+	}
+	p.peers = append(p.peers, netnode.Peer{ICP: udp, HTTP: httpPart})
+	return nil
+}
+
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

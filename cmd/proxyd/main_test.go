@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+)
+
+func TestParseBytesLocal(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"10MB", 10 << 20, true},
+		{"64KB", 64 << 10, true},
+		{"1GB", 1 << 30, true},
+		{"2048", 2048, true},
+		{"zero", 0, false},
+		{"-1KB", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := parseBytes(tt.in)
+		if (err == nil) != tt.ok {
+			t.Fatalf("parseBytes(%q) err = %v", tt.in, err)
+		}
+		if tt.ok && got != tt.want {
+			t.Fatalf("parseBytes(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPeerListFlag(t *testing.T) {
+	var p peerList
+	if err := p.Set("127.0.0.1:3130/127.0.0.1:8081"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("127.0.0.1:3131/127.0.0.1:8082"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.peers) != 2 {
+		t.Fatalf("peers = %d", len(p.peers))
+	}
+	if p.peers[0].HTTP != "127.0.0.1:8081" || p.peers[0].ICP.Port != 3130 {
+		t.Fatalf("peer[0] = %+v", p.peers[0])
+	}
+	if !strings.Contains(p.String(), "127.0.0.1:3131") {
+		t.Fatalf("String() = %q", p.String())
+	}
+	if err := p.Set("missing-separator"); err == nil {
+		t.Fatal("bad peer accepted")
+	}
+	if err := p.Set("not-an-addr/x"); err == nil {
+		t.Fatal("unresolvable peer accepted")
+	}
+}
+
+func TestDemoEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	logger := log.New(&bytes.Buffer{}, "", 0)
+	if err := runDemo(&out, logger, 3, 200, "ea"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"demo group: 3 nodes", "replayed 200 requests", "estimated mean latency"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDemoRejectsBadScheme(t *testing.T) {
+	var out bytes.Buffer
+	if err := runDemo(&out, log.New(&bytes.Buffer{}, "", 0), 2, 10, "bogus"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Analysis: where do the EA scheme's extra hits come from? The example
+// splits the workload into the ultra-hot head (the site-wide inline images
+// every page view drags along) and the long tail, replays both schemes with
+// per-class accounting, and shows the mechanism the paper argues for:
+// the EA scheme converts the head's redundant replicas into space for the
+// tail, trading local hits for remote hits without losing group hits.
+//
+//	go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"eacache/internal/core"
+	"eacache/internal/group"
+	"eacache/internal/metrics"
+	"eacache/internal/sim"
+	"eacache/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatal("analysis: ", err)
+	}
+}
+
+func run() error {
+	cfg := trace.BULike().Scaled(0.02)
+	records, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	records = trace.CleanZeroSizes(records, trace.DefaultDocSize)
+
+	fmt.Println("workload:  ", trace.ComputeStats(records))
+	fmt.Println("popularity:", trace.ComputePopularity(records))
+	fmt.Println()
+
+	// The generator's hot head is documents 0..HotDocs-1; classify by the
+	// document id embedded in the URL.
+	classify := func(url string) string {
+		if docID(url) < cfg.HotDocs {
+			return "hot head"
+		}
+		return "tail"
+	}
+
+	const aggregate = 256 << 10
+	fmt.Printf("4 caches, %s aggregate, per-class outcomes:\n\n", sim.FormatBytes(aggregate))
+	fmt.Printf("%-6s  %-8s  %9s  %8s  %8s  %8s\n",
+		"scheme", "class", "requests", "local", "remote", "miss")
+	for _, schemeName := range []string{"adhoc", "ea"} {
+		scheme, _ := core.New(schemeName)
+		g, err := group.New(group.Config{
+			Caches:         4,
+			AggregateBytes: aggregate,
+			Scheme:         scheme,
+		})
+		if err != nil {
+			return err
+		}
+		rep, err := sim.Run(g, records, sim.Config{ClassifyURL: classify})
+		if err != nil {
+			return err
+		}
+		for _, class := range []string{"hot head", "tail"} {
+			c := rep.PerClass[class]
+			if c == nil {
+				c = &metrics.Counters{}
+			}
+			fmt.Printf("%-6s  %-8s  %9d  %7.2f%%  %7.2f%%  %7.2f%%\n",
+				schemeName, class, c.Requests,
+				100*c.LocalHitRate(), 100*c.RemoteHitRate(), 100*c.MissRate())
+		}
+		fmt.Printf("%-6s  %-8s  resident: %d unique docs, %.3f copies each\n\n",
+			schemeName, "(all)", rep.Replication.UniqueDocs, rep.Replication.MeanCopies())
+	}
+
+	fmt.Println("reading: under EA the hot head is served with far fewer replicas")
+	fmt.Println("(local hits become remote hits), and the freed space lifts the")
+	fmt.Println("tail's hit rate by more than the head gives up — the replication")
+	fmt.Println("control the paper is about.")
+	return nil
+}
+
+// docID extracts the numeric document id from the generator's URL shape
+// (http://originNNN.example.edu/docNNNNNN.html).
+func docID(url string) int {
+	i := strings.LastIndex(url, "/doc")
+	if i < 0 {
+		return 1 << 30
+	}
+	digits := strings.TrimSuffix(url[i+4:], ".html")
+	n, err := strconv.Atoi(digits)
+	if err != nil {
+		return 1 << 30
+	}
+	return n
+}

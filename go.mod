@@ -1,0 +1,3 @@
+module eacache
+
+go 1.22

@@ -1,0 +1,375 @@
+// Package cache implements the single-proxy caching substrate of the EA
+// reproduction: a byte-capacity document store with pluggable replacement
+// policies (LRU, LFU, SIZE, GreedyDual-Size) and the paper's expiration-age
+// bookkeeping.
+//
+// Every document carries the metadata the paper requires (entry time, last
+// hit time, hit counter). On eviction the store computes the victim's
+// document expiration age — (T1 - T0) since last hit for LRU-style policies
+// (paper eq. 2), lifetime/hits for LFU (paper eq. 3) — and folds it into the
+// cache expiration age (paper eq. 5), the contention signal the EA placement
+// scheme exchanges between proxies.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// NoContention is the expiration age reported by a cache that has not yet
+// evicted anything. It is effectively +infinity: a cache with free space has
+// no disk contention, so it should always be willing to accept a copy.
+const NoContention = time.Duration(math.MaxInt64)
+
+// ErrTooLarge reports a document bigger than the whole cache.
+var ErrTooLarge = errors.New("cache: document larger than capacity")
+
+// Document is the unit of caching: a web object identified by its URL.
+type Document struct {
+	// URL identifies the document.
+	URL string
+	// Size is the body size in bytes. The paper replaces zero-size trace
+	// records with the 4KB average document size before simulation, so
+	// sizes here are always positive.
+	Size int64
+	// Expires is the document's freshness deadline (cache coherence).
+	// The zero value means the document never goes stale — the paper's
+	// setting, which studies placement in isolation. A stale copy still
+	// occupies space until replaced, but must not be served or
+	// advertised.
+	Expires time.Time
+}
+
+// FreshAt reports whether the document may be served at time t.
+func (d Document) FreshAt(t time.Time) bool {
+	return d.Expires.IsZero() || !d.Expires.Before(t)
+}
+
+// Entry is a cached document plus the replacement/expiration metadata the
+// paper's schemes depend on.
+type Entry struct {
+	Doc Document
+	// EnteredAt is T0, the time the document entered the cache.
+	EnteredAt time.Time
+	// LastHit is the time of the most recent hit. A document that has
+	// never been hit carries its entry time, so its expiration age equals
+	// its whole lifetime.
+	LastHit time.Time
+	// Hits is the paper's HIT-COUNTER: initialised to 1 when the document
+	// enters the cache and incremented on every hit.
+	Hits int64
+
+	// intrusive hooks owned by the policies
+	prev, next *Entry  // lru list
+	heapIndex  int     // lfu / size / gds heap position
+	priority   float64 // gds H-value
+}
+
+// Eviction records one removed document and its expiration age, as fed to
+// the cache expiration-age tracker and surfaced to callers for testing and
+// metrics.
+type Eviction struct {
+	Doc Document
+	// Age is the document expiration age at removal (eq. 2 or eq. 3).
+	Age time.Duration
+	// ResidencyTime is how long the document lived in the cache.
+	ResidencyTime time.Duration
+}
+
+// Policy is a replacement policy over intrusive entries. The Store drives
+// it: Add on insert, Touch on hit (or EA-scheme promotion), Remove on
+// eviction or explicit removal, and Victim to choose what to evict next.
+type Policy interface {
+	// Name identifies the policy ("lru", "lfu", ...).
+	Name() string
+	// Add registers a newly inserted entry.
+	Add(e *Entry)
+	// Touch records a hit on the entry (after the Store updated its
+	// metadata).
+	Touch(e *Entry)
+	// Remove unregisters the entry.
+	Remove(e *Entry)
+	// Victim returns the entry to evict next, or nil if empty. The entry
+	// stays registered until Remove is called.
+	Victim() *Entry
+	// ExpirationAge computes the document expiration age of an entry at
+	// removal time, per the paper's per-policy definitions.
+	ExpirationAge(e *Entry, now time.Time) time.Duration
+}
+
+// Config configures a Store.
+type Config struct {
+	// Capacity is the disk budget in bytes. Must be positive.
+	Capacity int64
+	// Policy is the replacement policy. Defaults to NewLRU().
+	Policy Policy
+	// ExpirationWindow averages the document expiration ages of the most
+	// recent N evictions to produce the cache expiration age used in
+	// placement decisions. Mutually exclusive with ExpirationHorizon.
+	ExpirationWindow int
+	// ExpirationHorizon averages over the victims evicted within the
+	// last H of (simulated) time — the paper's "finite time duration
+	// (Ti, Tj)" read literally, and the variant whose negative feedback
+	// spreads placement across the group (see ExpAgeTracker). When both
+	// ExpirationWindow and ExpirationHorizon are zero the average is
+	// cumulative since the cache started.
+	ExpirationHorizon time.Duration
+}
+
+// WindowAll selects a cumulative expiration-age window.
+const WindowAll = 0
+
+// DefaultExpirationWindow is a reasonable eviction-count window for callers
+// that want a count-based signal.
+const DefaultExpirationWindow = 512
+
+// DefaultExpirationHorizon is the time window the cooperative placement
+// layer uses by default for the contention signal.
+const DefaultExpirationHorizon = 6 * time.Hour
+
+// Store is a single proxy cache: documents, capacity accounting, replacement
+// policy, and expiration-age tracking. It is not safe for concurrent use;
+// the proxy layer serialises access.
+type Store struct {
+	capacity int64
+	used     int64
+	entries  map[string]*Entry
+	policy   Policy
+	ages     *ExpAgeTracker
+
+	insertions int64
+	evictions  int64
+}
+
+// New builds a Store from cfg.
+func New(cfg Config) (*Store, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", cfg.Capacity)
+	}
+	if cfg.ExpirationWindow < 0 {
+		return nil, fmt.Errorf("cache: expiration window must be >= 0, got %d", cfg.ExpirationWindow)
+	}
+	if cfg.ExpirationHorizon < 0 {
+		return nil, fmt.Errorf("cache: expiration horizon must be >= 0, got %v", cfg.ExpirationHorizon)
+	}
+	if cfg.ExpirationWindow > 0 && cfg.ExpirationHorizon > 0 {
+		return nil, fmt.Errorf("cache: expiration window and horizon are mutually exclusive")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = NewLRU()
+	}
+	ages := NewExpAgeTracker(cfg.ExpirationWindow)
+	if cfg.ExpirationHorizon > 0 {
+		ages = NewTimeHorizonTracker(cfg.ExpirationHorizon)
+	}
+	return &Store{
+		capacity: cfg.Capacity,
+		entries:  make(map[string]*Entry),
+		policy:   policy,
+		ages:     ages,
+	}, nil
+}
+
+// Capacity returns the configured byte budget.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes currently occupied.
+func (s *Store) Used() int64 { return s.used }
+
+// Len returns the number of cached documents.
+func (s *Store) Len() int { return len(s.entries) }
+
+// PolicyName returns the replacement policy's name.
+func (s *Store) PolicyName() string { return s.policy.Name() }
+
+// Contains reports whether url is cached, without touching recency state.
+// This is what answers an ICP query.
+func (s *Store) Contains(url string) bool {
+	_, ok := s.entries[url]
+	return ok
+}
+
+// Peek returns the cached document without updating any recency or hit
+// metadata. The EA scheme uses this when a responder serves a remote request
+// but must not give its copy a fresh lease of life.
+func (s *Store) Peek(url string) (Document, bool) {
+	e, ok := s.entries[url]
+	if !ok {
+		return Document{}, false
+	}
+	return e.Doc, true
+}
+
+// Get returns the cached document and records a hit: the hit counter is
+// incremented, the last-hit time set to now, and the policy touched.
+func (s *Store) Get(url string, now time.Time) (Document, bool) {
+	e, ok := s.entries[url]
+	if !ok {
+		return Document{}, false
+	}
+	e.Hits++
+	e.LastHit = now
+	s.policy.Touch(e)
+	return e.Doc, true
+}
+
+// Touch promotes url as if it had been hit at now (the EA responder-side
+// promotion to the head of the LRU list). It reports whether the document
+// was present.
+func (s *Store) Touch(url string, now time.Time) bool {
+	e, ok := s.entries[url]
+	if !ok {
+		return false
+	}
+	e.Hits++
+	e.LastHit = now
+	s.policy.Touch(e)
+	return true
+}
+
+// Put inserts doc at time now, evicting victims as needed, and returns the
+// evictions performed. Re-inserting a cached URL refreshes it like a hit
+// (and adopts the new size). Documents larger than the capacity are
+// rejected with ErrTooLarge and cached nowhere, matching proxy behaviour.
+func (s *Store) Put(doc Document, now time.Time) ([]Eviction, error) {
+	if doc.Size < 0 {
+		return nil, fmt.Errorf("cache: negative size %d for %q", doc.Size, doc.URL)
+	}
+	if doc.Size > s.capacity {
+		return nil, ErrTooLarge
+	}
+	if e, ok := s.entries[doc.URL]; ok {
+		s.used += doc.Size - e.Doc.Size
+		e.Doc = doc
+		e.Hits++
+		e.LastHit = now
+		s.policy.Touch(e)
+		return s.makeRoom(now, doc.URL)
+	}
+
+	evicted, err := s.makeRoomFor(doc.Size, now, doc.URL)
+	if err != nil {
+		return evicted, err
+	}
+	e := &Entry{
+		Doc:       doc,
+		EnteredAt: now,
+		LastHit:   now,
+		Hits:      1,
+	}
+	s.entries[doc.URL] = e
+	s.used += doc.Size
+	s.insertions++
+	s.policy.Add(e)
+	return evicted, nil
+}
+
+// Remove deletes url from the cache without recording an eviction age (it
+// models invalidation, not contention-driven replacement).
+func (s *Store) Remove(url string) bool {
+	e, ok := s.entries[url]
+	if !ok {
+		return false
+	}
+	s.policy.Remove(e)
+	delete(s.entries, url)
+	s.used -= e.Doc.Size
+	return true
+}
+
+// ExpirationAge returns the cache expiration age used for placement
+// decisions as of time now: the windowed mean of the document expiration
+// ages of evicted victims, or NoContention if there is no contention
+// evidence (nothing evicted yet, or nothing within the horizon).
+func (s *Store) ExpirationAge(now time.Time) time.Duration {
+	return s.ages.WindowedAt(now)
+}
+
+// CumulativeExpirationAge returns the mean expiration age over every
+// eviction since the cache started. This is the value Table 1 of the paper
+// reports.
+func (s *Store) CumulativeExpirationAge() time.Duration {
+	return s.ages.Cumulative()
+}
+
+// Evictions returns the total number of contention evictions performed.
+func (s *Store) Evictions() int64 { return s.evictions }
+
+// Insertions returns the total number of document insertions.
+func (s *Store) Insertions() int64 { return s.insertions }
+
+// Entry exposes a copy of the metadata for url, for tests and inspection.
+func (s *Store) Entry(url string) (Entry, bool) {
+	e, ok := s.entries[url]
+	if !ok {
+		return Entry{}, false
+	}
+	cp := *e
+	cp.prev, cp.next = nil, nil
+	return cp, true
+}
+
+// URLs returns the cached URLs in unspecified order.
+func (s *Store) URLs() []string {
+	out := make([]string, 0, len(s.entries))
+	for u := range s.entries {
+		out = append(out, u)
+	}
+	return out
+}
+
+// makeRoomFor evicts victims until size more bytes fit. The document named
+// skip (the one being inserted or refreshed) is never evicted: if the
+// policy nominates it — a resized document can be the SIZE policy's
+// largest, for example — it is sidelined from the policy for the duration
+// and reinstated afterwards.
+func (s *Store) makeRoomFor(size int64, now time.Time, skip string) ([]Eviction, error) {
+	var (
+		evicted   []Eviction
+		sidelined *Entry
+	)
+	for s.used+size > s.capacity {
+		v := s.policy.Victim()
+		if v == nil {
+			if sidelined != nil {
+				s.policy.Add(sidelined)
+			}
+			return evicted, fmt.Errorf("cache: cannot free %d bytes", size)
+		}
+		if v.Doc.URL == skip {
+			s.policy.Remove(v)
+			sidelined = v
+			continue
+		}
+		evicted = append(evicted, s.evict(v, now))
+	}
+	if sidelined != nil {
+		s.policy.Add(sidelined)
+	}
+	return evicted, nil
+}
+
+func (s *Store) makeRoom(now time.Time, skip string) ([]Eviction, error) {
+	return s.makeRoomFor(0, now, skip)
+}
+
+// evict removes v and records its expiration age.
+func (s *Store) evict(v *Entry, now time.Time) Eviction {
+	age := s.policy.ExpirationAge(v, now)
+	if age < 0 {
+		age = 0
+	}
+	s.policy.Remove(v)
+	delete(s.entries, v.Doc.URL)
+	s.used -= v.Doc.Size
+	s.evictions++
+	s.ages.Record(age, now)
+	return Eviction{
+		Doc:           v.Doc,
+		Age:           age,
+		ResidencyTime: now.Sub(v.EnteredAt),
+	}
+}

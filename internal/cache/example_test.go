@@ -1,0 +1,67 @@
+package cache_test
+
+import (
+	"fmt"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+// A Store evicts least-recently-used documents when full and measures each
+// victim's expiration age — the time it survived after its last hit.
+func ExampleStore() {
+	store, err := cache.New(cache.Config{Capacity: 8192})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	t0 := time.Date(1994, time.November, 15, 9, 0, 0, 0, time.UTC)
+
+	// Two 4KB documents fill the cache.
+	if _, err := store.Put(cache.Document{URL: "http://a/", Size: 4096}, t0); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := store.Put(cache.Document{URL: "http://b/", Size: 4096}, t0.Add(10*time.Second)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A hit on /a makes /b the eviction victim.
+	store.Get("http://a/", t0.Add(20*time.Second))
+
+	// A third document forces an eviction.
+	evicted, err := store.Put(cache.Document{URL: "http://c/", Size: 4096}, t0.Add(60*time.Second))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, ev := range evicted {
+		fmt.Printf("evicted %s after %v without a hit\n", ev.Doc.URL, ev.Age)
+	}
+	fmt.Println("cache expiration age:", store.ExpirationAge(t0.Add(60*time.Second)))
+
+	// Output:
+	// evicted http://b/ after 50s without a hit
+	// cache expiration age: 50s
+}
+
+// Each replacement policy defines the paper's document expiration age in
+// its own terms: time-since-last-hit for LRU (eq. 2), mean time-per-hit
+// for LFU (eq. 3).
+func ExamplePolicy_expirationAge() {
+	t0 := time.Date(1994, time.November, 15, 9, 0, 0, 0, time.UTC)
+	entry := &cache.Entry{
+		Doc:       cache.Document{URL: "http://a/", Size: 4096},
+		EnteredAt: t0,
+		LastHit:   t0.Add(40 * time.Second),
+		Hits:      5,
+	}
+	removedAt := t0.Add(100 * time.Second)
+
+	fmt.Println("LRU:", cache.NewLRU().ExpirationAge(entry, removedAt))
+	fmt.Println("LFU:", cache.NewLFU().ExpirationAge(entry, removedAt))
+
+	// Output:
+	// LRU: 1m0s
+	// LFU: 20s
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExpAgeTrackerCumulative(t *testing.T) {
+	tr := NewExpAgeTracker(WindowAll)
+	if tr.WindowedAt(at(0)) != NoContention || tr.Cumulative() != NoContention {
+		t.Fatal("empty tracker should report NoContention")
+	}
+	tr.Record(10*time.Second, at(1))
+	tr.Record(20*time.Second, at(2))
+	tr.Record(30*time.Second, at(3))
+	if got := tr.Cumulative(); got != 20*time.Second {
+		t.Fatalf("Cumulative = %v, want 20s", got)
+	}
+	if got := tr.WindowedAt(at(3)); got != 20*time.Second {
+		t.Fatalf("WindowedAt = %v, want 20s (cumulative mode)", got)
+	}
+	if tr.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", tr.Count())
+	}
+}
+
+func TestExpAgeTrackerCountWindow(t *testing.T) {
+	tr := NewExpAgeTracker(2)
+	tr.Record(10*time.Second, at(1))
+	tr.Record(20*time.Second, at(2))
+	tr.Record(60*time.Second, at(3))
+	// Window of 2: mean(20, 60) = 40s.
+	if got := tr.WindowedAt(at(3)); got != 40*time.Second {
+		t.Fatalf("WindowedAt = %v, want 40s", got)
+	}
+	// Cumulative still covers all three.
+	if got := tr.Cumulative(); got != 30*time.Second {
+		t.Fatalf("Cumulative = %v, want 30s", got)
+	}
+}
+
+func TestExpAgeTrackerTimeHorizon(t *testing.T) {
+	tr := NewTimeHorizonTracker(10 * time.Second)
+	tr.Record(4*time.Second, at(0))
+	tr.Record(8*time.Second, at(5))
+	if got := tr.WindowedAt(at(5)); got != 6*time.Second {
+		t.Fatalf("WindowedAt = %v, want 6s", got)
+	}
+	// At t=11 the first sample (t=0) falls outside the horizon.
+	if got := tr.WindowedAt(at(11)); got != 8*time.Second {
+		t.Fatalf("WindowedAt = %v, want 8s", got)
+	}
+	// Once everything expired, the signal is NoContention again — a
+	// cache that stopped evicting has stopped being contended.
+	if got := tr.WindowedAt(at(60)); got != NoContention {
+		t.Fatalf("WindowedAt = %v, want NoContention", got)
+	}
+	// But the cumulative record remains.
+	if got := tr.Cumulative(); got != 6*time.Second {
+		t.Fatalf("Cumulative = %v, want 6s", got)
+	}
+}
+
+func TestExpAgeTrackerHorizonRingOverflow(t *testing.T) {
+	tr := NewTimeHorizonTracker(time.Hour)
+	for i := 0; i < maxHorizonSamples+500; i++ {
+		tr.Record(time.Duration(i)*time.Millisecond, at(i/100))
+	}
+	// The ring holds the most recent maxHorizonSamples; the mean must be
+	// over those, and nothing may panic or leak.
+	got := tr.WindowedAt(at((maxHorizonSamples + 500) / 100))
+	lo := time.Duration(500) * time.Millisecond
+	hi := time.Duration(maxHorizonSamples+500) * time.Millisecond
+	if got < lo || got > hi {
+		t.Fatalf("WindowedAt = %v, outside plausible [%v, %v]", got, lo, hi)
+	}
+	if tr.Count() != maxHorizonSamples+500 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestExpAgeTrackerNegativeClamped(t *testing.T) {
+	tr := NewExpAgeTracker(WindowAll)
+	tr.Record(-5*time.Second, at(0))
+	if got := tr.Cumulative(); got != 0 {
+		t.Fatalf("Cumulative = %v, want 0 (negative ages clamped)", got)
+	}
+}
+
+func TestNewTimeHorizonTrackerZeroFallsBack(t *testing.T) {
+	tr := NewTimeHorizonTracker(0)
+	tr.Record(10*time.Second, at(0))
+	if got := tr.WindowedAt(at(100)); got != 10*time.Second {
+		t.Fatalf("zero horizon should behave cumulatively, got %v", got)
+	}
+}
+
+func TestStoreHorizonSignal(t *testing.T) {
+	s := mustStore(t, Config{Capacity: 10, ExpirationHorizon: 30 * time.Second})
+	if _, err := s.Put(doc("a", 10), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(doc("b", 10), at(10)); err != nil { // evicts a, age 10s
+		t.Fatal(err)
+	}
+	if got := s.ExpirationAge(at(10)); got != 10*time.Second {
+		t.Fatalf("ExpirationAge = %v, want 10s", got)
+	}
+	// After the horizon passes with no evictions, contention evidence
+	// expires.
+	if got := s.ExpirationAge(at(100)); got != NoContention {
+		t.Fatalf("ExpirationAge = %v, want NoContention after idle horizon", got)
+	}
+	if got := s.CumulativeExpirationAge(); got != 10*time.Second {
+		t.Fatalf("CumulativeExpirationAge = %v, want 10s", got)
+	}
+}

@@ -1,0 +1,57 @@
+package cache
+
+import "container/heap"
+
+// entryHeap is a min-heap of entries ordered by a policy-supplied less
+// function. It maintains each entry's heapIndex so policies can fix or
+// remove entries in O(log n).
+type entryHeap struct {
+	items []*Entry
+	less  func(a, b *Entry) bool
+}
+
+var _ heap.Interface = (*entryHeap)(nil)
+
+func newEntryHeap(less func(a, b *Entry) bool) *entryHeap {
+	return &entryHeap{less: less}
+}
+
+func (h *entryHeap) Len() int { return len(h.items) }
+
+func (h *entryHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+
+func (h *entryHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIndex = i
+	h.items[j].heapIndex = j
+}
+
+func (h *entryHeap) Push(x any) {
+	e, ok := x.(*Entry)
+	if !ok {
+		return
+	}
+	e.heapIndex = len(h.items)
+	h.items = append(h.items, e)
+}
+
+func (h *entryHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	e.heapIndex = -1
+	return e
+}
+
+func (h *entryHeap) add(e *Entry)    { heap.Push(h, e) }
+func (h *entryHeap) fix(e *Entry)    { heap.Fix(h, e.heapIndex) }
+func (h *entryHeap) remove(e *Entry) { heap.Remove(h, e.heapIndex) }
+
+func (h *entryHeap) min() *Entry {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}

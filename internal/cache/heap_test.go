@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEntryHeapMatchesSort drives the intrusive heap with random
+// add/fix/remove sequences and checks that popping victims in order always
+// yields the less-function's sorted order.
+func TestQuickEntryHeapMatchesSort(t *testing.T) {
+	type hop struct {
+		Kind uint8
+		Key  uint8
+		Hits uint8
+	}
+	f := func(ops []hop) bool {
+		less := func(a, b *Entry) bool {
+			if a.Hits != b.Hits {
+				return a.Hits < b.Hits
+			}
+			return a.Doc.URL < b.Doc.URL
+		}
+		h := newEntryHeap(less)
+		live := make(map[string]*Entry)
+
+		for _, o := range ops {
+			key := string(rune('a' + o.Key%16))
+			switch o.Kind % 3 {
+			case 0: // add
+				if _, ok := live[key]; ok {
+					continue
+				}
+				e := &Entry{Doc: Document{URL: key, Size: 1}, Hits: int64(o.Hits % 8)}
+				live[key] = e
+				h.add(e)
+			case 1: // touch (bump hits, fix position)
+				if e, ok := live[key]; ok {
+					e.Hits++
+					h.fix(e)
+				}
+			case 2: // remove
+				if e, ok := live[key]; ok {
+					h.remove(e)
+					delete(live, key)
+				}
+			}
+		}
+		if h.Len() != len(live) {
+			return false
+		}
+
+		// Drain the heap; the victims must come out in sorted order.
+		var drained []*Entry
+		for h.Len() > 0 {
+			v := h.min()
+			h.remove(v)
+			drained = append(drained, v)
+		}
+		sorted := append([]*Entry(nil), drained...)
+		sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+		for i := range drained {
+			if drained[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryHeapEmpty(t *testing.T) {
+	h := newEntryHeap(func(a, b *Entry) bool { return a.Hits < b.Hits })
+	if h.min() != nil {
+		t.Fatal("min of empty heap")
+	}
+	// Pushing a non-entry through the heap.Interface path is ignored.
+	h.Push("not an entry")
+	if h.Len() != 0 {
+		t.Fatal("foreign value entered the heap")
+	}
+}

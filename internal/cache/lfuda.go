@@ -1,0 +1,77 @@
+package cache
+
+import "time"
+
+// LFUDA is LFU with Dynamic Aging, the policy Squid ships alongside GDSF —
+// the direct production descendant of the paper-era replacement work. Each
+// entry carries a key value
+//
+//	K = hits + L
+//
+// where L is the aging factor, raised to the victim's K at every eviction.
+// Aging lets formerly popular documents drain out instead of pinning the
+// cache forever, the classic failure of plain LFU.
+//
+// Like LFU it uses the paper's eq. 3 expiration age (lifetime divided by
+// hit count).
+type LFUDA struct {
+	h         *entryHeap
+	inflation float64
+}
+
+var _ Policy = (*LFUDA)(nil)
+
+// NewLFUDA returns an empty LFUDA policy.
+func NewLFUDA() *LFUDA {
+	l := &LFUDA{}
+	l.h = newEntryHeap(func(a, b *Entry) bool {
+		if a.priority != b.priority {
+			return a.priority < b.priority
+		}
+		return a.LastHit.Before(b.LastHit)
+	})
+	return l
+}
+
+// Name implements Policy.
+func (l *LFUDA) Name() string { return "lfuda" }
+
+// Add implements Policy.
+func (l *LFUDA) Add(e *Entry) {
+	e.priority = float64(e.Hits) + l.inflation
+	l.h.add(e)
+}
+
+// Touch implements Policy: the Store already bumped the hit counter; the
+// key is recomputed against the current aging factor.
+func (l *LFUDA) Touch(e *Entry) {
+	e.priority = float64(e.Hits) + l.inflation
+	l.h.fix(e)
+}
+
+// Remove implements Policy; evicting the current victim inflates L to its
+// key value.
+func (l *LFUDA) Remove(e *Entry) {
+	if l.h.min() == e && e.priority > l.inflation {
+		l.inflation = e.priority
+	}
+	l.h.remove(e)
+}
+
+// Victim implements Policy: the entry with the smallest key value.
+func (l *LFUDA) Victim() *Entry { return l.h.min() }
+
+// ExpirationAge implements Policy with eq. 3 (LFU form).
+func (l *LFUDA) ExpirationAge(e *Entry, now time.Time) time.Duration {
+	hits := e.Hits
+	if hits < 1 {
+		hits = 1
+	}
+	return now.Sub(e.EnteredAt) / time.Duration(hits)
+}
+
+// Len returns the number of tracked entries.
+func (l *LFUDA) Len() int { return l.h.Len() }
+
+// Inflation exposes the current aging factor, for tests.
+func (l *LFUDA) Inflation() float64 { return l.inflation }

@@ -1,0 +1,94 @@
+package cache
+
+import "testing"
+
+func TestLFUDAVictimAndAging(t *testing.T) {
+	l := NewLFUDA()
+	a := &Entry{Doc: doc("a", 1), Hits: 5, LastHit: at(1)}
+	b := &Entry{Doc: doc("b", 1), Hits: 1, LastHit: at(2)}
+	l.Add(a)
+	l.Add(b)
+	if v := l.Victim(); v != b {
+		t.Fatalf("Victim = %s, want b", v.Doc.URL)
+	}
+	// Evicting b (key 1) raises the aging factor to 1.
+	l.Remove(b)
+	if l.Inflation() != 1 {
+		t.Fatalf("inflation = %v, want 1", l.Inflation())
+	}
+	// A new single-hit entry now carries key 1+1=2, not 1: aging lets it
+	// compete with old frequent entries.
+	c := &Entry{Doc: doc("c", 1), Hits: 1, LastHit: at(3)}
+	l.Add(c)
+	if c.priority != 2 {
+		t.Fatalf("c priority = %v, want 2", c.priority)
+	}
+	if v := l.Victim(); v != c {
+		t.Fatalf("Victim = %s, want c (2 < 5)", v.Doc.URL)
+	}
+}
+
+func TestLFUDAAgingDrainsFormerlyPopular(t *testing.T) {
+	// Plain LFU pins a formerly hot document forever; LFUDA must let a
+	// stream of moderately used fresh documents push it out eventually.
+	s := mustStore(t, Config{Capacity: 40, Policy: NewLFUDA()})
+	if _, err := s.Put(doc("hot", 10), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Get("hot", at(i))
+	}
+	// Churn fresh documents, touching each once so their keys ride the
+	// rising aging factor.
+	evictedHot := false
+	for i := 0; i < 400 && !evictedHot; i++ {
+		u := "fresh-" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('a'+i/260))
+		evs, err := s.Put(doc(u, 10), at(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Get(u, at(100+i))
+		for _, ev := range evs {
+			if ev.Doc.URL == "hot" {
+				evictedHot = true
+			}
+		}
+	}
+	if !evictedHot {
+		t.Fatal("aging never drained the formerly popular document")
+	}
+}
+
+func TestLFUDATouchUsesCurrentInflation(t *testing.T) {
+	l := NewLFUDA()
+	a := &Entry{Doc: doc("a", 1), Hits: 1, LastHit: at(1)}
+	b := &Entry{Doc: doc("b", 1), Hits: 3, LastHit: at(2)}
+	l.Add(a)
+	l.Add(b)
+	l.Remove(a) // inflation -> 1
+	c := &Entry{Doc: doc("c", 1), Hits: 1, LastHit: at(3)}
+	l.Add(c)
+	c.Hits++
+	l.Touch(c)
+	if c.priority != 3 { // 2 hits + inflation 1
+		t.Fatalf("c priority = %v, want 3", c.priority)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestLFUDAExpirationAgeEq3(t *testing.T) {
+	l := NewLFUDA()
+	e := &Entry{Doc: doc("a", 1), EnteredAt: at(0), Hits: 5}
+	if got := l.ExpirationAge(e, at(100)); got.Seconds() != 20 {
+		t.Fatalf("ExpirationAge = %v, want 20s", got)
+	}
+}
+
+func TestNewPolicyLFUDA(t *testing.T) {
+	p, ok := NewPolicy("lfuda")
+	if !ok || p.Name() != "lfuda" {
+		t.Fatalf("NewPolicy(lfuda) = %v, %v", p, ok)
+	}
+}

@@ -1,0 +1,165 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, "a"); err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+	if _, err := New(0, "a", "a"); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := New(0, ""); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+}
+
+func TestOwnerStable(t *testing.T) {
+	r, err := New(0, "cache-0", "cache-1", "cache-2", "cache-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("http://x/doc%d", i)
+		first := r.Owner(key)
+		if first == "" {
+			t.Fatal("empty owner")
+		}
+		for j := 0; j < 3; j++ {
+			if r.Owner(key) != first {
+				t.Fatalf("owner of %q unstable", key)
+			}
+		}
+	}
+}
+
+func TestOwnerEmptyRing(t *testing.T) {
+	r, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner("x") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if r.Owners("x", 2) != nil {
+		t.Fatal("empty ring returned owners")
+	}
+}
+
+func TestLoadSpread(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := New(0, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 40000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("http://origin%03d/doc%d", i%311, i))]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < want/2 || counts[n] > want*2 {
+			t.Fatalf("node %s owns %d keys, want roughly %d", n, counts[n], want)
+		}
+	}
+}
+
+func TestRemoveMinimalDisruption(t *testing.T) {
+	r, err := New(0, "a", "b", "c", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 5000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("doc-%d", i)
+		before[k] = r.Owner(k)
+	}
+	if err := r.Remove("d"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k, owner := range before {
+		now := r.Owner(k)
+		if owner == "d" {
+			if now == "d" {
+				t.Fatal("removed node still owns keys")
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	// Consistent hashing: keys not owned by the removed node stay put.
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving nodes", moved)
+	}
+	if err := r.Remove("d"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestOwnersDistinctChain(t *testing.T) {
+	r, err := New(0, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := r.Owners("key", 3)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner in chain: %v", owners)
+		}
+		seen[o] = true
+	}
+	if owners[0] != r.Owner("key") {
+		t.Fatal("first owner differs from Owner()")
+	}
+	// Request for more owners than nodes is capped.
+	if got := r.Owners("key", 10); len(got) != 3 {
+		t.Fatalf("Owners(_, 10) = %v", got)
+	}
+}
+
+func TestAddExtendsRing(t *testing.T) {
+	r, err := New(0, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("c"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	counts := map[string]int{}
+	for i := 0; i < 9000; i++ {
+		counts[r.Owner(fmt.Sprintf("k%d", i))]++
+	}
+	if counts["c"] == 0 {
+		t.Fatal("new node owns nothing")
+	}
+}
+
+func TestQuickOwnerAlwaysAMember(t *testing.T) {
+	r, err := New(32, "n0", "n1", "n2", "n3", "n4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := map[string]bool{"n0": true, "n1": true, "n2": true, "n3": true, "n4": true}
+	f := func(key string) bool {
+		return members[r.Owner(key)]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

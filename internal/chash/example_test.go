@@ -1,0 +1,39 @@
+package chash_test
+
+import (
+	"fmt"
+
+	"eacache/internal/chash"
+)
+
+// Every URL has exactly one home cache; removing a node only moves the
+// keys that node owned.
+func ExampleRing() {
+	ring, err := chash.New(0, "cache-0", "cache-1", "cache-2", "cache-3")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	url := "http://cs-www.example.edu/index.html"
+	home := ring.Owner(url)
+
+	// The owner is stable...
+	fmt.Println("stable:", ring.Owner(url) == home)
+
+	// ...and removing an unrelated node does not move this key.
+	for _, node := range []string{"cache-0", "cache-1", "cache-2", "cache-3"} {
+		if node == home {
+			continue
+		}
+		if err := ring.Remove(node); err != nil {
+			fmt.Println(err)
+			return
+		}
+		break
+	}
+	fmt.Println("unmoved:", ring.Owner(url) == home)
+
+	// Output:
+	// stable: true
+	// unmoved: true
+}

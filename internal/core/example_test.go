@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"eacache/internal/core"
+)
+
+// The EA scheme compares the two caches' expiration ages and places the
+// copy where it is expected to survive longer.
+func ExampleEA_OnRemoteHit() {
+	var scheme core.EA
+
+	// The requester's documents survive 90s after their last hit; the
+	// responder's only 30s. The requester is the better home.
+	d := scheme.OnRemoteHit(90*time.Second, 30*time.Second)
+	fmt.Println("store at requester:", d.StoreAtRequester)
+	fmt.Println("promote at responder:", d.PromoteAtResponder)
+
+	// Reversed contention: keep the responder's copy alive instead.
+	d = scheme.OnRemoteHit(30*time.Second, 90*time.Second)
+	fmt.Println("store at requester:", d.StoreAtRequester)
+	fmt.Println("promote at responder:", d.PromoteAtResponder)
+
+	// Output:
+	// store at requester: true
+	// promote at responder: false
+	// store at requester: false
+	// promote at responder: true
+}
+
+// The conventional ad-hoc scheme replicates unconditionally — the baseline
+// whose uncontrolled replication the paper measures.
+func ExampleAdHoc_OnRemoteHit() {
+	var scheme core.AdHoc
+	d := scheme.OnRemoteHit(0, time.Hour)
+	fmt.Println(d.StoreAtRequester, d.PromoteAtResponder)
+	// Output: true true
+}

@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: document
+// placement schemes for cooperative caching, deciding (a) whether the proxy
+// that fetched a document from a peer, parent or origin server stores a
+// local copy, and (b) whether the proxy that served it refreshes its own
+// copy's replacement state.
+//
+// Two production schemes are provided — the conventional ad-hoc scheme used
+// by ICP-era proxies, and the paper's Expiration-Age (EA) scheme — plus a
+// no-replication ablation baseline.
+package core
+
+import "time"
+
+// Decision is the outcome of a placement consultation for a document served
+// from one cache (the responder) to another (the requester).
+type Decision struct {
+	// StoreAtRequester directs the requester to keep a local copy.
+	StoreAtRequester bool
+	// PromoteAtResponder directs the responder to treat the remote fetch
+	// as a hit on its own copy — promoting it to the head of the LRU list
+	// (or bumping its LFU counter), giving it a fresh lease of life.
+	PromoteAtResponder bool
+}
+
+// Scheme is a document placement scheme. Expiration ages are the cache
+// expiration ages (cache.Store.ExpirationAge) of the two parties, as
+// piggybacked on the inter-proxy request and response messages;
+// cache.NoContention means the party has evicted nothing yet.
+//
+// Implementations must be pure functions of their arguments: the paper
+// stresses that placement decisions are made locally from piggybacked
+// state, with no extra communication and no coordinator.
+type Scheme interface {
+	// Name identifies the scheme ("adhoc", "ea", ...).
+	Name() string
+	// OnRemoteHit decides placement when the requester obtained the
+	// document from a responder inside the group (sibling, peer or
+	// parent that already had a copy).
+	OnRemoteHit(requesterEA, responderEA time.Duration) Decision
+	// OnOriginFetch reports whether the requester stores a document it
+	// fetched directly from the origin server after a group-wide miss
+	// (the distributed-architecture miss path).
+	OnOriginFetch(requesterEA time.Duration) bool
+	// OnParentResolve reports whether a hierarchical parent stores a
+	// document it fetched from the origin on behalf of a child whose
+	// expiration age is requesterEA.
+	OnParentResolve(parentEA, requesterEA time.Duration) bool
+	// OnMissViaParent reports whether the child stores a document its
+	// parent resolved from the origin (the hierarchical miss path). A
+	// freshly fetched document must land somewhere, so at least one of
+	// OnParentResolve/OnMissViaParent must return true for any age pair.
+	OnMissViaParent(requesterEA, parentEA time.Duration) bool
+}
+
+// AdHoc is the conventional placement scheme (paper §2): every cache that
+// serves a request for a document keeps a copy, and serving a remote
+// request counts as a hit at the responder. This is the behaviour of
+// ICP-based proxy groups and the paper's baseline.
+type AdHoc struct{}
+
+var _ Scheme = AdHoc{}
+
+// Name implements Scheme.
+func (AdHoc) Name() string { return "adhoc" }
+
+// OnRemoteHit implements Scheme: the requester always stores, and the
+// remote fetch is a hit at the responder.
+func (AdHoc) OnRemoteHit(_, _ time.Duration) Decision {
+	return Decision{StoreAtRequester: true, PromoteAtResponder: true}
+}
+
+// OnOriginFetch implements Scheme: always store.
+func (AdHoc) OnOriginFetch(time.Duration) bool { return true }
+
+// OnParentResolve implements Scheme: the parent always keeps a copy.
+func (AdHoc) OnParentResolve(_, _ time.Duration) bool { return true }
+
+// OnMissViaParent implements Scheme: the child always keeps a copy.
+func (AdHoc) OnMissViaParent(_, _ time.Duration) bool { return true }
+
+// EA is the paper's Expiration-Age based placement scheme (§3.3). The
+// aggregate disk space of the group is treated as a shared resource; a new
+// replica is created only where it is expected to survive longer than the
+// existing copy:
+//
+//   - The requester stores a copy iff its cache expiration age is strictly
+//     greater than the responder's (its copy would outlive the
+//     responder's).
+//   - The responder promotes its copy to the head of its LRU list iff its
+//     expiration age is strictly greater than the requester's.
+//   - On a tie neither happens: the existing copy simply keeps serving.
+//
+// Both comparisons are strict, following §3.3 ("if the Cache Expiration Age
+// of the Requester is greater than that of the Responder, it stores a
+// copy") and matching the paper's measured behaviour: at 1GB, where caches
+// evict almost nothing and expiration ages stay undifferentiated, the
+// paper's EA scheme serves 32.02% of requests as remote hits against the
+// ad-hoc scheme's 11.06% — i.e. undifferentiated caches do NOT replicate.
+// A tie-breaking rule of >= would collapse EA into ad-hoc exactly in that
+// regime.
+type EA struct{}
+
+var _ Scheme = EA{}
+
+// Name implements Scheme.
+func (EA) Name() string { return "ea" }
+
+// OnRemoteHit implements Scheme with the strict §3.3 comparison rules.
+func (EA) OnRemoteHit(requesterEA, responderEA time.Duration) Decision {
+	return Decision{
+		StoreAtRequester:   requesterEA > responderEA,
+		PromoteAtResponder: responderEA > requesterEA,
+	}
+}
+
+// OnOriginFetch implements Scheme: after a group-wide miss in the
+// distributed architecture the requester fetches from the origin and always
+// stores, exactly as the ad-hoc scheme does (§3.3).
+func (EA) OnOriginFetch(time.Duration) bool { return true }
+
+// OnParentResolve implements Scheme: the parent keeps a copy iff its
+// expiration age is strictly greater than the requester's (§3.3).
+func (EA) OnParentResolve(parentEA, requesterEA time.Duration) bool {
+	return parentEA > requesterEA
+}
+
+// OnMissViaParent implements Scheme: the child keeps a copy iff its
+// expiration age is greater than or equal to the parent's. The equality
+// case matters: on a tie the parent does not store (OnParentResolve is
+// strict), and a document fetched from the origin must land somewhere or a
+// cold hierarchy would never cache anything. Ad-hoc stores at the child on
+// every miss, so this also preserves the "never worse than ad-hoc"
+// property on the miss path.
+func (EA) OnMissViaParent(requesterEA, parentEA time.Duration) bool {
+	return requesterEA >= parentEA
+}
+
+// NeverReplicate is an ablation baseline: a document fetched from inside
+// the group is never copied to the requester; the responder's single copy
+// is promoted instead. It bounds how far replication control can be pushed
+// (maximum unique documents, maximum remote-hit latency exposure).
+type NeverReplicate struct{}
+
+var _ Scheme = NeverReplicate{}
+
+// Name implements Scheme.
+func (NeverReplicate) Name() string { return "never" }
+
+// OnRemoteHit implements Scheme: keep the single existing copy fresh.
+func (NeverReplicate) OnRemoteHit(_, _ time.Duration) Decision {
+	return Decision{PromoteAtResponder: true}
+}
+
+// OnOriginFetch implements Scheme: the first copy must land somewhere.
+func (NeverReplicate) OnOriginFetch(time.Duration) bool { return true }
+
+// OnParentResolve implements Scheme: the parent never keeps a copy (the
+// child stores via the miss path).
+func (NeverReplicate) OnParentResolve(_, _ time.Duration) bool { return false }
+
+// OnMissViaParent implements Scheme: the child keeps the first copy.
+func (NeverReplicate) OnMissViaParent(_, _ time.Duration) bool { return true }
+
+// New builds a scheme by name: "adhoc", "ea" or "never".
+func New(name string) (Scheme, bool) {
+	switch name {
+	case "adhoc":
+		return AdHoc{}, true
+	case "ea":
+		return EA{}, true
+	case "never":
+		return NeverReplicate{}, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+func TestNew(t *testing.T) {
+	for _, name := range []string{"adhoc", "ea", "never"} {
+		s, ok := New(name)
+		if !ok || s.Name() != name {
+			t.Fatalf("New(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if _, ok := New("bogus"); ok {
+		t.Fatal("New(bogus) succeeded")
+	}
+}
+
+func TestAdHocAlwaysReplicates(t *testing.T) {
+	var s AdHoc
+	ages := []time.Duration{0, time.Second, time.Hour, cache.NoContention}
+	for _, req := range ages {
+		for _, resp := range ages {
+			d := s.OnRemoteHit(req, resp)
+			if !d.StoreAtRequester || !d.PromoteAtResponder {
+				t.Fatalf("AdHoc.OnRemoteHit(%v, %v) = %+v", req, resp, d)
+			}
+			if !s.OnParentResolve(resp, req) || !s.OnMissViaParent(req, resp) {
+				t.Fatal("AdHoc must always store")
+			}
+		}
+	}
+	if !s.OnOriginFetch(0) {
+		t.Fatal("AdHoc.OnOriginFetch = false")
+	}
+}
+
+func TestEARemoteHitRules(t *testing.T) {
+	var s EA
+	tests := []struct {
+		name        string
+		req, resp   time.Duration
+		wantStore   bool
+		wantPromote bool
+	}{
+		{"requester older", 10 * time.Second, 5 * time.Second, true, false},
+		{"responder older", 5 * time.Second, 10 * time.Second, false, true},
+		{"tie", 7 * time.Second, 7 * time.Second, false, false},
+		{"zero tie (cold-ish)", 0, 0, false, false},
+		{"no-contention tie", cache.NoContention, cache.NoContention, false, false},
+		{"cold requester vs contended responder", cache.NoContention, time.Hour, true, false},
+		{"contended requester vs cold responder", time.Hour, cache.NoContention, false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := s.OnRemoteHit(tt.req, tt.resp)
+			if d.StoreAtRequester != tt.wantStore || d.PromoteAtResponder != tt.wantPromote {
+				t.Fatalf("OnRemoteHit(%v, %v) = %+v, want store=%v promote=%v",
+					tt.req, tt.resp, d, tt.wantStore, tt.wantPromote)
+			}
+		})
+	}
+}
+
+func TestEAOriginFetchAlwaysStores(t *testing.T) {
+	var s EA
+	for _, age := range []time.Duration{0, time.Minute, cache.NoContention} {
+		if !s.OnOriginFetch(age) {
+			t.Fatalf("EA.OnOriginFetch(%v) = false; the distributed miss path always stores", age)
+		}
+	}
+}
+
+func TestEAHierarchyRules(t *testing.T) {
+	var s EA
+	tests := []struct {
+		name        string
+		parent, req time.Duration
+		wantParent  bool
+		wantChild   bool
+	}{
+		{"parent older", 10 * time.Second, 5 * time.Second, true, false},
+		{"child older", 5 * time.Second, 10 * time.Second, false, true},
+		{"tie goes to child", 7 * time.Second, 7 * time.Second, false, true},
+		{"cold-start tie goes to child", cache.NoContention, cache.NoContention, false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			gotParent := s.OnParentResolve(tt.parent, tt.req)
+			gotChild := s.OnMissViaParent(tt.req, tt.parent)
+			if gotParent != tt.wantParent || gotChild != tt.wantChild {
+				t.Fatalf("parent=%v child=%v, want %v/%v",
+					gotParent, gotChild, tt.wantParent, tt.wantChild)
+			}
+		})
+	}
+}
+
+func TestNeverReplicate(t *testing.T) {
+	var s NeverReplicate
+	d := s.OnRemoteHit(time.Hour, time.Second)
+	if d.StoreAtRequester {
+		t.Fatal("NeverReplicate stored at requester")
+	}
+	if !d.PromoteAtResponder {
+		t.Fatal("NeverReplicate must keep the single copy fresh")
+	}
+	if !s.OnOriginFetch(0) || !s.OnMissViaParent(0, 0) {
+		t.Fatal("the first copy must land somewhere")
+	}
+	if s.OnParentResolve(time.Hour, 0) {
+		t.Fatal("NeverReplicate parent stored a copy")
+	}
+}
+
+// TestQuickEAExactlyOneActionUnlessTie checks the invariant behind the
+// paper's never-worse-than-ad-hoc argument: on every remote hit with
+// distinct ages, exactly one of {store at requester, promote at responder}
+// happens; on a tie, neither (the existing copy simply keeps serving).
+func TestQuickEAExactlyOneActionUnlessTie(t *testing.T) {
+	var s EA
+	f := func(reqSec, respSec uint32) bool {
+		req := time.Duration(reqSec) * time.Second
+		resp := time.Duration(respSec) * time.Second
+		d := s.OnRemoteHit(req, resp)
+		if req == resp {
+			return !d.StoreAtRequester && !d.PromoteAtResponder
+		}
+		return d.StoreAtRequester != d.PromoteAtResponder
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHierarchyPlacesSomewhere checks that a document fetched via the
+// hierarchical miss path always lands in at least one cache under every
+// scheme.
+func TestQuickHierarchyPlacesSomewhere(t *testing.T) {
+	schemes := []Scheme{AdHoc{}, EA{}, NeverReplicate{}}
+	f := func(parentSec, reqSec uint32) bool {
+		parent := time.Duration(parentSec) * time.Second
+		req := time.Duration(reqSec) * time.Second
+		for _, s := range schemes {
+			if !s.OnParentResolve(parent, req) && !s.OnMissViaParent(req, parent) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEAStoreMonotone checks monotonicity: raising the requester's
+// expiration age never flips a store decision to no-store.
+func TestQuickEAStoreMonotone(t *testing.T) {
+	var s EA
+	f := func(reqSec, respSec, bumpSec uint16) bool {
+		req := time.Duration(reqSec) * time.Second
+		resp := time.Duration(respSec) * time.Second
+		bump := time.Duration(bumpSec) * time.Second
+		before := s.OnRemoteHit(req, resp).StoreAtRequester
+		after := s.OnRemoteHit(req+bump, resp).StoreAtRequester
+		return !before || after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

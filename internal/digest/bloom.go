@@ -1,0 +1,134 @@
+// Package digest implements Summary-Cache-style cache digests (Fan, Cao,
+// Almeida & Broder, SIGCOMM '98), the alternative document-location
+// mechanism the paper's related-work section contrasts with ICP: instead of
+// querying every neighbour on every miss, each proxy periodically publishes
+// a Bloom-filter summary of its contents, and neighbours consult the (and
+// possibly stale) summaries locally — trading query messages for false
+// hits and stale misses.
+package digest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a classic Bloom filter over strings, using double hashing
+// derived from one 64-bit FNV hash (Kirsch & Mitzenmacher).
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // hash functions
+	n    int    // inserted elements
+}
+
+// NewFilter sizes a filter for the expected number of elements and target
+// false-positive rate. Summary Cache recommends a load factor around 8-16
+// bits per entry; this constructor derives m and k from the standard
+// formulas m = -n·ln(p)/ln(2)² and k = m/n·ln(2).
+func NewFilter(expected int, fpRate float64) (*Filter, error) {
+	if expected <= 0 {
+		return nil, fmt.Errorf("digest: expected elements must be positive, got %d", expected)
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("digest: false-positive rate must be in (0,1), got %v", fpRate)
+	}
+	mf := -float64(expected) * math.Log(fpRate) / (math.Ln2 * math.Ln2)
+	m := uint64(math.Ceil(mf))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(mf / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		m:    m,
+		k:    k,
+	}, nil
+}
+
+// Add inserts key.
+func (f *Filter) Add(key string) {
+	h1, h2 := hashPair(key)
+	for i := 0; i < f.k; i++ {
+		f.set((h1 + uint64(i)*h2) % f.m)
+	}
+	f.n++
+}
+
+// MayContain reports whether key might be present. False positives occur at
+// roughly the configured rate; false negatives never (for a fresh filter).
+func (f *Filter) MayContain(key string) bool {
+	h1, h2 := hashPair(key)
+	for i := 0; i < f.k; i++ {
+		if !f.get((h1 + uint64(i)*h2) % f.m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Len returns the number of inserted elements.
+func (f *Filter) Len() int { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() int { return f.k }
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+// EstimatedFPRate returns the false-positive probability implied by the
+// current fill ratio: fill^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+func (f *Filter) set(bit uint64) {
+	f.bits[bit/64] |= 1 << (bit % 64)
+}
+
+func (f *Filter) get(bit uint64) bool {
+	return f.bits[bit/64]&(1<<(bit%64)) != 0
+}
+
+func hashPair(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	sum := h.Sum64()
+	h1 := sum
+	// Derive the second hash by mixing; ensure it is odd so the double-
+	// hash probe sequence covers the space.
+	h2 := (sum>>33 ^ sum*0x9e3779b97f4a7c15) | 1
+	return h1, h2
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

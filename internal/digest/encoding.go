@@ -1,0 +1,70 @@
+package digest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format of a serialized Filter (Squid serves its cache digests over
+// HTTP the same way; peers fetch and consult them locally):
+//
+//	magic "EADG" | version u8 | k u8 | reserved u16 | m u64 | n u64 | bits
+const (
+	encMagic   = "EADG"
+	encVersion = 1
+	encHeader  = 4 + 1 + 1 + 2 + 8 + 8
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, encHeader+len(f.bits)*8)
+	copy(out, encMagic)
+	out[4] = encVersion
+	if f.k > 255 {
+		return nil, fmt.Errorf("digest: k %d does not fit the wire format", f.k)
+	}
+	out[5] = byte(f.k)
+	binary.BigEndian.PutUint64(out[8:16], f.m)
+	binary.BigEndian.PutUint64(out[16:24], uint64(f.n))
+	for i, w := range f.bits {
+		binary.BigEndian.PutUint64(out[encHeader+i*8:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// filter's contents.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < encHeader {
+		return fmt.Errorf("digest: truncated filter (%d bytes)", len(data))
+	}
+	if string(data[:4]) != encMagic {
+		return fmt.Errorf("digest: bad magic %q", data[:4])
+	}
+	if data[4] != encVersion {
+		return fmt.Errorf("digest: unsupported version %d", data[4])
+	}
+	k := int(data[5])
+	if k < 1 {
+		return fmt.Errorf("digest: bad hash count %d", k)
+	}
+	m := binary.BigEndian.Uint64(data[8:16])
+	n := binary.BigEndian.Uint64(data[16:24])
+	words := int((m + 63) / 64)
+	if m == 0 || words > 1<<24 {
+		return fmt.Errorf("digest: implausible filter size %d bits", m)
+	}
+	if len(data) != encHeader+words*8 {
+		return fmt.Errorf("digest: size mismatch: %d bits need %d bytes, got %d",
+			m, encHeader+words*8, len(data))
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.BigEndian.Uint64(data[encHeader+i*8:])
+	}
+	f.bits = bits
+	f.m = m
+	f.k = k
+	f.n = int(n)
+	return nil
+}

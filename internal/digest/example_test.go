@@ -1,0 +1,34 @@
+package digest_test
+
+import (
+	"fmt"
+
+	"eacache/internal/digest"
+)
+
+// A summary advertises a cache's contents between rebuilds; entries evicted
+// since the last rebuild are still advertised (false hits), fresh entries
+// are not yet advertised (stale misses) — Summary Cache's trade for
+// eliminating per-miss query traffic.
+func ExampleSummary() {
+	s, err := digest.NewSummary(1024, 0.01, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	s.Rebuild([]string{"http://a/", "http://b/"}, 0)
+	fmt.Println("a advertised:", s.MayContain("http://a/"))
+	fmt.Println("c advertised:", s.MayContain("http://c/"))
+
+	// The cache evicts /a and stores /c, but within the rebuild
+	// threshold the old summary is still what neighbours see.
+	fmt.Println("stale before threshold:", !s.Stale(10))
+	fmt.Println("stale after threshold:", s.Stale(16))
+
+	// Output:
+	// a advertised: true
+	// c advertised: false
+	// stale before threshold: true
+	// stale after threshold: true
+}

@@ -1,0 +1,68 @@
+package digest
+
+import "fmt"
+
+// Summary is the digest a proxy advertises to its neighbours: a Bloom
+// filter over the cache's URLs, rebuilt only after enough cache mutations
+// accumulate (Summary Cache's "delayed update" — summaries are allowed to
+// go stale between rebuilds to keep the update traffic low, at the cost of
+// false hits on evicted documents and stale misses on fresh ones).
+type Summary struct {
+	filter *Filter
+	// rebuildEvery is the number of cache mutations tolerated before the
+	// advertised summary must be rebuilt.
+	rebuildEvery int64
+	// lastBuild is the mutation counter value at the last rebuild.
+	lastBuild int64
+	// built reports whether the summary was ever built.
+	built bool
+
+	rebuilds int64
+}
+
+// NewSummary creates a summary that tolerates rebuildEvery cache mutations
+// between rebuilds, sized for expected entries at the given false-positive
+// rate.
+func NewSummary(expected int, fpRate float64, rebuildEvery int64) (*Summary, error) {
+	if rebuildEvery <= 0 {
+		return nil, fmt.Errorf("digest: rebuildEvery must be positive, got %d", rebuildEvery)
+	}
+	f, err := NewFilter(expected, fpRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{filter: f, rebuildEvery: rebuildEvery}, nil
+}
+
+// Stale reports whether the advertised summary is due for a rebuild given
+// the cache's current mutation counter (e.g. insertions + evictions).
+func (s *Summary) Stale(mutations int64) bool {
+	return !s.built || mutations-s.lastBuild >= s.rebuildEvery
+}
+
+// Rebuild replaces the advertised contents with the given URL set.
+func (s *Summary) Rebuild(urls []string, mutations int64) {
+	s.filter.Reset()
+	for _, u := range urls {
+		s.filter.Add(u)
+	}
+	s.lastBuild = mutations
+	s.built = true
+	s.rebuilds++
+}
+
+// MayContain consults the advertised (possibly stale) summary. Before the
+// first rebuild nothing is advertised.
+func (s *Summary) MayContain(url string) bool {
+	if !s.built {
+		return false
+	}
+	return s.filter.MayContain(url)
+}
+
+// Rebuilds returns how many times the summary was republished — each one
+// models a digest transfer to every neighbour.
+func (s *Summary) Rebuilds() int64 { return s.rebuilds }
+
+// Filter exposes the underlying filter for inspection.
+func (s *Summary) Filter() *Filter { return s.filter }

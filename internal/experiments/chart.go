@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a Chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Mark is the single character plotted for this series.
+	Mark byte
+	// Values holds one y value per x position (NaN skips a point).
+	Values []float64
+}
+
+// Chart is a small ASCII line chart used to render the paper's figures as
+// figures: hit rate (or latency) against the log-spaced aggregate sizes.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// YLabel describes the y axis; YFormat formats tick values.
+	YLabel  string
+	YFormat func(v float64) string
+	// XLabels name the x positions (the aggregate sizes).
+	XLabels []string
+	// Series are the plotted lines.
+	Series []Series
+	// Height is the number of plot rows (default 12).
+	Height int
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.XLabels) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("experiments: empty chart")
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	yf := c.YFormat
+	if yf == nil {
+		yf = func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("experiments: chart has no points")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// A little headroom so extremes don't sit on the frame.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	const colWidth = 9
+	plotCols := len(c.XLabels) * colWidth
+	rows := make([][]byte, height)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", plotCols))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range c.Series {
+		for x, v := range s.Values {
+			if x >= len(c.XLabels) || math.IsNaN(v) {
+				continue
+			}
+			col := x*colWidth + colWidth/2
+			r := rowOf(v)
+			if rows[r][col] != ' ' && rows[r][col] != s.Mark {
+				rows[r][col] = '+' // overlapping series
+			} else {
+				rows[r][col] = s.Mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	labelWidth := 0
+	yTicks := make([]string, height)
+	for i := range yTicks {
+		v := hi - (hi-lo)*float64(i)/float64(height-1)
+		yTicks[i] = yf(v)
+		if len(yTicks[i]) > labelWidth {
+			labelWidth = len(yTicks[i])
+		}
+	}
+	for i, row := range rows {
+		tick := strings.Repeat(" ", labelWidth)
+		if i%3 == 0 || i == height-1 {
+			tick = fmt.Sprintf("%*s", labelWidth, yTicks[i])
+		}
+		fmt.Fprintf(&b, "%s |%s\n", tick, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", plotCols))
+	fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", labelWidth))
+	for _, l := range c.XLabels {
+		fmt.Fprintf(&b, "%-*s", colWidth, " "+l)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s  legend:", strings.Repeat(" ", labelWidth))
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, " %c=%s", s.Mark, s.Name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "   y: %s", c.YLabel)
+	}
+	b.WriteString("\n\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,283 @@
+// Package hproto implements the inter-proxy document transfer protocol of
+// the paper: an HTTP/1.0-style request/response exchange in which each side
+// piggybacks its cache expiration age on the message it was already sending
+// ("the only extra information that is communicated among proxies is the
+// Cache Expiration Age ... piggybacked on either a HTTP request message or
+// a HTTP response message", §3.4). No extra connections and no extra round
+// trips are introduced — exactly the paper's zero-overhead claim.
+//
+// Wire format (CRLF line endings, ASCII):
+//
+//	GET <url> EAC/1.0
+//	X-Cache-Expiration-Age: <milliseconds|inf>
+//	X-Size-Hint: <bytes>
+//
+//	EAC/1.0 <200 OK|404 Not-Found>
+//	X-Cache-Expiration-Age: <milliseconds|inf>
+//	Content-Length: <bytes>
+//
+//	<body>
+package hproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+// Protocol constants.
+const (
+	ProtoVersion = "EAC/1.0"
+	// AgeHeader carries the sender's cache expiration age.
+	AgeHeader = "X-Cache-Expiration-Age"
+	// SizeHintHeader lets a requester tell an origin simulator how large
+	// the document should be (trace-driven runs know sizes up front).
+	SizeHintHeader = "X-Size-Hint"
+	// ResolveHeader marks a hierarchical miss-resolution request: the
+	// receiving parent must fetch the document from upstream when it is
+	// not cached, instead of answering 404 (paper §3.3).
+	ResolveHeader = "X-Resolve"
+	// SourceHeader tells the requester whether the body came from the
+	// responder's cache or was resolved from the origin, so a child can
+	// classify the outcome (remote hit vs miss) like the paper does.
+	SourceHeader = "X-Source"
+
+	// SourceCache and SourceOrigin are the SourceHeader values.
+	SourceCache  = "cache"
+	SourceOrigin = "origin"
+
+	maxURLLen    = 8 * 1024
+	maxHeaderLen = 1 * 1024
+)
+
+// Status codes.
+const (
+	StatusOK       = 200
+	StatusNotFound = 404
+)
+
+// Errors.
+var (
+	ErrMalformed = errors.New("hproto: malformed message")
+	ErrTooLong   = errors.New("hproto: line too long")
+)
+
+// Request is an inter-proxy document request.
+type Request struct {
+	// URL of the wanted document.
+	URL string
+	// RequesterAge is the requester's cache expiration age.
+	RequesterAge time.Duration
+	// SizeHint is the expected document size, or 0 if unknown.
+	SizeHint int64
+	// Resolve asks a hierarchical parent to fetch the document from
+	// upstream on a miss instead of answering 404.
+	Resolve bool
+}
+
+// Response is the reply carrying the document and the responder's age.
+type Response struct {
+	// Status is StatusOK or StatusNotFound.
+	Status int
+	// ResponderAge is the responder's cache expiration age.
+	ResponderAge time.Duration
+	// ContentLength is the body size that follows.
+	ContentLength int64
+	// Source reports where the body came from: SourceCache (the
+	// responder held it) or SourceOrigin (it was resolved upstream).
+	// Empty is treated as SourceCache for compatibility.
+	Source string
+}
+
+// FormatAge renders an expiration age for the wire: integer milliseconds,
+// or "inf" for cache.NoContention (a cache that has evicted nothing).
+func FormatAge(age time.Duration) string {
+	if age >= cache.NoContention {
+		return "inf"
+	}
+	if age < 0 {
+		age = 0
+	}
+	return strconv.FormatInt(age.Milliseconds(), 10)
+}
+
+// ParseAge parses a wire-format expiration age.
+func ParseAge(s string) (time.Duration, error) {
+	if s == "inf" {
+		return cache.NoContention, nil
+	}
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("%w: bad age %q", ErrMalformed, s)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// WriteRequest serialises req.
+func WriteRequest(w io.Writer, req Request) error {
+	if strings.ContainsAny(req.URL, " \r\n") || req.URL == "" {
+		return fmt.Errorf("%w: bad URL %q", ErrMalformed, req.URL)
+	}
+	if len(req.URL) > maxURLLen {
+		return ErrTooLong
+	}
+	resolve := ""
+	if req.Resolve {
+		resolve = ResolveHeader + ": 1\r\n"
+	}
+	_, err := fmt.Fprintf(w, "GET %s %s\r\n%s: %s\r\n%s: %d\r\n%s\r\n",
+		req.URL, ProtoVersion,
+		AgeHeader, FormatAge(req.RequesterAge),
+		SizeHintHeader, req.SizeHint,
+		resolve)
+	if err != nil {
+		return fmt.Errorf("hproto: write request: %w", err)
+	}
+	return nil
+}
+
+// ReadRequest parses one request from r.
+func ReadRequest(r *bufio.Reader) (Request, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Request{}, err
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 || parts[0] != "GET" || parts[2] != ProtoVersion {
+		return Request{}, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	req := Request{URL: parts[1]}
+	headers, err := readHeaders(r)
+	if err != nil {
+		return Request{}, err
+	}
+	if v, ok := headers[AgeHeader]; ok {
+		if req.RequesterAge, err = ParseAge(v); err != nil {
+			return Request{}, err
+		}
+	}
+	if v, ok := headers[SizeHintHeader]; ok {
+		req.SizeHint, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || req.SizeHint < 0 {
+			return Request{}, fmt.Errorf("%w: bad size hint %q", ErrMalformed, v)
+		}
+	}
+	if v, ok := headers[ResolveHeader]; ok {
+		if v != "1" {
+			return Request{}, fmt.Errorf("%w: bad resolve flag %q", ErrMalformed, v)
+		}
+		req.Resolve = true
+	}
+	return req, nil
+}
+
+// WriteResponse serialises resp followed by exactly ContentLength bytes
+// copied from body (body may be nil when ContentLength is 0).
+func WriteResponse(w io.Writer, resp Response, body io.Reader) error {
+	reason := "OK"
+	if resp.Status == StatusNotFound {
+		reason = "Not-Found"
+	}
+	source := ""
+	if resp.Source != "" {
+		if resp.Source != SourceCache && resp.Source != SourceOrigin {
+			return fmt.Errorf("%w: bad source %q", ErrMalformed, resp.Source)
+		}
+		source = SourceHeader + ": " + resp.Source + "\r\n"
+	}
+	_, err := fmt.Fprintf(w, "%s %d %s\r\n%s: %s\r\nContent-Length: %d\r\n%s\r\n",
+		ProtoVersion, resp.Status, reason,
+		AgeHeader, FormatAge(resp.ResponderAge),
+		resp.ContentLength,
+		source)
+	if err != nil {
+		return fmt.Errorf("hproto: write response: %w", err)
+	}
+	if resp.ContentLength > 0 {
+		if body == nil {
+			return fmt.Errorf("%w: missing body", ErrMalformed)
+		}
+		if _, err := io.CopyN(w, body, resp.ContentLength); err != nil {
+			return fmt.Errorf("hproto: write body: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadResponse parses the response head; the caller then reads exactly
+// ContentLength body bytes from r.
+func ReadResponse(r *bufio.Reader) (Response, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Response{}, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || parts[0] != ProtoVersion {
+		return Response{}, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil || (status != StatusOK && status != StatusNotFound) {
+		return Response{}, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	}
+	resp := Response{Status: status}
+	headers, err := readHeaders(r)
+	if err != nil {
+		return Response{}, err
+	}
+	if v, ok := headers[AgeHeader]; ok {
+		if resp.ResponderAge, err = ParseAge(v); err != nil {
+			return Response{}, err
+		}
+	}
+	if v, ok := headers["Content-Length"]; ok {
+		resp.ContentLength, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || resp.ContentLength < 0 {
+			return Response{}, fmt.Errorf("%w: content length %q", ErrMalformed, v)
+		}
+	}
+	if v, ok := headers[SourceHeader]; ok {
+		if v != SourceCache && v != SourceOrigin {
+			return Response{}, fmt.Errorf("%w: source %q", ErrMalformed, v)
+		}
+		resp.Source = v
+	}
+	return resp, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("hproto: read: %w", err)
+	}
+	if len(line) > maxURLLen+64 {
+		return "", ErrTooLong
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func readHeaders(r *bufio.Reader) (map[string]string, error) {
+	headers := make(map[string]string, 4)
+	for lines := 0; ; lines++ {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return headers, nil
+		}
+		if lines >= 32 || len(line) > maxHeaderLen {
+			return nil, ErrTooLong
+		}
+		name, value, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		headers[strings.TrimSpace(name)] = strings.TrimSpace(value)
+	}
+}

@@ -1,0 +1,110 @@
+package hproto
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFullExchangeOverPipe runs a complete request/response exchange over
+// an in-memory network connection, the way netnode uses the protocol.
+func TestFullExchangeOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	body := bytes.Repeat([]byte{0xab}, 4096)
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		req, err := ReadRequest(bufio.NewReader(server))
+		if err != nil {
+			done <- err
+			return
+		}
+		if req.URL != "http://pipe.example.edu/x" || req.SizeHint != 4096 || !req.Resolve {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		done <- WriteResponse(server, Response{
+			Status:        StatusOK,
+			ResponderAge:  33 * time.Second,
+			ContentLength: int64(len(body)),
+			Source:        SourceOrigin,
+		}, bytes.NewReader(body))
+	}()
+
+	if err := WriteRequest(client, Request{
+		URL:          "http://pipe.example.edu/x",
+		RequesterAge: 5 * time.Second,
+		SizeHint:     4096,
+		Resolve:      true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(client)
+	resp, err := ReadResponse(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK || resp.ResponderAge != 33*time.Second || resp.Source != SourceOrigin {
+		t.Fatalf("resp = %+v", resp)
+	}
+	got := make([]byte, resp.ContentLength)
+	if _, err := io.ReadFull(br, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("body corrupted in transit")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server side: %v", err)
+	}
+}
+
+func TestResolveAndSourceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{URL: "http://a/", Resolve: true, RequesterAge: time.Second}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("request round trip: %+v -> %+v", req, got)
+	}
+
+	for _, source := range []string{SourceCache, SourceOrigin, ""} {
+		buf.Reset()
+		resp := Response{Status: StatusOK, Source: source}
+		if err := WriteResponse(&buf, resp, nil); err != nil {
+			t.Fatal(err)
+		}
+		gotResp, err := ReadResponse(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotResp.Source != source {
+			t.Fatalf("source %q round-tripped to %q", source, gotResp.Source)
+		}
+	}
+}
+
+func TestBadResolveAndSourceRejected(t *testing.T) {
+	in := "GET http://a/ EAC/1.0\r\nX-Resolve: yes\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(bytes.NewBufferString(in))); err == nil {
+		t.Fatal("bad resolve flag accepted")
+	}
+	in = "EAC/1.0 200 OK\r\nX-Source: teleport\r\n\r\n"
+	if _, err := ReadResponse(bufio.NewReader(bytes.NewBufferString(in))); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if err := WriteResponse(io.Discard, Response{Status: StatusOK, Source: "teleport"}, nil); err == nil {
+		t.Fatal("bad source written")
+	}
+}

@@ -1,0 +1,88 @@
+package icp
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Client issues fan-out ICP queries, as a proxy does on a local miss: one
+// ICP_OP_QUERY per neighbour, then wait for the first ICP_OP_HIT, or until
+// every neighbour answered a miss, or until the timeout expires (lost
+// datagrams are expected; ICP treats silence as a miss).
+type Client struct {
+	reqNum atomic.Uint32
+}
+
+// NewClient returns a ready Client. It is safe for concurrent use; each
+// query uses its own ephemeral UDP socket.
+func NewClient() *Client { return &Client{} }
+
+// Result is the outcome of one fan-out query.
+type Result struct {
+	// Hit is true if some neighbour answered ICP_OP_HIT.
+	Hit bool
+	// Responder is the address of the first neighbour that answered
+	// ICP_OP_HIT, when Hit is true.
+	Responder *net.UDPAddr
+	// Replies counts the answers received before the query resolved.
+	Replies int
+	// Elapsed is the time the exchange took.
+	Elapsed time.Duration
+}
+
+// Query sends an ICP query for url to every neighbour and reports the first
+// hit. A neighbour that does not answer within timeout counts as a miss.
+func (c *Client) Query(neighbours []*net.UDPAddr, url string, timeout time.Duration) (Result, error) {
+	start := time.Now()
+	if len(neighbours) == 0 {
+		return Result{Elapsed: time.Since(start)}, nil
+	}
+
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		// Fall back to an unspecified local address (non-loopback peers).
+		conn, err = net.ListenUDP("udp", nil)
+		if err != nil {
+			return Result{}, fmt.Errorf("icp: open query socket: %w", err)
+		}
+	}
+	defer conn.Close()
+
+	reqNum := c.reqNum.Add(1)
+	query, err := Query(reqNum, url).Marshal()
+	if err != nil {
+		return Result{}, err
+	}
+	for _, n := range neighbours {
+		if _, err := conn.WriteToUDP(query, n); err != nil {
+			return Result{}, fmt.Errorf("icp: send query to %s: %w", n, err)
+		}
+	}
+
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return Result{}, fmt.Errorf("icp: set deadline: %w", err)
+	}
+	var res Result
+	buf := make([]byte, maxLen)
+	for res.Replies < len(neighbours) {
+		n, peer, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			// Timeout: treat unanswered neighbours as misses.
+			break
+		}
+		m, err := Parse(buf[:n])
+		if err != nil || m.ReqNum != reqNum {
+			continue // stray or stale datagram
+		}
+		res.Replies++
+		if m.Op == OpHit && m.URL == url {
+			res.Hit = true
+			res.Responder = peer
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

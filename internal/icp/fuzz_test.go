@@ -1,0 +1,72 @@
+package icp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse throws arbitrary datagrams at the ICP parser: it must never
+// panic, and anything it accepts must re-marshal to the identical bytes
+// (the format has no redundant encodings).
+func FuzzParse(f *testing.F) {
+	seed := []Message{
+		Query(1, "http://cs-www.bu.edu/"),
+		Reply(Query(2, "http://a/"), OpHit),
+		Reply(Query(3, "http://b/x.gif"), OpMiss),
+		{Op: OpErr, Version: Version2, ReqNum: 9},
+		{Op: OpSEcho, Version: Version2, URL: "http://echo/"},
+	}
+	for _, m := range seed {
+		data, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, headerLen))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted message failed to marshal: %+v: %v", m, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes:\n in %x\nout %x", data, out)
+		}
+	})
+}
+
+// FuzzMarshalParse fuzzes structured inputs through Marshal → Parse and
+// requires the fields to survive.
+func FuzzMarshalParse(f *testing.F) {
+	f.Add(uint8(1), uint32(1), uint32(0), "http://a/")
+	f.Add(uint8(2), uint32(7), uint32(0x80000000), "http://long.example.edu/path/x.gif")
+	f.Add(uint8(21), uint32(0), uint32(0), "")
+
+	f.Fuzz(func(t *testing.T, op uint8, reqNum, options uint32, url string) {
+		m := Message{
+			Op:      Opcode(op),
+			Version: Version2,
+			ReqNum:  reqNum,
+			Options: options,
+			URL:     url,
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			return // invalid URLs (NUL, oversize) are rejected by design
+		}
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("marshalled message rejected: %v", err)
+		}
+		if got.Op != m.Op || got.ReqNum != m.ReqNum || got.Options != m.Options || got.URL != m.URL {
+			t.Fatalf("fields changed: %+v -> %+v", m, got)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package icp implements version 2 of the Internet Cache Protocol
+// (RFC 2186), the datagram protocol cooperating proxies use to locate
+// documents in each other's caches: a proxy that misses locally sends
+// ICP_OP_QUERY to its neighbours and they answer ICP_OP_HIT or ICP_OP_MISS.
+//
+// The package provides the exact wire format plus a UDP responder and a
+// fan-out query client, used by the live network node (internal/netnode).
+// The deterministic simulator short-circuits the same exchange in-process
+// with identical semantics.
+package icp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Opcode is an ICP message opcode (RFC 2186 §3).
+type Opcode uint8
+
+// Opcodes defined by RFC 2186.
+const (
+	OpInvalid     Opcode = 0
+	OpQuery       Opcode = 1
+	OpHit         Opcode = 2
+	OpMiss        Opcode = 3
+	OpErr         Opcode = 4
+	OpSEcho       Opcode = 10
+	OpDEcho       Opcode = 11
+	OpMissNoFetch Opcode = 21
+	OpDenied      Opcode = 22
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpInvalid:
+		return "ICP_OP_INVALID"
+	case OpQuery:
+		return "ICP_OP_QUERY"
+	case OpHit:
+		return "ICP_OP_HIT"
+	case OpMiss:
+		return "ICP_OP_MISS"
+	case OpErr:
+		return "ICP_OP_ERR"
+	case OpSEcho:
+		return "ICP_OP_SECHO"
+	case OpDEcho:
+		return "ICP_OP_DECHO"
+	case OpMissNoFetch:
+		return "ICP_OP_MISS_NOFETCH"
+	case OpDenied:
+		return "ICP_OP_DENIED"
+	default:
+		return fmt.Sprintf("ICP_OP_%d", uint8(o))
+	}
+}
+
+// Version2 is the protocol version this package speaks.
+const Version2 = 2
+
+// Option flag bits (RFC 2186 §6).
+const (
+	FlagHitObj uint32 = 0x80000000
+	FlagSrcRTT uint32 = 0x40000000
+)
+
+const (
+	headerLen   = 20
+	maxLen      = 1 << 16 // message length field is 16 bits
+	queryPrefix = 4       // requester host address in query payload
+)
+
+// Errors returned by Parse.
+var (
+	ErrShortMessage = errors.New("icp: message shorter than header")
+	ErrBadLength    = errors.New("icp: length field does not match datagram")
+	ErrBadVersion   = errors.New("icp: unsupported version")
+	ErrBadPayload   = errors.New("icp: malformed payload")
+	ErrURLTooLong   = errors.New("icp: URL does not fit in a message")
+)
+
+// Message is one ICP datagram.
+type Message struct {
+	Op      Opcode
+	Version uint8
+	// ReqNum matches replies to queries; the requester chooses it.
+	ReqNum uint32
+	// Options carries the flag bits.
+	Options uint32
+	// OptionData carries SRC_RTT measurements when FlagSrcRTT is set.
+	OptionData uint32
+	// Sender is the sender host address field (IPv4, big endian). RFC
+	// 2186 allows it to be zero, and modern implementations ignore it.
+	Sender uint32
+	// Requester is the requester host address carried in the payload of
+	// ICP_OP_QUERY messages only.
+	Requester uint32
+	// URL is the document being located. NUL-terminated on the wire.
+	URL string
+}
+
+// Query builds an ICP_OP_QUERY for url with the given request number.
+func Query(reqNum uint32, url string) Message {
+	return Message{Op: OpQuery, Version: Version2, ReqNum: reqNum, URL: url}
+}
+
+// Reply builds a reply to q with the given opcode, echoing the request
+// number and URL as RFC 2186 requires.
+func Reply(q Message, op Opcode) Message {
+	return Message{Op: op, Version: Version2, ReqNum: q.ReqNum, URL: q.URL}
+}
+
+// Marshal encodes the message into the RFC 2186 wire format.
+func (m Message) Marshal() ([]byte, error) {
+	if strings.IndexByte(m.URL, 0) >= 0 {
+		return nil, fmt.Errorf("%w: URL contains NUL", ErrBadPayload)
+	}
+	payload := len(m.URL) + 1
+	if m.Op == OpQuery {
+		payload += queryPrefix
+	}
+	total := headerLen + payload
+	if total > maxLen-1 {
+		return nil, ErrURLTooLong
+	}
+
+	buf := make([]byte, total)
+	buf[0] = byte(m.Op)
+	version := m.Version
+	if version == 0 {
+		version = Version2
+	}
+	buf[1] = version
+	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
+	binary.BigEndian.PutUint32(buf[4:8], m.ReqNum)
+	binary.BigEndian.PutUint32(buf[8:12], m.Options)
+	binary.BigEndian.PutUint32(buf[12:16], m.OptionData)
+	binary.BigEndian.PutUint32(buf[16:20], m.Sender)
+
+	p := buf[headerLen:]
+	if m.Op == OpQuery {
+		binary.BigEndian.PutUint32(p[0:4], m.Requester)
+		p = p[4:]
+	}
+	copy(p, m.URL)
+	// trailing NUL is already zero
+	return buf, nil
+}
+
+// Parse decodes one datagram.
+func Parse(b []byte) (Message, error) {
+	if len(b) < headerLen {
+		return Message{}, ErrShortMessage
+	}
+	var m Message
+	m.Op = Opcode(b[0])
+	m.Version = b[1]
+	if m.Version != Version2 {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, m.Version)
+	}
+	if int(binary.BigEndian.Uint16(b[2:4])) != len(b) {
+		return Message{}, ErrBadLength
+	}
+	m.ReqNum = binary.BigEndian.Uint32(b[4:8])
+	m.Options = binary.BigEndian.Uint32(b[8:12])
+	m.OptionData = binary.BigEndian.Uint32(b[12:16])
+	m.Sender = binary.BigEndian.Uint32(b[16:20])
+
+	p := b[headerLen:]
+	if m.Op == OpQuery {
+		if len(p) < queryPrefix+1 {
+			return Message{}, fmt.Errorf("%w: query payload too short", ErrBadPayload)
+		}
+		m.Requester = binary.BigEndian.Uint32(p[0:4])
+		p = p[4:]
+	}
+	if len(p) == 0 || p[len(p)-1] != 0 {
+		return Message{}, fmt.Errorf("%w: missing URL terminator", ErrBadPayload)
+	}
+	url := string(p[:len(p)-1])
+	if strings.IndexByte(url, 0) >= 0 {
+		return Message{}, fmt.Errorf("%w: embedded NUL in URL", ErrBadPayload)
+	}
+	m.URL = url
+	return m, nil
+}

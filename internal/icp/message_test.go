@@ -1,0 +1,187 @@
+package icp
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	tests := []Message{
+		Query(1, "http://cs-www.bu.edu/"),
+		Reply(Query(7, "http://x.example.edu/a.gif"), OpHit),
+		Reply(Query(7, "http://x.example.edu/a.gif"), OpMiss),
+		Reply(Query(9, "http://y/"), OpMissNoFetch),
+		{Op: OpErr, Version: Version2, ReqNum: 3, URL: ""},
+		{Op: OpQuery, Version: Version2, ReqNum: 42, Options: FlagSrcRTT,
+			OptionData: 17, Sender: 0x7f000001, Requester: 0x7f000002,
+			URL: "http://long.example.edu/" + strings.Repeat("p/", 100)},
+	}
+	for _, m := range tests {
+		data, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal(%+v): %v", m, err)
+		}
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		want := m
+		if want.Version == 0 {
+			want.Version = Version2
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestWireFormat(t *testing.T) {
+	m := Query(0x01020304, "http://a/")
+	m.Sender = 0x0a000001
+	m.Requester = 0x0a000002
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RFC 2186 header layout.
+	if data[0] != byte(OpQuery) {
+		t.Fatalf("opcode byte = %d", data[0])
+	}
+	if data[1] != Version2 {
+		t.Fatalf("version byte = %d", data[1])
+	}
+	if got := binary.BigEndian.Uint16(data[2:4]); int(got) != len(data) {
+		t.Fatalf("length field = %d, datagram = %d", got, len(data))
+	}
+	if got := binary.BigEndian.Uint32(data[4:8]); got != 0x01020304 {
+		t.Fatalf("reqnum = %x", got)
+	}
+	if got := binary.BigEndian.Uint32(data[16:20]); got != 0x0a000001 {
+		t.Fatalf("sender = %x", got)
+	}
+	if got := binary.BigEndian.Uint32(data[20:24]); got != 0x0a000002 {
+		t.Fatalf("requester host = %x", got)
+	}
+	// Payload: NUL-terminated URL after the requester address.
+	if string(data[24:len(data)-1]) != "http://a/" || data[len(data)-1] != 0 {
+		t.Fatalf("payload = %q", data[24:])
+	}
+}
+
+func TestMarshalRejectsBadInput(t *testing.T) {
+	if _, err := (Message{Op: OpQuery, URL: "http://a/\x00b"}).Marshal(); err == nil {
+		t.Fatal("NUL in URL accepted")
+	}
+	long := Message{Op: OpQuery, URL: strings.Repeat("x", maxLen)}
+	if _, err := long.Marshal(); !errors.Is(err, ErrURLTooLong) {
+		t.Fatalf("oversize URL: err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	valid, err := Query(1, "http://a/").Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := valid[:10]
+	if _, err := Parse(short); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("short: %v", err)
+	}
+
+	badLen := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint16(badLen[2:4], uint16(len(badLen)+5))
+	if _, err := Parse(badLen); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("bad length: %v", err)
+	}
+
+	badVer := append([]byte(nil), valid...)
+	badVer[1] = 9
+	if _, err := Parse(badVer); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	noNul := append([]byte(nil), valid...)
+	noNul[len(noNul)-1] = 'x'
+	if _, err := Parse(noNul); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("missing terminator: %v", err)
+	}
+
+	// Query payload shorter than the requester-address prefix.
+	truncated := append([]byte(nil), valid[:headerLen+2]...)
+	binary.BigEndian.PutUint16(truncated[2:4], uint16(len(truncated)))
+	if _, err := Parse(truncated); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("truncated query: %v", err)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpInvalid:     "ICP_OP_INVALID",
+		OpQuery:       "ICP_OP_QUERY",
+		OpHit:         "ICP_OP_HIT",
+		OpMiss:        "ICP_OP_MISS",
+		OpErr:         "ICP_OP_ERR",
+		OpSEcho:       "ICP_OP_SECHO",
+		OpDEcho:       "ICP_OP_DECHO",
+		OpMissNoFetch: "ICP_OP_MISS_NOFETCH",
+		OpDenied:      "ICP_OP_DENIED",
+		Opcode(77):    "ICP_OP_77",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(op uint8, reqNum, options, optionData, sender, requester uint32, urlBytes []byte) bool {
+		url := strings.Map(func(r rune) rune {
+			if r == 0 {
+				return 'x'
+			}
+			return r
+		}, string(urlBytes))
+		if len(url) > 4096 {
+			url = url[:4096]
+		}
+		m := Message{
+			Op:         Opcode(op),
+			Version:    Version2,
+			ReqNum:     reqNum,
+			Options:    options,
+			OptionData: optionData,
+			Sender:     sender,
+			URL:        url,
+		}
+		if m.Op == OpQuery {
+			m.Requester = requester
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data) // must not panic regardless of input
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

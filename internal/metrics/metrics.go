@@ -1,0 +1,169 @@
+// Package metrics collects the performance measures the paper evaluates:
+// cumulative document hit rate, cumulative byte hit rate, local/remote hit
+// split, average cache expiration age, and the estimated average document
+// latency of equation 6.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Outcome classifies how one client request was served.
+type Outcome int
+
+// Outcome values.
+const (
+	// LocalHit: the document was in the cache the client asked.
+	LocalHit Outcome = iota + 1
+	// RemoteHit: the document came from another cache in the group.
+	RemoteHit
+	// Miss: the document had to be fetched from the origin server.
+	Miss
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case LocalHit:
+		return "local-hit"
+	case RemoteHit:
+		return "remote-hit"
+	case Miss:
+		return "miss"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Counters accumulates request outcomes. The zero value is ready to use.
+type Counters struct {
+	Requests   int64
+	LocalHits  int64
+	RemoteHits int64
+	Misses     int64
+
+	BytesRequested int64
+	BytesLocal     int64
+	BytesRemote    int64
+	BytesMissed    int64
+
+	// SimLatency is the sum of per-request simulated latencies, if the
+	// caller applies a latency model per request.
+	SimLatency time.Duration
+}
+
+// Record adds one request with the given outcome and size.
+func (c *Counters) Record(o Outcome, size int64) {
+	c.Requests++
+	c.BytesRequested += size
+	switch o {
+	case LocalHit:
+		c.LocalHits++
+		c.BytesLocal += size
+	case RemoteHit:
+		c.RemoteHits++
+		c.BytesRemote += size
+	default:
+		c.Misses++
+		c.BytesMissed += size
+	}
+}
+
+// Add merges other into c.
+func (c *Counters) Add(other Counters) {
+	c.Requests += other.Requests
+	c.LocalHits += other.LocalHits
+	c.RemoteHits += other.RemoteHits
+	c.Misses += other.Misses
+	c.BytesRequested += other.BytesRequested
+	c.BytesLocal += other.BytesLocal
+	c.BytesRemote += other.BytesRemote
+	c.BytesMissed += other.BytesMissed
+	c.SimLatency += other.SimLatency
+}
+
+// Hits returns local + remote hits.
+func (c *Counters) Hits() int64 { return c.LocalHits + c.RemoteHits }
+
+// HitRate returns the cumulative document hit rate: hits anywhere in the
+// group over total requests.
+func (c *Counters) HitRate() float64 { return ratio(c.Hits(), c.Requests) }
+
+// ByteHitRate returns the cumulative byte hit rate: bytes served from the
+// group over bytes requested.
+func (c *Counters) ByteHitRate() float64 {
+	return ratio(c.BytesLocal+c.BytesRemote, c.BytesRequested)
+}
+
+// LocalHitRate returns local hits over requests.
+func (c *Counters) LocalHitRate() float64 { return ratio(c.LocalHits, c.Requests) }
+
+// RemoteHitRate returns remote hits over requests.
+func (c *Counters) RemoteHitRate() float64 { return ratio(c.RemoteHits, c.Requests) }
+
+// MissRate returns misses over requests.
+func (c *Counters) MissRate() float64 { return ratio(c.Misses, c.Requests) }
+
+// MeanSimLatency returns the mean simulated per-request latency.
+func (c *Counters) MeanSimLatency() time.Duration {
+	if c.Requests == 0 {
+		return 0
+	}
+	return c.SimLatency / time.Duration(c.Requests)
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// LatencyModel holds the three service latencies the paper measured on its
+// testbed and uses in equation 6.
+type LatencyModel struct {
+	// LocalHit is LHL, the latency of serving a document from the cache
+	// the client asked (paper: 146ms for a 4KB document).
+	LocalHit time.Duration
+	// RemoteHit is RHL, the latency of fetching from another cache in the
+	// group (paper: 342ms).
+	RemoteHit time.Duration
+	// Miss is ML, the latency of fetching from the origin server
+	// (paper: 2784ms, the mean over a set of web sites).
+	Miss time.Duration
+}
+
+// PaperLatencies is the latency model measured in §4.2 of the paper.
+var PaperLatencies = LatencyModel{
+	LocalHit:  146 * time.Millisecond,
+	RemoteHit: 342 * time.Millisecond,
+	Miss:      2784 * time.Millisecond,
+}
+
+// Of returns the model latency for one outcome.
+func (m LatencyModel) Of(o Outcome) time.Duration {
+	switch o {
+	case LocalHit:
+		return m.LocalHit
+	case RemoteHit:
+		return m.RemoteHit
+	default:
+		return m.Miss
+	}
+}
+
+// EstimatedAverageLatency evaluates the paper's equation 6:
+//
+//	(LHR*LHL + RHR*RHL + MR*ML) / (LHR + RHR + MR)
+//
+// over the recorded outcome mix.
+func (m LatencyModel) EstimatedAverageLatency(c *Counters) time.Duration {
+	if c.Requests == 0 {
+		return 0
+	}
+	total := float64(c.LocalHits)*m.LocalHit.Seconds() +
+		float64(c.RemoteHits)*m.RemoteHit.Seconds() +
+		float64(c.Misses)*m.Miss.Seconds()
+	return time.Duration(total / float64(c.Requests) * float64(time.Second))
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{LocalHit, "local-hit"},
+		{RemoteHit, "remote-hit"},
+		{Miss, "miss"},
+		{Outcome(99), "outcome(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.o, got, tt.want)
+		}
+	}
+}
+
+func TestCountersRecord(t *testing.T) {
+	var c Counters
+	c.Record(LocalHit, 100)
+	c.Record(RemoteHit, 200)
+	c.Record(Miss, 700)
+	c.Record(LocalHit, 100)
+
+	if c.Requests != 4 {
+		t.Fatalf("Requests = %d", c.Requests)
+	}
+	if c.LocalHits != 2 || c.RemoteHits != 1 || c.Misses != 1 {
+		t.Fatalf("split = %d/%d/%d", c.LocalHits, c.RemoteHits, c.Misses)
+	}
+	if c.BytesRequested != 1100 || c.BytesLocal != 200 || c.BytesRemote != 200 || c.BytesMissed != 700 {
+		t.Fatalf("bytes = %d/%d/%d/%d", c.BytesRequested, c.BytesLocal, c.BytesRemote, c.BytesMissed)
+	}
+	if got := c.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v", got)
+	}
+	if got := c.ByteHitRate(); math.Abs(got-400.0/1100) > 1e-12 {
+		t.Fatalf("ByteHitRate = %v", got)
+	}
+	if got := c.LocalHitRate(); got != 0.5 {
+		t.Fatalf("LocalHitRate = %v", got)
+	}
+	if got := c.RemoteHitRate(); got != 0.25 {
+		t.Fatalf("RemoteHitRate = %v", got)
+	}
+	if got := c.MissRate(); got != 0.25 {
+		t.Fatalf("MissRate = %v", got)
+	}
+}
+
+func TestCountersZeroSafe(t *testing.T) {
+	var c Counters
+	if c.HitRate() != 0 || c.ByteHitRate() != 0 || c.MissRate() != 0 || c.MeanSimLatency() != 0 {
+		t.Fatal("zero counters must not divide by zero")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var a, b Counters
+	a.Record(LocalHit, 10)
+	a.SimLatency = time.Second
+	b.Record(Miss, 20)
+	b.SimLatency = 2 * time.Second
+	a.Add(b)
+	if a.Requests != 2 || a.BytesRequested != 30 || a.SimLatency != 3*time.Second {
+		t.Fatalf("Add: %+v", a)
+	}
+}
+
+func TestLatencyModelOf(t *testing.T) {
+	m := PaperLatencies
+	if m.Of(LocalHit) != 146*time.Millisecond ||
+		m.Of(RemoteHit) != 342*time.Millisecond ||
+		m.Of(Miss) != 2784*time.Millisecond {
+		t.Fatalf("paper latencies wrong: %+v", m)
+	}
+}
+
+func TestEstimatedAverageLatencyEq6(t *testing.T) {
+	// Paper example shape: equal thirds of local/remote/miss gives the
+	// plain average of the three latencies.
+	var c Counters
+	c.Record(LocalHit, 1)
+	c.Record(RemoteHit, 1)
+	c.Record(Miss, 1)
+	want := (146 + 342 + 2784) / 3
+	got := PaperLatencies.EstimatedAverageLatency(&c).Milliseconds()
+	if got != int64(want) {
+		t.Fatalf("eq6 = %dms, want %dms", got, want)
+	}
+
+	var empty Counters
+	if PaperLatencies.EstimatedAverageLatency(&empty) != 0 {
+		t.Fatal("empty counters should estimate 0")
+	}
+}
+
+func TestEstimatedLatencyAllMisses(t *testing.T) {
+	var c Counters
+	for i := 0; i < 10; i++ {
+		c.Record(Miss, 1)
+	}
+	if got := PaperLatencies.EstimatedAverageLatency(&c); got != 2784*time.Millisecond {
+		t.Fatalf("all-miss latency = %v", got)
+	}
+}
+
+// TestQuickConservation checks the accounting identity the simulator
+// relies on: local + remote + miss = requests and the byte split sums to
+// bytes requested, for arbitrary outcome sequences.
+func TestQuickConservation(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		var c Counters
+		for _, k := range kinds {
+			size := int64(k)%512 + 1
+			switch k % 3 {
+			case 0:
+				c.Record(LocalHit, size)
+			case 1:
+				c.Record(RemoteHit, size)
+			default:
+				c.Record(Miss, size)
+			}
+		}
+		if c.LocalHits+c.RemoteHits+c.Misses != c.Requests {
+			return false
+		}
+		if c.BytesLocal+c.BytesRemote+c.BytesMissed != c.BytesRequested {
+			return false
+		}
+		sum := c.HitRate() + c.MissRate()
+		return c.Requests == 0 || math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEq6Bounds checks that the estimated latency is always between
+// the fastest and slowest service latencies.
+func TestQuickEq6Bounds(t *testing.T) {
+	f := func(l, r, m uint16) bool {
+		var c Counters
+		for i := 0; i < int(l%50); i++ {
+			c.Record(LocalHit, 1)
+		}
+		for i := 0; i < int(r%50); i++ {
+			c.Record(RemoteHit, 1)
+		}
+		for i := 0; i < int(m%50); i++ {
+			c.Record(Miss, 1)
+		}
+		if c.Requests == 0 {
+			return true
+		}
+		got := PaperLatencies.EstimatedAverageLatency(&c)
+		return got >= PaperLatencies.LocalHit-time.Millisecond &&
+			got <= PaperLatencies.Miss+time.Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

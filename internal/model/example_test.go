@@ -1,0 +1,28 @@
+package model_test
+
+import (
+	"fmt"
+
+	"eacache/internal/model"
+)
+
+// Che's approximation predicts an LRU cache's hit rate from the popularity
+// distribution alone.
+func ExampleCheLRU() {
+	probs, err := model.ZipfPopularities(10000, 0.8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, capacity := range []int{100, 1000} {
+		hit, err := model.CheLRU(probs, capacity)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("capacity %d docs: hit rate %.1f%%\n", capacity, 100*hit)
+	}
+	// Output:
+	// capacity 100 docs: hit rate 15.7%
+	// capacity 1000 docs: hit rate 43.7%
+}

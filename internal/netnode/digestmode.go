@@ -1,0 +1,159 @@
+package netnode
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"eacache/internal/digest"
+	"eacache/internal/hproto"
+	"eacache/internal/proxy"
+)
+
+// DigestURL is the reserved URL under which a node serves its own cache
+// digest over the ordinary fetch protocol — the same trick Squid uses
+// (its digests live at /squid-internal-periodic/store_digest). Peers GET
+// it, cache the filter, and consult it locally instead of sending ICP
+// queries.
+const DigestURL = "eac:digest"
+
+// DefaultDigestRefresh is how long a fetched peer digest is trusted before
+// being re-fetched.
+const DefaultDigestRefresh = 10 * time.Second
+
+// digestState is the digest-location machinery of a Node.
+type digestState struct {
+	// own is this node's published summary.
+	own *digest.Summary
+	// peers caches the neighbours' fetched digests by HTTP address.
+	peers map[string]*peerDigest
+	// refresh bounds the trust window for fetched digests.
+	refresh time.Duration
+}
+
+type peerDigest struct {
+	filter    *digest.Filter
+	fetchedAt time.Time
+}
+
+func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duration) (*digestState, error) {
+	dc := digestConfigDefaults(cfg, capacity)
+	own, err := digest.NewSummary(dc.Expected, dc.FPRate, dc.RebuildEvery)
+	if err != nil {
+		return nil, err
+	}
+	if refresh <= 0 {
+		refresh = DefaultDigestRefresh
+	}
+	return &digestState{
+		own:     own,
+		peers:   make(map[string]*peerDigest),
+		refresh: refresh,
+	}, nil
+}
+
+// digestConfigDefaults mirrors proxy's unexported defaulting so the live
+// node sizes its filters the same way.
+func digestConfigDefaults(c proxy.DigestConfig, capacity int64) proxy.DigestConfig {
+	if c.Expected == 0 {
+		c.Expected = int(capacity / 4096)
+		if c.Expected < 16 {
+			c.Expected = 16
+		}
+	}
+	if c.FPRate == 0 {
+		c.FPRate = 0.01
+	}
+	if c.RebuildEvery == 0 {
+		c.RebuildEvery = int64(c.Expected / 50)
+		if c.RebuildEvery < 1 {
+			c.RebuildEvery = 1
+		}
+	}
+	return c
+}
+
+// ownDigestBytes rebuilds the node's summary if stale and serialises it.
+// Caller must hold n.mu.
+func (n *Node) ownDigestBytes() ([]byte, error) {
+	mutations := n.store.Insertions() + n.store.Evictions()
+	if n.digests.own.Stale(mutations) {
+		n.digests.own.Rebuild(n.store.URLs(), mutations)
+	}
+	return n.digests.own.Filter().MarshalBinary()
+}
+
+// digestCandidates returns the peers whose (cached, possibly re-fetched)
+// digests advertise url. Network fetches happen without holding the lock.
+func (n *Node) digestCandidates(peers []Peer, url string) []Peer {
+	var candidates []Peer
+	for _, p := range peers {
+		f := n.peerDigest(p)
+		if f == nil {
+			// No digest obtainable: be conservative and try the peer
+			// anyway only if we have no better candidate? No — treat
+			// as not advertising; the origin path still serves us.
+			continue
+		}
+		if f.MayContain(url) {
+			candidates = append(candidates, p)
+		}
+	}
+	return candidates
+}
+
+// peerDigest returns a sufficiently fresh digest for p, fetching one if
+// needed, or nil when the peer cannot supply one.
+func (n *Node) peerDigest(p Peer) *digest.Filter {
+	n.mu.Lock()
+	pd := n.digests.peers[p.HTTP]
+	refresh := n.digests.refresh
+	n.mu.Unlock()
+	if pd != nil && time.Since(pd.fetchedAt) < refresh {
+		return pd.filter
+	}
+
+	f, err := fetchDigest(p.HTTP)
+	if err != nil {
+		n.logf("netnode %s: digest fetch from %s: %v", n.id, p.HTTP, err)
+		return nil
+	}
+	n.mu.Lock()
+	n.digests.peers[p.HTTP] = &peerDigest{filter: f, fetchedAt: time.Now()}
+	n.mu.Unlock()
+	return f
+}
+
+// fetchDigest GETs a peer's digest from the reserved URL.
+func fetchDigest(addr string) (*digest.Filter, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	if err := hproto.WriteRequest(conn, hproto.Request{URL: DigestURL}); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := hproto.ReadResponse(br)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != hproto.StatusOK {
+		return nil, fmt.Errorf("digest fetch from %s: status %d", addr, resp.Status)
+	}
+	var body bytes.Buffer
+	if _, err := io.CopyN(&body, br, resp.ContentLength); err != nil {
+		return nil, fmt.Errorf("read digest body: %w", err)
+	}
+	var f digest.Filter
+	if err := f.UnmarshalBinary(body.Bytes()); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

@@ -1,0 +1,183 @@
+package netnode
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eacache/internal/core"
+	"eacache/internal/metrics"
+)
+
+// startChild builds a node whose misses resolve through parent.
+func startChild(t *testing.T, id string, capacity int64, scheme core.Scheme, parent *Node) *Node {
+	t.Helper()
+	n, err := New(Config{
+		ID:         id,
+		ICPAddr:    "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		Store:      newStore(t, capacity),
+		Scheme:     scheme,
+		ParentAddr: parent.HTTPAddr(),
+		ICPTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+func TestHierarchyResolveOverWire(t *testing.T) {
+	origin := startOrigin(t)
+	parent := startNode(t, "parent", 1<<20, core.AdHoc{}, origin.Addr())
+	child := startChild(t, "child", 1<<20, core.AdHoc{}, parent)
+
+	res, err := child.Request("http://h.example.edu/a.html", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss || res.Size != 2048 {
+		t.Fatalf("first request = %+v, want 2048-byte miss via parent", res)
+	}
+	// Ad-hoc: both levels keep copies.
+	if !child.Contains("http://h.example.edu/a.html") {
+		t.Fatal("child did not store")
+	}
+	if !parent.Contains("http://h.example.edu/a.html") {
+		t.Fatal("parent did not store")
+	}
+	if origin.Fetches() != 1 {
+		t.Fatalf("origin fetches = %d", origin.Fetches())
+	}
+}
+
+func TestHierarchyParentCacheHitOverWire(t *testing.T) {
+	origin := startOrigin(t)
+	parent := startNode(t, "parent", 1<<20, core.AdHoc{}, origin.Addr())
+	childA := startChild(t, "a", 1<<20, core.AdHoc{}, parent)
+	childB := startChild(t, "b", 1<<20, core.AdHoc{}, parent)
+
+	// Child A's miss seeds the parent.
+	if _, err := childA.Request("http://h/x", 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Child B (no ICP wiring to A or the parent) resolves through the
+	// parent, whose cached copy makes this a group hit.
+	res, err := childB.Request("http://h/x", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.RemoteHit {
+		t.Fatalf("res = %+v, want remote hit from parent's cache", res)
+	}
+	if res.Responder != parent.HTTPAddr() {
+		t.Fatalf("responder = %q", res.Responder)
+	}
+	if origin.Fetches() != 1 {
+		t.Fatalf("origin fetches = %d, want 1", origin.Fetches())
+	}
+}
+
+func TestHierarchyEAColdTieOverWire(t *testing.T) {
+	origin := startOrigin(t)
+	parent := startNode(t, "parent", 1<<20, core.EA{}, origin.Addr())
+	child := startChild(t, "child", 1<<20, core.EA{}, parent)
+
+	res, err := child.Request("http://h/y", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss || !res.Stored {
+		t.Fatalf("res = %+v, want stored miss (tie goes to the child)", res)
+	}
+	if parent.Contains("http://h/y") {
+		t.Fatal("parent stored on a cold tie (strict §3.3 rule)")
+	}
+	if !child.Contains("http://h/y") {
+		t.Fatal("nobody stored the resolved document")
+	}
+}
+
+func TestThreeLevelHierarchyOverWire(t *testing.T) {
+	origin := startOrigin(t)
+	root := startNode(t, "root", 1<<20, core.AdHoc{}, origin.Addr())
+	mid := startChild(t, "mid", 1<<20, core.AdHoc{}, root)
+	leaf := startChild(t, "leaf", 1<<20, core.AdHoc{}, mid)
+
+	res, err := leaf.Request("http://h/deep", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss {
+		t.Fatalf("res = %+v", res)
+	}
+	for _, n := range []*Node{root, mid, leaf} {
+		if !n.Contains("http://h/deep") {
+			t.Fatalf("%s missing the document", n.ID())
+		}
+	}
+	// A second leaf under mid sees the mid's copy as a group hit, with
+	// the source tag propagated down the chain.
+	leaf2 := startChild(t, "leaf2", 1<<20, core.AdHoc{}, mid)
+	res, err = leaf2.Request("http://h/deep", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.RemoteHit {
+		t.Fatalf("res = %+v, want remote hit via mid", res)
+	}
+	if origin.Fetches() != 1 {
+		t.Fatalf("origin fetches = %d", origin.Fetches())
+	}
+}
+
+// TestConcurrentCrossRequests exercises the locking design: two nodes
+// requesting from each other simultaneously must not deadlock (the node
+// never holds its own lock across network calls).
+func TestConcurrentCrossRequests(t *testing.T) {
+	origin := startOrigin(t)
+	a := startNode(t, "a", 1<<20, core.AdHoc{}, origin.Addr())
+	b := startNode(t, "b", 1<<20, core.AdHoc{}, origin.Addr())
+	mesh(a, b)
+
+	// Seed each node with documents the other will want.
+	if _, err := a.Request("http://cross/a-doc", 700); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Request("http://cross/b-doc", 700); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Request("http://cross/b-doc", 700); err != nil {
+				errs <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := b.Request("http://cross/a-doc", 700); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("cross requests deadlocked")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatalf("cross request failed: %v", err)
+	}
+}

@@ -1,0 +1,632 @@
+// Package netnode runs a cooperative caching proxy on real sockets: ICP
+// (RFC 2186) over UDP for document location and the hproto inter-proxy
+// fetch protocol over TCP, with cache expiration ages piggybacked exactly
+// as the paper describes. It demonstrates that the EA scheme's decision
+// inputs travel on the wire with no extra messages; the deterministic
+// simulator (internal/sim) uses the same decision logic in-process.
+package netnode
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+	"eacache/internal/hproto"
+	"eacache/internal/icp"
+	"eacache/internal/metrics"
+	"eacache/internal/proxy"
+)
+
+// DefaultICPTimeout bounds how long a node waits for ICP replies before
+// treating silent neighbours as misses.
+const DefaultICPTimeout = 150 * time.Millisecond
+
+// Peer is a neighbour node's pair of service addresses.
+type Peer struct {
+	// ICP is the neighbour's UDP query address.
+	ICP *net.UDPAddr
+	// HTTP is the neighbour's TCP fetch address.
+	HTTP string
+}
+
+// Config configures a Node.
+type Config struct {
+	// ID names the node for logs.
+	ID string
+	// ICPAddr and HTTPAddr are listen addresses ("127.0.0.1:0" picks a
+	// free port).
+	ICPAddr  string
+	HTTPAddr string
+	// Store is the node's cache. Required.
+	Store *cache.Store
+	// Scheme is the placement scheme. Required.
+	Scheme core.Scheme
+	// OriginAddr is the TCP address of an hproto origin server used to
+	// resolve group-wide misses; empty means misses fail (unless a
+	// parent is configured).
+	OriginAddr string
+	// ParentAddr is the fetch (TCP) address of a hierarchical parent
+	// node. When set, group-wide misses are resolved through the parent
+	// (paper §3.3) instead of directly against the origin.
+	ParentAddr string
+	// ICPTimeout bounds the query fan-out wait. Defaults to
+	// DefaultICPTimeout.
+	ICPTimeout time.Duration
+	// Location selects ICP queries (default) or Summary-Cache digests
+	// fetched from peers over the fetch protocol (see DigestURL).
+	Location proxy.Location
+	// Digest tunes the summaries when Location is proxy.LocateDigest.
+	Digest proxy.DigestConfig
+	// DigestRefresh bounds how long a fetched peer digest is trusted.
+	// Defaults to DefaultDigestRefresh.
+	DigestRefresh time.Duration
+	// Logger receives operational errors; nil discards them.
+	Logger *log.Logger
+}
+
+// Result describes how one request was served by a live node.
+type Result struct {
+	Outcome metrics.Outcome
+	// Size is the number of body bytes received/served.
+	Size int64
+	// Responder is the HTTP address of the cache that served a remote
+	// hit, or "".
+	Responder string
+	// Stored reports whether this node kept a copy.
+	Stored bool
+}
+
+// Node is a live cooperative cache node.
+type Node struct {
+	id         string
+	scheme     core.Scheme
+	originAddr string
+	parentAddr string
+	icpTimeout time.Duration
+	location   proxy.Location
+	digests    *digestState
+	logger     *log.Logger
+
+	mu    sync.Mutex // guards store and peers
+	store *cache.Store
+	peers []Peer
+
+	icpServer *icp.Server
+	icpClient *icp.Client
+	httpLn    net.Listener
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// New starts a node's ICP responder and fetch listener. Close releases
+// both.
+func New(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("netnode: nil store")
+	}
+	if cfg.Scheme == nil {
+		return nil, errors.New("netnode: nil scheme")
+	}
+	if cfg.ICPTimeout <= 0 {
+		cfg.ICPTimeout = DefaultICPTimeout
+	}
+	if cfg.Location == 0 {
+		cfg.Location = proxy.LocateICP
+	}
+	n := &Node{
+		id:         cfg.ID,
+		scheme:     cfg.Scheme,
+		originAddr: cfg.OriginAddr,
+		parentAddr: cfg.ParentAddr,
+		icpTimeout: cfg.ICPTimeout,
+		location:   cfg.Location,
+		logger:     cfg.Logger,
+		store:      cfg.Store,
+		icpClient:  icp.NewClient(),
+		closed:     make(chan struct{}),
+	}
+	if cfg.Location == proxy.LocateDigest {
+		ds, err := newDigestState(cfg.Digest, cfg.Store.Capacity(), cfg.DigestRefresh)
+		if err != nil {
+			return nil, fmt.Errorf("netnode: %w", err)
+		}
+		n.digests = ds
+	}
+
+	icpServer, err := icp.NewServer(cfg.ICPAddr, icp.HandlerFunc(n.handleICP), cfg.Logger)
+	if err != nil {
+		return nil, err
+	}
+	n.icpServer = icpServer
+
+	ln, err := net.Listen("tcp", cfg.HTTPAddr)
+	if err != nil {
+		_ = icpServer.Close()
+		return nil, fmt.Errorf("netnode: listen %q: %w", cfg.HTTPAddr, err)
+	}
+	n.httpLn = ln
+
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ID returns the node name.
+func (n *Node) ID() string { return n.id }
+
+// ICPAddr returns the bound UDP address.
+func (n *Node) ICPAddr() *net.UDPAddr { return n.icpServer.Addr() }
+
+// HTTPAddr returns the bound TCP address.
+func (n *Node) HTTPAddr() string { return n.httpLn.Addr().String() }
+
+// SetPeers replaces the neighbour set.
+func (n *Node) SetPeers(peers []Peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append([]Peer(nil), peers...)
+}
+
+// Close stops both servers and waits for in-flight handlers.
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	icpErr := n.icpServer.Close()
+	lnErr := n.httpLn.Close()
+	n.wg.Wait()
+	if icpErr != nil {
+		return icpErr
+	}
+	return lnErr
+}
+
+// ExpirationAge returns the node's current contention signal.
+func (n *Node) ExpirationAge() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.ExpirationAge(time.Now())
+}
+
+// Contains reports whether the node caches url, for tests.
+func (n *Node) Contains(url string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Contains(url)
+}
+
+// Request serves a client request end-to-end over the real protocols:
+// local lookup, ICP fan-out, remote or origin fetch, placement decision.
+func (n *Node) Request(url string, sizeHint int64) (Result, error) {
+	now := time.Now()
+
+	// 1. Local cache.
+	n.mu.Lock()
+	if doc, ok := n.store.Get(url, now); ok {
+		n.mu.Unlock()
+		return Result{Outcome: metrics.LocalHit, Size: doc.Size}, nil
+	}
+	reqAge := n.store.ExpirationAge(time.Now())
+	peers := append([]Peer(nil), n.peers...)
+	n.mu.Unlock()
+
+	// 2. Locate the document in the group. The lock is NOT held across
+	// network operations so concurrent nodes can answer each other.
+	if n.location == proxy.LocateDigest {
+		for _, p := range n.digestCandidates(peers, url) {
+			size, respAge, _, err := fetchFrom(p.HTTP, url, sizeHint, reqAge, false)
+			if err != nil {
+				// A stale or colliding digest advertised a document
+				// the peer no longer has: try the next candidate.
+				n.logf("netnode %s: digest false hit at %s for %s", n.id, p.HTTP, url)
+				continue
+			}
+			res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: p.HTTP}
+			if n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester {
+				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+			}
+			return res, nil
+		}
+	} else if len(peers) > 0 {
+		addrs := make([]*net.UDPAddr, len(peers))
+		for i, p := range peers {
+			addrs[i] = p.ICP
+		}
+		res, err := n.icpClient.Query(addrs, url, n.icpTimeout)
+		if err != nil {
+			n.logf("netnode %s: icp query: %v", n.id, err)
+		} else if res.Hit {
+			if hit, ok := n.fetchRemote(peers, res.Responder, url, sizeHint, reqAge); ok {
+				return hit, nil
+			}
+			// The responder evicted it between reply and fetch; fall
+			// through to the miss path.
+		}
+	}
+
+	// 3. Group-wide miss: resolve through the parent when configured
+	// (hierarchical architecture, §3.3), otherwise straight from the
+	// origin.
+	if n.parentAddr != "" {
+		size, parentAge, source, err := fetchFrom(n.parentAddr, url, sizeHint, reqAge, true)
+		if err != nil {
+			return Result{}, fmt.Errorf("netnode %s: parent resolve: %w", n.id, err)
+		}
+		res := Result{Outcome: metrics.Miss, Size: size}
+		if source == hproto.SourceCache {
+			// Some cache up the hierarchy held it: a group hit.
+			res.Outcome = metrics.RemoteHit
+			res.Responder = n.parentAddr
+			if n.scheme.OnRemoteHit(reqAge, parentAge).StoreAtRequester {
+				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+			}
+			return res, nil
+		}
+		if n.scheme.OnMissViaParent(reqAge, parentAge) {
+			res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+		}
+		return res, nil
+	}
+
+	if n.originAddr == "" {
+		return Result{}, fmt.Errorf("netnode %s: miss for %s and no origin", n.id, url)
+	}
+	size, _, _, err := fetchFrom(n.originAddr, url, sizeHint, reqAge, false)
+	if err != nil {
+		return Result{}, fmt.Errorf("netnode %s: origin fetch: %w", n.id, err)
+	}
+	res := Result{Outcome: metrics.Miss, Size: size}
+	if n.scheme.OnOriginFetch(reqAge) {
+		res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+	}
+	return res, nil
+}
+
+// fetchRemote transfers the document from the ICP responder and applies the
+// requester-side placement rule.
+func (n *Node) fetchRemote(peers []Peer, responder *net.UDPAddr, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
+	httpAddr := ""
+	for _, p := range peers {
+		if p.ICP.IP.Equal(responder.IP) && p.ICP.Port == responder.Port {
+			httpAddr = p.HTTP
+			break
+		}
+	}
+	if httpAddr == "" {
+		n.logf("netnode %s: ICP hit from unknown peer %s", n.id, responder)
+		return Result{}, false
+	}
+	size, respAge, _, err := fetchFrom(httpAddr, url, sizeHint, reqAge, false)
+	if err != nil {
+		n.logf("netnode %s: remote fetch from %s: %v", n.id, httpAddr, err)
+		return Result{}, false
+	}
+	res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: httpAddr}
+	if n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester {
+		res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+	}
+	return res, true
+}
+
+func (n *Node) putIfFits(doc cache.Document) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, err := n.store.Put(doc, time.Now())
+	return err == nil
+}
+
+// handleICP answers neighbours' queries against the local cache without
+// touching replacement state.
+func (n *Node) handleICP(url string) icp.Opcode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.store.Contains(url) {
+		return icp.OpHit
+	}
+	return icp.OpMiss
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.httpLn.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			n.logf("netnode %s: accept: %v", n.id, err)
+			continue
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn is the responder side of the inter-proxy fetch: serve the
+// document with this node's expiration age piggybacked on the response,
+// applying the responder-side placement rule against the age piggybacked
+// on the request. A request flagged Resolve makes this node act as a
+// hierarchical parent: on a local miss it fetches the document from its
+// own upstream, keeps a copy only if the §3.3 parent rule says so, and
+// reports whether the body came from a cache or the origin.
+func (n *Node) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	req, err := hproto.ReadRequest(bufio.NewReader(conn))
+	if err != nil {
+		n.logf("netnode %s: bad fetch request: %v", n.id, err)
+		return
+	}
+
+	// The reserved digest URL serves this node's own cache digest.
+	if req.URL == DigestURL {
+		n.serveDigest(conn)
+		return
+	}
+
+	n.mu.Lock()
+	respAge := n.store.ExpirationAge(time.Now())
+	doc, ok := n.store.Peek(req.URL)
+	if ok && n.scheme.OnRemoteHit(req.RequesterAge, respAge).PromoteAtResponder {
+		n.store.Touch(req.URL, time.Now())
+	}
+	n.mu.Unlock()
+
+	switch {
+	case ok:
+		err = hproto.WriteResponse(conn, hproto.Response{
+			Status:        hproto.StatusOK,
+			ResponderAge:  respAge,
+			ContentLength: doc.Size,
+			Source:        hproto.SourceCache,
+		}, zeroReader(doc.Size))
+	case req.Resolve:
+		err = n.resolveAndServe(conn, req, respAge)
+	default:
+		err = hproto.WriteResponse(conn, hproto.Response{
+			Status:       hproto.StatusNotFound,
+			ResponderAge: respAge,
+		}, nil)
+	}
+	if err != nil {
+		n.logf("netnode %s: write fetch response: %v", n.id, err)
+	}
+}
+
+// resolveAndServe is the parent's miss path: fetch the document from this
+// node's own parent (recursively, preserving the source tag) or origin,
+// store a copy iff this node's expiration age strictly exceeds the child's
+// (core.Scheme.OnParentResolve), and relay the body.
+func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Duration) error {
+	var (
+		size   int64
+		source string
+		err    error
+	)
+	switch {
+	case n.parentAddr != "":
+		size, _, source, err = fetchFrom(n.parentAddr, req.URL, req.SizeHint, myAge, true)
+	case n.originAddr != "":
+		size, _, _, err = fetchFrom(n.originAddr, req.URL, req.SizeHint, myAge, false)
+		source = hproto.SourceOrigin
+	default:
+		return hproto.WriteResponse(conn, hproto.Response{
+			Status:       hproto.StatusNotFound,
+			ResponderAge: myAge,
+		}, nil)
+	}
+	if err != nil {
+		n.logf("netnode %s: resolve %s: %v", n.id, req.URL, err)
+		return hproto.WriteResponse(conn, hproto.Response{
+			Status:       hproto.StatusNotFound,
+			ResponderAge: myAge,
+		}, nil)
+	}
+	if n.scheme.OnParentResolve(myAge, req.RequesterAge) {
+		n.putIfFits(cache.Document{URL: req.URL, Size: size})
+	}
+	return hproto.WriteResponse(conn, hproto.Response{
+		Status:        hproto.StatusOK,
+		ResponderAge:  myAge,
+		ContentLength: size,
+		Source:        source,
+	}, zeroReader(size))
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.logger != nil {
+		n.logger.Printf(format, args...)
+	}
+}
+
+// fetchFrom performs one hproto GET against addr, discarding the body and
+// returning its length, the piggybacked responder age, and the body's
+// source (cache or origin; an absent header means cache).
+func fetchFrom(addr, url string, sizeHint int64, requesterAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	if err := hproto.WriteRequest(conn, hproto.Request{
+		URL:          url,
+		RequesterAge: requesterAge,
+		SizeHint:     sizeHint,
+		Resolve:      resolve,
+	}); err != nil {
+		return 0, 0, "", err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := hproto.ReadResponse(br)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if resp.Status != hproto.StatusOK {
+		return 0, resp.ResponderAge, "", fmt.Errorf("fetch %s from %s: status %d", url, addr, resp.Status)
+	}
+	if _, err := io.CopyN(io.Discard, br, resp.ContentLength); err != nil {
+		return 0, resp.ResponderAge, "", fmt.Errorf("read body: %w", err)
+	}
+	source := resp.Source
+	if source == "" {
+		source = hproto.SourceCache
+	}
+	return resp.ContentLength, resp.ResponderAge, source, nil
+}
+
+// zeroReader streams n zero bytes; cached bodies are synthetic in this
+// reproduction (the simulator tracks sizes, not payloads).
+func zeroReader(n int64) io.Reader {
+	return io.LimitReader(zeros{}, n)
+}
+
+type zeros struct{}
+
+func (zeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+var _ io.Reader = zeros{}
+
+// OriginServer is an hproto origin that serves any URL with a body of the
+// hinted size (or 4KB), standing in for the web servers behind the group.
+type OriginServer struct {
+	ln     net.Listener
+	logger *log.Logger
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	mu      sync.Mutex
+	fetches int64
+}
+
+// NewOriginServer starts an origin on addr ("127.0.0.1:0" for tests).
+func NewOriginServer(addr string, logger *log.Logger) (*OriginServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netnode: origin listen %q: %w", addr, err)
+	}
+	o := &OriginServer{ln: ln, logger: logger, closed: make(chan struct{})}
+	o.wg.Add(1)
+	go o.acceptLoop()
+	return o, nil
+}
+
+// Addr returns the origin's TCP address.
+func (o *OriginServer) Addr() string { return o.ln.Addr().String() }
+
+// Fetches returns how many documents the origin served — the traffic the
+// cache group failed to absorb.
+func (o *OriginServer) Fetches() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fetches
+}
+
+// Close stops the origin.
+func (o *OriginServer) Close() error {
+	select {
+	case <-o.closed:
+		return nil
+	default:
+	}
+	close(o.closed)
+	err := o.ln.Close()
+	o.wg.Wait()
+	return err
+}
+
+func (o *OriginServer) acceptLoop() {
+	defer o.wg.Done()
+	for {
+		conn, err := o.ln.Accept()
+		if err != nil {
+			select {
+			case <-o.closed:
+				return
+			default:
+			}
+			if o.logger != nil {
+				o.logger.Printf("origin: accept: %v", err)
+			}
+			continue
+		}
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			o.serveConn(conn)
+		}()
+	}
+}
+
+func (o *OriginServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	req, err := hproto.ReadRequest(bufio.NewReader(conn))
+	if err != nil {
+		return
+	}
+	size := req.SizeHint
+	if size <= 0 {
+		size = 4096
+	}
+	o.mu.Lock()
+	o.fetches++
+	o.mu.Unlock()
+	_ = hproto.WriteResponse(conn, hproto.Response{
+		Status:        hproto.StatusOK,
+		ResponderAge:  cache.NoContention, // origins have no cache contention
+		ContentLength: size,
+		Source:        hproto.SourceOrigin,
+	}, zeroReader(size))
+}
+
+// serveDigest answers a peer's digest fetch with this node's serialized
+// summary, or 404 when the node does not run digests.
+func (n *Node) serveDigest(conn net.Conn) {
+	n.mu.Lock()
+	var (
+		data []byte
+		err  error
+	)
+	if n.digests != nil {
+		data, err = n.ownDigestBytes()
+	}
+	n.mu.Unlock()
+	if n.digests == nil || err != nil {
+		if err != nil {
+			n.logf("netnode %s: marshal digest: %v", n.id, err)
+		}
+		_ = hproto.WriteResponse(conn, hproto.Response{Status: hproto.StatusNotFound}, nil)
+		return
+	}
+	if err := hproto.WriteResponse(conn, hproto.Response{
+		Status:        hproto.StatusOK,
+		ContentLength: int64(len(data)),
+	}, bytes.NewReader(data)); err != nil {
+		n.logf("netnode %s: write digest: %v", n.id, err)
+	}
+}

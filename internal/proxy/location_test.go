@@ -1,0 +1,198 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+	"eacache/internal/metrics"
+)
+
+// newDigestProxy builds a proxy using Summary-Cache digests for location.
+func newDigestProxy(t *testing.T, id string, capacity int64, rebuildEvery int64) *Proxy {
+	t.Helper()
+	store, err := cache.New(cache.Config{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		ID:       id,
+		Store:    store,
+		Scheme:   core.AdHoc{},
+		Origin:   SizeHintOrigin{},
+		Location: LocateDigest,
+		Digest:   DigestConfig{Expected: 64, FPRate: 0.01, RebuildEvery: rebuildEvery},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLocationString(t *testing.T) {
+	if LocateICP.String() != "icp" || LocateDigest.String() != "digest" {
+		t.Fatal("location names wrong")
+	}
+	if Location(9).String() != "location(9)" {
+		t.Fatal("unknown location string")
+	}
+}
+
+func TestDigestConfigDefaults(t *testing.T) {
+	dc := DigestConfig{}.withDefaults(1 << 20)
+	if dc.Expected != 256 || dc.FPRate != 0.01 || dc.RebuildEvery != 5 {
+		t.Fatalf("defaults = %+v", dc)
+	}
+	tiny := DigestConfig{}.withDefaults(1024)
+	if tiny.Expected != 16 || tiny.RebuildEvery < 1 {
+		t.Fatalf("tiny defaults = %+v", tiny)
+	}
+}
+
+func TestDigestRemoteHit(t *testing.T) {
+	a := newDigestProxy(t, "a", 1<<20, 1)
+	b := newDigestProxy(t, "b", 1<<20, 1)
+	wire(t, a, b)
+
+	if _, err := a.Request("http://d/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Request("http://d/", 100, at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.RemoteHit || res.Responder != "a" {
+		t.Fatalf("res = %+v, want remote hit via digest", res)
+	}
+	// Digest location sends no ICP queries.
+	if b.ICP().QueriesSent != 0 {
+		t.Fatalf("queries sent = %d, want 0", b.ICP().QueriesSent)
+	}
+	if b.ICP().DigestChecks == 0 {
+		t.Fatal("no digest checks recorded")
+	}
+	if a.ICP().DigestRebuilds == 0 {
+		t.Fatal("responder never rebuilt its summary")
+	}
+}
+
+func TestDigestStalenessCausesMiss(t *testing.T) {
+	// With a huge rebuild threshold, a's summary is built once (empty is
+	// never advertised, so the first consultation builds it) and then
+	// goes stale: documents cached afterwards are invisible to b.
+	a := newDigestProxy(t, "a", 1<<20, 1000)
+	b := newDigestProxy(t, "b", 1<<20, 1000)
+	wire(t, a, b)
+
+	// Force a's summary to be built while the cache holds only doc0.
+	if _, err := a.Request("http://d0/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Request("http://d0/", 100, at(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// a caches a fresh document; the stale summary does not list it.
+	if _, err := a.Request("http://fresh/", 100, at(2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Request("http://fresh/", 100, at(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss {
+		t.Fatalf("res = %+v, want stale-summary miss", res)
+	}
+}
+
+func TestDigestFalseHitFallsThrough(t *testing.T) {
+	// a advertises doc X, then evicts it without republishing: b's fetch
+	// attempt fails (false hit) and the request falls through to the
+	// origin rather than erroring.
+	a := newDigestProxy(t, "a", 250, 1000)
+	b := newDigestProxy(t, "b", 1<<20, 1)
+	wire(t, a, b)
+
+	if _, err := a.Request("http://x/", 200, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Build a's summary while X is resident.
+	if _, err := b.Request("http://x/", 200, at(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Evict X from a (capacity 250 only fits one 200-byte doc).
+	if _, err := a.Request("http://y/", 200, at(2)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Store().Contains("http://x/") {
+		t.Fatal("test setup: x still resident")
+	}
+
+	// b evicts its own copy of x first so it must go looking.
+	if !b.Store().Remove("http://x/") {
+		t.Fatal("test setup: b had no copy")
+	}
+	res, err := b.Request("http://x/", 200, at(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss {
+		t.Fatalf("res = %+v, want miss after false hit", res)
+	}
+	if b.ICP().DigestFalseHits == 0 {
+		t.Fatal("false hit not recorded")
+	}
+}
+
+func TestDigestMixedGroupFallsBackToExact(t *testing.T) {
+	// A digest-mode proxy with an ICP-mode neighbour still finds its
+	// documents: the neighbour answers exactly.
+	a := newProxy(t, "a", 1<<20, core.AdHoc{}) // ICP mode
+	b := newDigestProxy(t, "b", 1<<20, 1)
+	wire(t, a, b)
+
+	if _, err := a.Request("http://d/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Request("http://d/", 100, at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.RemoteHit {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDigestGroupWorkload(t *testing.T) {
+	// A longer digest-mode workload: conservation holds and remote hits
+	// happen without any ICP traffic.
+	proxies := []*Proxy{
+		newDigestProxy(t, "p0", 8<<10, 4),
+		newDigestProxy(t, "p1", 8<<10, 4),
+		newDigestProxy(t, "p2", 8<<10, 4),
+	}
+	wire(t, proxies...)
+
+	var c metrics.Counters
+	for i := 0; i < 600; i++ {
+		p := proxies[i%len(proxies)]
+		url := fmt.Sprintf("http://w/doc%02d", i%25)
+		res, err := p.Request(url, 900, at(i))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		c.Record(res.Outcome, res.Doc.Size)
+	}
+	if c.LocalHits+c.RemoteHits+c.Misses != c.Requests {
+		t.Fatal("conservation violated")
+	}
+	if c.RemoteHits == 0 {
+		t.Fatal("digests produced no cooperative hits")
+	}
+	for _, p := range proxies {
+		if p.ICP().QueriesSent != 0 {
+			t.Fatalf("%s sent ICP queries in digest mode", p.ID())
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+// EventKind classifies one placement-relevant step inside a proxy.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventLocalHit: served from the proxy's own cache.
+	EventLocalHit EventKind = iota + 1
+	// EventRemoteFetch: document transferred from a group cache; the
+	// ages and the store/promote decision are attached.
+	EventRemoteFetch
+	// EventOriginFetch: group-wide miss resolved against the origin.
+	EventOriginFetch
+	// EventParentResolve: hierarchical parent resolved a child's miss;
+	// Stored reports the parent-side decision.
+	EventParentResolve
+	// EventStaleLocal: a local copy existed but was past its freshness
+	// deadline and could not be served.
+	EventStaleLocal
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventLocalHit:
+		return "local-hit"
+	case EventRemoteFetch:
+		return "remote-fetch"
+	case EventOriginFetch:
+		return "origin-fetch"
+	case EventParentResolve:
+		return "parent-resolve"
+	case EventStaleLocal:
+		return "stale-local"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one observed placement step. RequesterAge and ResponderAge are
+// the piggybacked cache expiration ages that drove the decision (zero for
+// kinds that involve no exchange).
+type Event struct {
+	Time         time.Time
+	Kind         EventKind
+	Proxy        string
+	URL          string
+	Peer         string
+	RequesterAge time.Duration
+	ResponderAge time.Duration
+	// Stored / Promoted record the placement decision taken.
+	Stored   bool
+	Promoted bool
+}
+
+// Tracer observes placement events. Implementations must be fast; the
+// proxy calls them inline. A nil Tracer costs one branch.
+type Tracer interface {
+	Trace(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Event)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(e Event) { f(e) }
+
+// WriteTracer returns a Tracer that renders each event as one line on w —
+// the quickest way to watch the EA scheme decide:
+//
+//	12:00:05 cache-2 remote-fetch http://a/ <- cache-0  req=45s resp=12s stored
+func WriteTracer(w io.Writer) Tracer {
+	return TracerFunc(func(e Event) {
+		peer := ""
+		if e.Peer != "" {
+			peer = " <- " + e.Peer
+		}
+		decision := ""
+		switch {
+		case e.Stored && e.Promoted:
+			decision = " stored+promoted"
+		case e.Stored:
+			decision = " stored"
+		case e.Promoted:
+			decision = " promoted-at-responder"
+		}
+		ages := ""
+		if e.Kind == EventRemoteFetch || e.Kind == EventParentResolve {
+			ages = fmt.Sprintf("  req=%s resp=%s", fmtAge(e.RequesterAge), fmtAge(e.ResponderAge))
+		}
+		fmt.Fprintf(w, "%s %s %s %s%s%s%s\n",
+			e.Time.Format("15:04:05"), e.Proxy, e.Kind, e.URL, peer, ages, decision)
+	})
+}
+
+func fmtAge(d time.Duration) string {
+	if d >= cache.NoContention {
+		return "inf"
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+// CollectTracer accumulates events in memory, for tests and analysis.
+type CollectTracer struct {
+	Events []Event
+}
+
+// Trace implements Tracer.
+func (c *CollectTracer) Trace(e Event) { c.Events = append(c.Events, e) }

@@ -1,0 +1,169 @@
+package proxy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+)
+
+// newTracedProxy builds a proxy with a collecting tracer attached.
+func newTracedProxy(t *testing.T, id string, scheme core.Scheme, tr Tracer) *Proxy {
+	t.Helper()
+	store, err := cache.New(cache.Config{Capacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		ID:     id,
+		Store:  store,
+		Scheme: scheme,
+		Origin: SizeHintOrigin{},
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTracerSeesDecisionSequence(t *testing.T) {
+	var events CollectTracer
+	a := newTracedProxy(t, "a", core.EA{}, &events)
+	b := newTracedProxy(t, "b", core.EA{}, nil)
+	wire(t, a, b)
+
+	if _, err := a.Request("http://d/", 100, at(0)); err != nil { // origin fetch
+		t.Fatal(err)
+	}
+	if _, err := a.Request("http://d/", 100, at(1)); err != nil { // local hit
+		t.Fatal(err)
+	}
+	if _, err := b.Request("http://d/", 100, at(2)); err != nil { // remote at b (untraced)
+		t.Fatal(err)
+	}
+
+	if len(events.Events) != 2 {
+		t.Fatalf("events = %d: %+v", len(events.Events), events.Events)
+	}
+	if events.Events[0].Kind != EventOriginFetch || !events.Events[0].Stored {
+		t.Fatalf("event[0] = %+v", events.Events[0])
+	}
+	if events.Events[1].Kind != EventLocalHit {
+		t.Fatalf("event[1] = %+v", events.Events[1])
+	}
+}
+
+func TestTracerRemoteFetchCarriesAges(t *testing.T) {
+	var events CollectTracer
+	responder := newTracedProxy(t, "responder", core.EA{}, nil)
+	requester := newTracedProxy(t, "requester", core.EA{}, &events)
+	wire(t, requester, responder)
+
+	if _, err := responder.Request("http://d/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := requester.Request("http://d/", 100, at(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var remote *Event
+	for i := range events.Events {
+		if events.Events[i].Kind == EventRemoteFetch {
+			remote = &events.Events[i]
+		}
+	}
+	if remote == nil {
+		t.Fatalf("no remote-fetch event: %+v", events.Events)
+	}
+	if remote.Peer != "responder" {
+		t.Fatalf("peer = %q", remote.Peer)
+	}
+	// Cold caches: both piggybacked ages are NoContention.
+	if remote.RequesterAge != cache.NoContention || remote.ResponderAge != cache.NoContention {
+		t.Fatalf("ages = %v / %v", remote.RequesterAge, remote.ResponderAge)
+	}
+	if remote.Stored || remote.Promoted {
+		t.Fatalf("cold tie must neither store nor promote: %+v", remote)
+	}
+}
+
+func TestTracerStaleLocalEvent(t *testing.T) {
+	var events CollectTracer
+	store, err := cache.New(cache.Config{Capacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		ID:     "a",
+		Store:  store,
+		Scheme: core.AdHoc{},
+		Origin: TTLOrigin{Classes: []TTLClass{{Fraction: 1, TTL: 5 * time.Second}}},
+		Tracer: &events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Request("http://d/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Request("http://d/", 100, at(60)); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]EventKind, 0, len(events.Events))
+	for _, e := range events.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EventOriginFetch, EventStaleLocal, EventOriginFetch}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestWriteTracerFormat(t *testing.T) {
+	var b strings.Builder
+	tr := WriteTracer(&b)
+	tr.Trace(Event{
+		Time: at(5), Kind: EventRemoteFetch, Proxy: "cache-2",
+		URL: "http://a/", Peer: "cache-0",
+		RequesterAge: 45 * time.Second, ResponderAge: 12 * time.Second,
+		Stored: true,
+	})
+	tr.Trace(Event{
+		Time: at(6), Kind: EventRemoteFetch, Proxy: "cache-0",
+		URL: "http://b/", Peer: "cache-2",
+		RequesterAge: cache.NoContention, ResponderAge: time.Second,
+		Promoted: true,
+	})
+	out := b.String()
+	for _, want := range []string{
+		"cache-2 remote-fetch http://a/ <- cache-0", "req=45s resp=12s stored",
+		"req=inf", "promoted-at-responder",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EventLocalHit:      "local-hit",
+		EventRemoteFetch:   "remote-fetch",
+		EventOriginFetch:   "origin-fetch",
+		EventParentResolve: "parent-resolve",
+		EventStaleLocal:    "stale-local",
+		EventKind(42):      "event(42)",
+	} {
+		if kind.String() != want {
+			t.Fatalf("%d.String() = %q", kind, kind.String())
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+	"eacache/internal/metrics"
+)
+
+// newTTLProxy builds a proxy whose origin stamps every document with the
+// given lifetime.
+func newTTLProxy(t *testing.T, id string, capacity int64, ttl time.Duration) *Proxy {
+	t.Helper()
+	store, err := cache.New(cache.Config{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		ID:     id,
+		Store:  store,
+		Scheme: core.AdHoc{},
+		Origin: TTLOrigin{Classes: []TTLClass{{Fraction: 1, TTL: ttl}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDocumentFreshAt(t *testing.T) {
+	immortal := cache.Document{URL: "a", Size: 1}
+	if !immortal.FreshAt(at(1000000)) {
+		t.Fatal("immortal document went stale")
+	}
+	mortal := cache.Document{URL: "b", Size: 1, Expires: at(100)}
+	if !mortal.FreshAt(at(100)) {
+		t.Fatal("document stale exactly at its deadline")
+	}
+	if mortal.FreshAt(at(101)) {
+		t.Fatal("document fresh past its deadline")
+	}
+}
+
+func TestTTLOriginClasses(t *testing.T) {
+	o := EraTTLOrigin()
+	counts := map[time.Duration]int{}
+	for i := 0; i < 2000; i++ {
+		counts[o.TTLFor("http://x.example.edu/doc"+string(rune('a'+i%26))+string(rune('0'+i/26)))]++
+	}
+	if counts[5*time.Minute] == 0 || counts[time.Hour] == 0 || counts[0] == 0 {
+		t.Fatalf("class coverage: %v", counts)
+	}
+	// Deterministic per URL.
+	if o.TTLFor("http://a/") != o.TTLFor("http://a/") {
+		t.Fatal("TTL assignment not deterministic")
+	}
+	// The immortal class dominates (60%).
+	if counts[0] < 800 {
+		t.Fatalf("immortal class too small: %v", counts)
+	}
+}
+
+func TestStaleLocalCopyIsMiss(t *testing.T) {
+	p := newTTLProxy(t, "a", 1<<20, 10*time.Second)
+	if _, err := p.Request("http://d/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Request("http://d/", 100, at(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.LocalHit {
+		t.Fatalf("fresh request = %+v", res)
+	}
+	// Past the 10s lifetime the copy is stale: a miss, re-fetched and
+	// re-stamped.
+	res, err = p.Request("http://d/", 100, at(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss {
+		t.Fatalf("stale request = %+v, want miss", res)
+	}
+	// The re-fetch refreshed the expiry: fresh again.
+	res, err = p.Request("http://d/", 100, at(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.LocalHit {
+		t.Fatalf("refreshed request = %+v", res)
+	}
+}
+
+func TestStaleCopyNotAdvertisedOverICP(t *testing.T) {
+	a := newTTLProxy(t, "a", 1<<20, 10*time.Second)
+	b := newTTLProxy(t, "b", 1<<20, 10*time.Second)
+	wire(t, a, b)
+
+	if _, err := a.Request("http://d/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	// While fresh: remote hit at b.
+	res, err := b.Request("http://d/", 100, at(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.RemoteHit {
+		t.Fatalf("fresh remote = %+v", res)
+	}
+	// b's own copy ages out; a's copy (stored at t=0) is also stale, so
+	// the ICP query must answer MISS and the request goes to the origin.
+	res, err = b.Request("http://d/", 100, at(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss {
+		t.Fatalf("stale remote = %+v, want miss (stale copies not advertised)", res)
+	}
+	if a.ICP().RepliesHit != 1 {
+		t.Fatalf("a advertised a stale copy: %+v", a.ICP())
+	}
+}
+
+func TestStaleCopyNotServedByParent(t *testing.T) {
+	parent := newTTLProxy(t, "parent", 1<<20, 10*time.Second)
+	child := newTTLProxy(t, "child", 1<<20, 10*time.Second)
+	if err := child.SetParent(parent); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the parent (ad-hoc stores at both levels).
+	if _, err := child.Request("http://d/", 100, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Long after expiry, the child's miss must not be satisfied by the
+	// parent's stale copy: the parent re-resolves from the origin.
+	res, err := child.Request("http://d/", 100, at(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.Miss {
+		t.Fatalf("res = %+v, want origin-resolved miss", res)
+	}
+	// And the parent's copy was refreshed by the ad-hoc store.
+	doc, ok := parent.Store().Peek("http://d/")
+	if !ok || !doc.FreshAt(at(61)) {
+		t.Fatalf("parent copy not refreshed: %+v, %v", doc, ok)
+	}
+}
+
+func TestSizeHintOriginImmortal(t *testing.T) {
+	doc, err := SizeHintOrigin{}.Fetch("http://d/", 0, at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size != 4096 {
+		t.Fatalf("default size = %d", doc.Size)
+	}
+	if !doc.Expires.IsZero() {
+		t.Fatal("SizeHintOrigin stamped an expiry")
+	}
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"eacache/internal/core"
+	"eacache/internal/group"
+	"eacache/internal/sim"
+	"eacache/internal/trace"
+)
+
+// The whole pipeline: generate a workload, wire a cooperative group, and
+// replay — deterministic for a given seed.
+func ExampleRun() {
+	cfg := trace.BULike().Scaled(0.002) // ~1,150 requests
+	records, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	records = trace.CleanZeroSizes(records, trace.DefaultDocSize)
+
+	g, err := group.New(group.Config{
+		Caches:         4,
+		AggregateBytes: 64 << 10,
+		Scheme:         core.EA{},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	report, err := sim.Run(g, records, sim.Config{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Println("requests:", report.Group.Requests)
+	fmt.Println("conserved:", report.Group.LocalHits+report.Group.RemoteHits+report.Group.Misses == report.Group.Requests)
+	fmt.Println("scheme:", report.Scheme)
+
+	// Output:
+	// requests: 1151
+	// conserved: true
+	// scheme: ea
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Popularity summarises the document-popularity distribution of a reference
+// stream: how concentrated the head is and how Zipf-like the body looks.
+// These are the workload properties the paper's results hinge on, so the
+// generator's output is checked against them (and against published
+// web-trace measurements: Breslau et al. report alpha 0.64-0.83).
+type Popularity struct {
+	// Docs is the number of distinct documents.
+	Docs int
+	// TopShare[k] is the fraction of all requests going to the k most
+	// popular documents, for the ks in TopKs.
+	TopKs    []int
+	TopShare []float64
+	// Alpha is the least-squares Zipf exponent fitted to the log-log
+	// rank/frequency curve (head and singleton tail trimmed).
+	Alpha float64
+	// SingleUse is the fraction of distinct documents requested exactly
+	// once ("one-timers", a classic proxy-trace statistic).
+	SingleUse float64
+}
+
+// ComputePopularity analyses the reference stream's popularity structure.
+func ComputePopularity(records []Record) Popularity {
+	counts := make(map[string]int, len(records)/4)
+	for _, r := range records {
+		counts[r.URL]++
+	}
+	freqs := make([]int, 0, len(counts))
+	singles := 0
+	for _, c := range counts {
+		freqs = append(freqs, c)
+		if c == 1 {
+			singles++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+
+	p := Popularity{
+		Docs:  len(freqs),
+		TopKs: []int{1, 10, 100, 1000},
+	}
+	if len(freqs) == 0 {
+		return p
+	}
+	p.SingleUse = float64(singles) / float64(len(freqs))
+
+	total := 0
+	for _, c := range freqs {
+		total += c
+	}
+	acc := 0
+	ki := 0
+	for i, c := range freqs {
+		acc += c
+		for ki < len(p.TopKs) && i+1 == p.TopKs[ki] {
+			p.TopShare = append(p.TopShare, float64(acc)/float64(total))
+			ki++
+		}
+	}
+	for ki < len(p.TopKs) {
+		p.TopShare = append(p.TopShare, 1)
+		ki++
+	}
+	p.Alpha = fitZipfAlpha(freqs)
+	return p
+}
+
+// fitZipfAlpha fits frequency ~ C / rank^alpha by least squares in log-log
+// space, over the mid-section of the curve (the first few ranks and the
+// quantised singleton tail both bias the fit).
+func fitZipfAlpha(freqs []int) float64 {
+	lo := 3
+	hi := len(freqs)
+	for hi > lo && freqs[hi-1] <= 2 {
+		hi--
+	}
+	if hi-lo < 10 {
+		lo, hi = 0, len(freqs)
+	}
+	if hi-lo < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(hi - lo)
+	for i := lo; i < hi; i++ {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(freqs[i]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope
+}
+
+// String implements fmt.Stringer.
+func (p Popularity) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d docs, alpha~%.2f, one-timers %.1f%%, head share:", p.Docs, p.Alpha, 100*p.SingleUse)
+	for i, k := range p.TopKs {
+		if i < len(p.TopShare) {
+			fmt.Fprintf(&b, " top%d=%.1f%%", k, 100*p.TopShare[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Filter returns the records satisfying keep, preserving order. The input
+// is not modified.
+func Filter(records []Record, keep func(Record) bool) []Record {
+	var out []Record
+	for _, r := range records {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TimeSlice returns the records with Time in [from, to), preserving order —
+// the standard way to carve a busy day or week out of a long trace.
+func TimeSlice(records []Record, from, to time.Time) []Record {
+	return Filter(records, func(r Record) bool {
+		return !r.Time.Before(from) && r.Time.Before(to)
+	})
+}
+
+// SelectClients returns the records issued by the given clients, preserving
+// order — the per-proxy partition of a shared trace.
+func SelectClients(records []Record, clients ...string) []Record {
+	set := make(map[string]struct{}, len(clients))
+	for _, c := range clients {
+		set[c] = struct{}{}
+	}
+	return Filter(records, func(r Record) bool {
+		_, ok := set[r.Client]
+		return ok
+	})
+}
+
+// Merge interleaves chronologically sorted traces into one sorted trace
+// (k-way merge; ties keep the earlier input's records first). Unsorted
+// inputs are rejected.
+func Merge(traces ...[]Record) ([]Record, error) {
+	total := 0
+	for i, tr := range traces {
+		if !Sorted(tr) {
+			return nil, fmt.Errorf("trace: Merge input %d is not sorted", i)
+		}
+		total += len(tr)
+	}
+	h := make(mergeHeap, 0, len(traces))
+	for i, tr := range traces {
+		if len(tr) > 0 {
+			h = append(h, mergeCursor{records: tr, src: i})
+		}
+	}
+	heap.Init(&h)
+
+	out := make([]Record, 0, total)
+	for h.Len() > 0 {
+		cur := &h[0]
+		out = append(out, cur.records[cur.pos])
+		cur.pos++
+		if cur.pos == len(cur.records) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out, nil
+}
+
+type mergeCursor struct {
+	records []Record
+	pos     int
+	src     int
+}
+
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(i, j int) bool {
+	ti, tj := h[i].records[h[i].pos].Time, h[j].records[h[j].pos].Time
+	if !ti.Equal(tj) {
+		return ti.Before(tj)
+	}
+	return h[i].src < h[j].src
+}
+
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x any) {
+	c, ok := x.(mergeCursor)
+	if ok {
+		*h = append(*h, c)
+	}
+}
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// WriteSquid serialises records in Squid's native access.log format, so a
+// synthetic workload can drive any tool that consumes Squid logs (including
+// this repository's own ReadSquid). Outcome fields that a trace does not
+// carry are written as TCP_MISS/200 direct-to-origin GETs.
+func WriteSquid(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		_, err := fmt.Fprintf(bw, "%d.%03d %6d %s TCP_MISS/200 %d GET %s - DIRECT/origin -\n",
+			r.Time.Unix(), r.Time.Nanosecond()/1e6, 0, r.Client, r.Size, r.URL)
+		if err != nil {
+			return fmt.Errorf("trace: write squid: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mkRec(sec int64, client, url string) Record {
+	return Record{Time: ts(sec, 0), Client: client, URL: url, Size: 100}
+}
+
+func TestFilterAndTimeSlice(t *testing.T) {
+	records := []Record{
+		mkRec(10, "a", "u1"),
+		mkRec(20, "b", "u2"),
+		mkRec(30, "a", "u3"),
+		mkRec(40, "c", "u4"),
+	}
+	got := Filter(records, func(r Record) bool { return r.Client == "a" })
+	if len(got) != 2 || got[0].URL != "u1" || got[1].URL != "u3" {
+		t.Fatalf("Filter = %+v", got)
+	}
+
+	sliced := TimeSlice(records, ts(20, 0), ts(40, 0))
+	if len(sliced) != 2 || sliced[0].URL != "u2" || sliced[1].URL != "u3" {
+		t.Fatalf("TimeSlice = %+v", sliced)
+	}
+	if len(records) != 4 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSelectClients(t *testing.T) {
+	records := []Record{mkRec(1, "a", "u1"), mkRec(2, "b", "u2"), mkRec(3, "c", "u3")}
+	got := SelectClients(records, "a", "c")
+	if len(got) != 2 || got[0].Client != "a" || got[1].Client != "c" {
+		t.Fatalf("SelectClients = %+v", got)
+	}
+	if len(SelectClients(records)) != 0 {
+		t.Fatal("empty client set selected records")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Record{mkRec(1, "a", "u1"), mkRec(5, "a", "u2"), mkRec(9, "a", "u3")}
+	b := []Record{mkRec(2, "b", "u4"), mkRec(5, "b", "u5")}
+	c := []Record{}
+	got, err := Merge(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("merged %d records", len(got))
+	}
+	if !Sorted(got) {
+		t.Fatalf("merge not sorted: %+v", got)
+	}
+	// Tie at t=5: input order (a before b) preserved.
+	if got[2].URL != "u2" || got[3].URL != "u5" {
+		t.Fatalf("tie order: %+v", got)
+	}
+
+	if _, err := Merge([]Record{mkRec(5, "x", "u"), mkRec(1, "x", "u")}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+}
+
+func TestQuickMergeMatchesSort(t *testing.T) {
+	f := func(times1, times2 []uint16) bool {
+		mk := func(times []uint16, client string) []Record {
+			out := make([]Record, len(times))
+			for i, s := range times {
+				out[i] = mkRec(int64(s), client, "u")
+			}
+			SortByTime(out)
+			return out
+		}
+		a, b := mk(times1, "a"), mk(times2, "b")
+		merged, err := Merge(a, b)
+		if err != nil {
+			return false
+		}
+		want := append(append([]Record{}, a...), b...)
+		SortByTime(want)
+		if len(merged) != len(want) {
+			return false
+		}
+		for i := range merged {
+			if !merged[i].Time.Equal(want[i].Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSquidRoundTrip(t *testing.T) {
+	records := []Record{
+		{Time: ts(784900000, 123000000), Client: "10.0.0.7", URL: "http://cs-www.bu.edu/", Size: 2314},
+		{Time: ts(784900002, 0), Client: "10.0.0.9", URL: "http://cs-www.bu.edu/logo.gif", Size: 1804},
+	}
+	var buf bytes.Buffer
+	if err := WriteSquid(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadSquid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("own output skipped %d lines", skipped)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, records)
+	}
+}
+
+func TestWriteSquidDrivesSimulatorInput(t *testing.T) {
+	cfg := BULike().Scaled(0.001)
+	cfg.ZeroSizeFraction = 0
+	records, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSquid(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadSquid(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("squid round trip: %v, %d skipped", err, skipped)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("records = %d, want %d", len(got), len(records))
+	}
+}
