@@ -1,0 +1,32 @@
+# Build/test entry points. `make check` is the full gate (vet + build +
+# race-enabled tests including the chaos suite); `make test-short` skips
+# the chaos tests for a fast tier-1-style pass.
+
+GO ?= go
+
+.PHONY: check build vet test test-short test-race chaos bench
+
+check: vet build test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Fast pass: -short skips the fault-injection chaos tests.
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Just the chaos suite: the live 4-node group under injected faults.
+chaos:
+	$(GO) test -race -v -run 'TestBreaker|TestRemoteHitFetchFailure|TestPeerCrash|TestUDPLoss|TestStalledOrigin|TestChaosFlagged|TestDemoWithChaos' ./internal/netnode/ ./cmd/proxyd/
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -28,6 +28,7 @@ import (
 	"eacache/internal/cache"
 	"eacache/internal/core"
 	"eacache/internal/dist"
+	"eacache/internal/faults"
 	"eacache/internal/metrics"
 	"eacache/internal/netnode"
 	"eacache/internal/proxy"
@@ -56,6 +57,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		demo       = fs.Bool("demo", false, "run a self-contained demo group and exit")
 		demoNodes  = fs.Int("nodes", 3, "group size for -demo")
 		demoReqs   = fs.Int("requests", 600, "requests to replay in -demo")
+
+		dialTimeout   = fs.Duration("dial-timeout", netnode.DefaultDialTimeout, "TCP dial timeout for peer/parent/origin fetches")
+		fetchTimeout  = fs.Duration("fetch-timeout", netnode.DefaultFetchTimeout, "whole-exchange timeout for inter-proxy fetches")
+		fetchAttempts = fs.Int("fetch-attempts", netnode.DefaultFetchAttempts, "attempts per parent/origin fetch before the request fails")
+		chaosSpec     = fs.String("chaos", "", `inject deterministic faults into every socket, e.g. "seed=42,udp-drop=0.3,tcp-stall=0.05" (see internal/faults)`)
 	)
 	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr> (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +71,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	logger := log.New(stderr, "proxyd ", log.LstdFlags)
 
 	if *demo {
-		return runDemo(stdout, logger, *demoNodes, *demoReqs, *schemeName)
+		return runDemo(stdout, logger, *demoNodes, *demoReqs, *schemeName, *chaosSpec)
+	}
+
+	injector, err := newInjector(*chaosSpec)
+	if err != nil {
+		return err
 	}
 
 	if *originMode {
@@ -101,15 +112,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	node, err := netnode.New(netnode.Config{
-		ID:         "proxyd",
-		ICPAddr:    *icpAddr,
-		HTTPAddr:   *httpAddr,
-		Store:      store,
-		Scheme:     scheme,
-		OriginAddr: *originAddr,
-		ParentAddr: *parentAddr,
-		Location:   loc,
-		Logger:     logger,
+		ID:            "proxyd",
+		ICPAddr:       *icpAddr,
+		HTTPAddr:      *httpAddr,
+		Store:         store,
+		Scheme:        scheme,
+		OriginAddr:    *originAddr,
+		ParentAddr:    *parentAddr,
+		Location:      loc,
+		DialTimeout:   *dialTimeout,
+		FetchTimeout:  *fetchTimeout,
+		FetchAttempts: *fetchAttempts,
+		Faults:        injector,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
@@ -119,16 +134,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "proxy up: icp=%s http=%s scheme=%s capacity=%s peers=%d\n",
 		node.ICPAddr(), node.HTTPAddr(), scheme.Name(), *capacity, len(peers.peers))
+	if injector != nil {
+		fmt.Fprintf(stdout, "chaos mode: %s\n", *chaosSpec)
+	}
 	waitForSignal()
+	if injector != nil {
+		fmt.Fprintf(stdout, "chaos injected: %+v\n", injector.Stats())
+		fmt.Fprintf(stdout, "robustness: %+v\n", node.Robustness())
+	}
 	return nil
 }
 
+// newInjector builds a fault injector from a -chaos spec, or nil when the
+// spec is empty (no chaos, no wrapper overhead).
+func newInjector(spec string) (*faults.Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg, err := faults.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return faults.New(cfg)
+}
+
 // runDemo builds an origin plus an n-node cooperative group on loopback,
-// replays a Zipf workload through it, and prints what happened on the wire.
-func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName string) error {
+// replays a Zipf workload through it, and prints what happened on the
+// wire. A non-empty chaosSpec injects deterministic faults into every
+// node's sockets and reports how the group degraded.
+func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName, chaosSpec string) error {
 	scheme, ok := core.New(schemeName)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	injector, err := newInjector(chaosSpec)
+	if err != nil {
+		return err
 	}
 
 	origin, err := netnode.NewOriginServer("127.0.0.1:0", logger)
@@ -158,6 +199,7 @@ func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName s
 			Store:      store,
 			Scheme:     scheme,
 			OriginAddr: origin.Addr(),
+			Faults:     injector,
 			Logger:     logger,
 		})
 		if err != nil {
@@ -184,12 +226,22 @@ func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName s
 		return err
 	}
 	var counters metrics.Counters
+	var failed int
 	for i := 0; i < requests; i++ {
 		node := nodes[rng.Intn(len(nodes))]
 		url := fmt.Sprintf("http://demo.example.edu/doc%03d.html", zipf.Rank(rng))
 		res, err := node.Request(url, 2048+int64(rng.Intn(4096)))
 		if err != nil {
-			return err
+			// Under injected faults a request can legitimately fail (e.g.
+			// the origin connection keeps resetting); count it and keep
+			// going so the demo reports how the group degraded. Without
+			// chaos any error is a real bug.
+			if injector == nil {
+				return err
+			}
+			logger.Printf("demo request failed: %v", err)
+			failed++
+			continue
 		}
 		counters.Record(res.Outcome, res.Size)
 	}
@@ -198,8 +250,24 @@ func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName s
 		"replayed %d requests over the wire: local=%.1f%% remote=%.1f%% miss=%.1f%% (origin served %d fetches)\n",
 		counters.Requests, 100*counters.LocalHitRate(), 100*counters.RemoteHitRate(),
 		100*counters.MissRate(), origin.Fetches())
+	if failed > 0 {
+		fmt.Fprintf(stdout, "failed requests: %d of %d (all retries and fallbacks exhausted)\n", failed, requests)
+	}
 	fmt.Fprintf(stdout, "estimated mean latency (paper model): %s\n",
 		metrics.PaperLatencies.EstimatedAverageLatency(&counters))
+	if injector != nil {
+		var rb metrics.RobustnessSnapshot
+		for _, nd := range nodes {
+			s := nd.Robustness()
+			rb.PeerFailures += s.PeerFailures
+			rb.Retries += s.Retries
+			rb.Fallbacks += s.Fallbacks
+			rb.BreakerOpens += s.BreakerOpens
+			rb.BreakerCloses += s.BreakerCloses
+		}
+		fmt.Fprintf(stdout, "chaos injected: %+v\n", injector.Stats())
+		fmt.Fprintf(stdout, "group robustness: %+v\n", rb)
+	}
 	return nil
 }
 

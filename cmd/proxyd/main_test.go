@@ -59,7 +59,7 @@ func TestPeerListFlag(t *testing.T) {
 func TestDemoEndToEnd(t *testing.T) {
 	var out bytes.Buffer
 	logger := log.New(&bytes.Buffer{}, "", 0)
-	if err := runDemo(&out, logger, 3, 200, "ea"); err != nil {
+	if err := runDemo(&out, logger, 3, 200, "ea", ""); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -72,7 +72,31 @@ func TestDemoEndToEnd(t *testing.T) {
 
 func TestDemoRejectsBadScheme(t *testing.T) {
 	var out bytes.Buffer
-	if err := runDemo(&out, log.New(&bytes.Buffer{}, "", 0), 2, 10, "bogus"); err == nil {
+	if err := runDemo(&out, log.New(&bytes.Buffer{}, "", 0), 2, 10, "bogus", ""); err == nil {
 		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestDemoWithChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	var out bytes.Buffer
+	logger := log.New(&bytes.Buffer{}, "", 0)
+	if err := runDemo(&out, logger, 3, 60, "ea", "seed=1,udp-drop=0.3"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"replayed 60 requests", "chaos injected", "group robustness"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chaos demo output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDemoRejectsBadChaosSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := runDemo(&out, log.New(&bytes.Buffer{}, "", 0), 2, 10, "ea", "udp-drop=2"); err == nil {
+		t.Fatal("bad chaos spec accepted")
 	}
 }

@@ -1,0 +1,245 @@
+// Package health tracks per-peer reachability for the cooperative fetch
+// path with a three-state circuit breaker:
+//
+//	healthy ──failure──▶ suspect ──more failures──▶ dead
+//	   ▲                    │                         │
+//	   └────── success ─────┴──── successful probe ───┘
+//
+// A healthy or suspect peer participates in every ICP fan-out. A dead
+// peer is excluded — so a down neighbour stops costing the full ICP
+// timeout on every local miss — except for periodic probe requests whose
+// spacing backs off exponentially while the peer stays down. Any success
+// (an ICP reply or a completed fetch) snaps the peer back to healthy.
+//
+// Evidence comes from both protocols: ICP silence on a timed-out fan-out
+// and failed TCP fetches both count as failures; either kind of response
+// counts as success. This mirrors Squid's peer-monitoring heuristics
+// (consecutive silences mark a neighbour dead) with an explicit breaker.
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a peer's breaker state.
+type State int
+
+// Breaker states.
+const (
+	// Healthy peers take full part in the fan-out.
+	Healthy State = iota
+	// Suspect peers have failed recently but not often enough to be
+	// excluded; they still take part in the fan-out.
+	Suspect
+	// Dead peers are excluded from the fan-out except for backoff-spaced
+	// probes.
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return "state(?)"
+	}
+}
+
+// Defaults for Config.
+const (
+	DefaultSuspectAfter = 1
+	DefaultDeadAfter    = 3
+	DefaultProbeBase    = 500 * time.Millisecond
+	DefaultProbeMax     = 30 * time.Second
+)
+
+// Config tunes a Tracker. The zero value uses the defaults.
+type Config struct {
+	// SuspectAfter is the consecutive-failure count that moves a healthy
+	// peer to suspect. Default 1.
+	SuspectAfter int
+	// DeadAfter is the consecutive-failure count that opens the breaker
+	// (suspect → dead). Default 3.
+	DeadAfter int
+	// ProbeBase is the first probe interval after a peer dies; each
+	// failed probe doubles it up to ProbeMax. Defaults 500ms / 30s.
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
+	// Now is the clock, for deterministic tests. Defaults to time.Now.
+	Now func() time.Time
+	// OnStateChange, when set, observes every transition. Called without
+	// the tracker lock held.
+	OnStateChange func(peer string, from, to State)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = DefaultSuspectAfter
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = c.SuspectAfter + DefaultDeadAfter - DefaultSuspectAfter
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter
+	}
+	if c.ProbeBase <= 0 {
+		c.ProbeBase = DefaultProbeBase
+	}
+	if c.ProbeMax < c.ProbeBase {
+		c.ProbeMax = DefaultProbeMax
+		if c.ProbeMax < c.ProbeBase {
+			c.ProbeMax = c.ProbeBase
+		}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+type peerState struct {
+	state     State
+	failures  int           // consecutive failures
+	probeWait time.Duration // current backoff interval while dead
+	nextProbe time.Time     // earliest next probe while dead
+}
+
+// Tracker is a concurrent per-peer breaker map. Peers are identified by an
+// opaque string key (the node uses the peer's fetch address). Unknown
+// peers are healthy.
+type Tracker struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+// NewTracker returns a Tracker with cfg's thresholds.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), peers: make(map[string]*peerState)}
+}
+
+func (t *Tracker) get(peer string) *peerState {
+	ps, ok := t.peers[peer]
+	if !ok {
+		ps = &peerState{}
+		t.peers[peer] = ps
+	}
+	return ps
+}
+
+// Allow reports whether peer should take part in the next exchange. For a
+// dead peer it returns true only when a probe is due, and books the next
+// probe slot so concurrent fan-outs do not all probe at once.
+func (t *Tracker) Allow(peer string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.peers[peer]
+	if !ok || ps.state != Dead {
+		return true
+	}
+	now := t.cfg.Now()
+	if now.Before(ps.nextProbe) {
+		return false
+	}
+	// Book the probe: double the backoff now so further fan-outs skip
+	// the peer until this probe's outcome (success resets everything).
+	ps.probeWait *= 2
+	if ps.probeWait > t.cfg.ProbeMax {
+		ps.probeWait = t.cfg.ProbeMax
+	}
+	ps.nextProbe = now.Add(ps.probeWait)
+	return true
+}
+
+// State returns peer's current breaker state.
+func (t *Tracker) State(peer string) State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.peers[peer]; ok {
+		return ps.state
+	}
+	return Healthy
+}
+
+// ReportSuccess records a successful exchange with peer (ICP reply or
+// completed fetch) and closes the breaker.
+func (t *Tracker) ReportSuccess(peer string) {
+	t.mu.Lock()
+	ps := t.get(peer)
+	from := ps.state
+	ps.state = Healthy
+	ps.failures = 0
+	ps.probeWait = 0
+	ps.nextProbe = time.Time{}
+	t.mu.Unlock()
+	t.notify(peer, from, Healthy)
+}
+
+// ReportFailure records a failed exchange with peer (ICP silence on a
+// timed-out fan-out, failed dial, or broken fetch) and advances the
+// breaker.
+func (t *Tracker) ReportFailure(peer string) {
+	t.mu.Lock()
+	ps := t.get(peer)
+	from := ps.state
+	ps.failures++
+	switch {
+	case ps.failures >= t.cfg.DeadAfter:
+		if ps.state != Dead {
+			ps.state = Dead
+			ps.probeWait = t.cfg.ProbeBase
+			ps.nextProbe = t.cfg.Now().Add(ps.probeWait)
+		}
+	case ps.failures >= t.cfg.SuspectAfter:
+		ps.state = Suspect
+	}
+	to := ps.state
+	t.mu.Unlock()
+	t.notify(peer, from, to)
+}
+
+func (t *Tracker) notify(peer string, from, to State) {
+	if from != to && t.cfg.OnStateChange != nil {
+		t.cfg.OnStateChange(peer, from, to)
+	}
+}
+
+// Forget drops peers no longer in the neighbour set, keyed by the same
+// strings passed to Report*. keep is the surviving peer set.
+func (t *Tracker) Forget(keep map[string]bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for p := range t.peers {
+		if !keep[p] {
+			delete(t.peers, p)
+		}
+	}
+}
+
+// Snapshot returns every tracked peer's state, sorted by peer key, for
+// logs and tests.
+func (t *Tracker) Snapshot() []PeerStatus {
+	t.mu.Lock()
+	out := make([]PeerStatus, 0, len(t.peers))
+	for p, ps := range t.peers {
+		out = append(out, PeerStatus{Peer: p, State: ps.state, Failures: ps.failures})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// PeerStatus is one Snapshot row.
+type PeerStatus struct {
+	Peer     string
+	State    State
+	Failures int
+}

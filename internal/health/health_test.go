@@ -1,0 +1,169 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a manual test clock.
+type clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newClock() *clock { return &clock{now: time.Unix(1000, 0)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestUnknownPeerIsHealthy(t *testing.T) {
+	tr := NewTracker(Config{})
+	if tr.State("p") != Healthy {
+		t.Fatal("unknown peer not healthy")
+	}
+	if !tr.Allow("p") {
+		t.Fatal("unknown peer not allowed")
+	}
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newClock()
+	tr := NewTracker(Config{SuspectAfter: 1, DeadAfter: 3, Now: clk.Now})
+
+	tr.ReportFailure("p")
+	if got := tr.State("p"); got != Suspect {
+		t.Fatalf("after 1 failure: %v, want suspect", got)
+	}
+	if !tr.Allow("p") {
+		t.Fatal("suspect peer excluded from fan-out")
+	}
+	tr.ReportFailure("p")
+	tr.ReportFailure("p")
+	if got := tr.State("p"); got != Dead {
+		t.Fatalf("after 3 failures: %v, want dead", got)
+	}
+	if tr.Allow("p") {
+		t.Fatal("dead peer allowed before the probe interval")
+	}
+}
+
+func TestSuccessResetsConsecutiveCount(t *testing.T) {
+	tr := NewTracker(Config{DeadAfter: 3})
+	tr.ReportFailure("p")
+	tr.ReportFailure("p")
+	tr.ReportSuccess("p")
+	if got := tr.State("p"); got != Healthy {
+		t.Fatalf("after success: %v, want healthy", got)
+	}
+	tr.ReportFailure("p")
+	tr.ReportFailure("p")
+	if got := tr.State("p"); got == Dead {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestDeadPeerProbesWithExponentialBackoff(t *testing.T) {
+	clk := newClock()
+	tr := NewTracker(Config{
+		DeadAfter: 1, ProbeBase: time.Second, ProbeMax: 4 * time.Second, Now: clk.Now,
+	})
+	tr.ReportFailure("p") // dead; first probe due at +1s
+
+	if tr.Allow("p") {
+		t.Fatal("probe before the base interval")
+	}
+	clk.Advance(time.Second)
+	if !tr.Allow("p") {
+		t.Fatal("no probe at the base interval")
+	}
+	// Booking the probe doubled the wait: next at +2s, not immediately.
+	if tr.Allow("p") {
+		t.Fatal("second probe immediately after the first")
+	}
+	clk.Advance(2 * time.Second)
+	if !tr.Allow("p") {
+		t.Fatal("no probe after the doubled interval")
+	}
+	// Backoff is capped at ProbeMax.
+	clk.Advance(4 * time.Second)
+	if !tr.Allow("p") {
+		t.Fatal("no probe at the capped interval")
+	}
+
+	// A successful probe resurrects the peer entirely.
+	tr.ReportSuccess("p")
+	if tr.State("p") != Healthy || !tr.Allow("p") {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestOnStateChangeObservesTransitions(t *testing.T) {
+	clk := newClock()
+	var transitions []string
+	tr := NewTracker(Config{
+		SuspectAfter: 1, DeadAfter: 2, Now: clk.Now,
+		OnStateChange: func(peer string, from, to State) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+	tr.ReportFailure("p")
+	tr.ReportFailure("p")
+	tr.ReportSuccess("p")
+	want := []string{"healthy->suspect", "suspect->dead", "dead->healthy"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestForgetDropsRemovedPeers(t *testing.T) {
+	tr := NewTracker(Config{DeadAfter: 1})
+	tr.ReportFailure("gone")
+	tr.ReportFailure("kept")
+	tr.Forget(map[string]bool{"kept": true})
+	if tr.State("gone") != Healthy {
+		t.Fatal("forgotten peer kept its state")
+	}
+	if tr.State("kept") != Dead {
+		t.Fatal("kept peer lost its state")
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Peer != "kept" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestConcurrentReports(t *testing.T) {
+	tr := NewTracker(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if j%2 == 0 {
+					tr.ReportFailure("p")
+				} else {
+					tr.ReportSuccess("p")
+				}
+				tr.Allow("p")
+				tr.State("p")
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -66,6 +66,11 @@ const (
 var (
 	ErrMalformed = errors.New("hproto: malformed message")
 	ErrTooLong   = errors.New("hproto: line too long")
+	// ErrTruncatedBody reports a body that ended before the advertised
+	// Content-Length — the signature of a responder that died (or was
+	// reset) mid-transfer. Callers match it to decide whether a retry
+	// against another copy holder is worthwhile.
+	ErrTruncatedBody = errors.New("hproto: truncated body")
 )
 
 // Request is an inter-proxy document request.

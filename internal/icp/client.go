@@ -11,13 +11,32 @@ import (
 // ICP_OP_QUERY per neighbour, then wait for the first ICP_OP_HIT, or until
 // every neighbour answered a miss, or until the timeout expires (lost
 // datagrams are expected; ICP treats silence as a miss).
+//
+// The fan-out is fault-tolerant: a neighbour whose datagram cannot even be
+// sent is counted as a miss instead of aborting the query, and after the
+// first hit the client keeps draining replies for a short grace window so
+// every hit responder is collected — giving the caller fallback targets if
+// the first responder dies before the follow-up fetch.
 type Client struct {
 	reqNum atomic.Uint32
+
+	// Listen, when non-nil, replaces the per-query socket factory — e.g.
+	// to wrap the socket with a fault injector. Set it before the first
+	// Query; the returned conn is closed when the query resolves.
+	Listen func() (net.PacketConn, error)
 }
 
 // NewClient returns a ready Client. It is safe for concurrent use; each
 // query uses its own ephemeral UDP socket.
 func NewClient() *Client { return &Client{} }
+
+// hitGraceMin/Max bound the post-first-hit drain window: long enough to
+// catch replies already in flight from equally-near neighbours, short
+// enough not to re-introduce the full-timeout wait the first hit avoided.
+const (
+	hitGraceMin = 2 * time.Millisecond
+	hitGraceMax = 20 * time.Millisecond
+)
 
 // Result is the outcome of one fan-out query.
 type Result struct {
@@ -26,27 +45,50 @@ type Result struct {
 	// Responder is the address of the first neighbour that answered
 	// ICP_OP_HIT, when Hit is true.
 	Responder *net.UDPAddr
+	// Responders lists every neighbour that answered ICP_OP_HIT, in
+	// arrival order (fastest first). Responders[0] == Responder.
+	Responders []*net.UDPAddr
 	// Replies counts the answers received before the query resolved.
 	Replies int
+	// Answered lists the neighbours that replied at all (hit or miss),
+	// in arrival order.
+	Answered []*net.UDPAddr
+	// SendFailed lists the neighbours the query datagram could not even
+	// be sent to; they are counted as misses.
+	SendFailed []*net.UDPAddr
+	// TimedOut is true when the query resolved by exhausting the timeout
+	// with some neighbours silent — the caller's evidence of peer
+	// unreachability. A query that resolved on a hit or on a full set of
+	// replies leaves it false.
+	TimedOut bool
 	// Elapsed is the time the exchange took.
 	Elapsed time.Duration
 }
 
-// Query sends an ICP query for url to every neighbour and reports the first
-// hit. A neighbour that does not answer within timeout counts as a miss.
+func (c *Client) listen() (net.PacketConn, error) {
+	if c.Listen != nil {
+		return c.Listen()
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		// Fall back to an unspecified local address (non-loopback peers).
+		return net.ListenUDP("udp", nil)
+	}
+	return conn, nil
+}
+
+// Query sends an ICP query for url to every neighbour and reports every
+// hit, resolving on the first. A neighbour that does not answer within
+// timeout counts as a miss, as does one the datagram cannot be sent to.
 func (c *Client) Query(neighbours []*net.UDPAddr, url string, timeout time.Duration) (Result, error) {
 	start := time.Now()
 	if len(neighbours) == 0 {
 		return Result{Elapsed: time.Since(start)}, nil
 	}
 
-	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	conn, err := c.listen()
 	if err != nil {
-		// Fall back to an unspecified local address (non-loopback peers).
-		conn, err = net.ListenUDP("udp", nil)
-		if err != nil {
-			return Result{}, fmt.Errorf("icp: open query socket: %w", err)
-		}
+		return Result{}, fmt.Errorf("icp: open query socket: %w", err)
 	}
 	defer conn.Close()
 
@@ -55,34 +97,80 @@ func (c *Client) Query(neighbours []*net.UDPAddr, url string, timeout time.Durat
 	if err != nil {
 		return Result{}, err
 	}
+	var res Result
+	sent := 0
 	for _, n := range neighbours {
-		if _, err := conn.WriteToUDP(query, n); err != nil {
-			return Result{}, fmt.Errorf("icp: send query to %s: %w", n, err)
+		if _, err := conn.WriteTo(query, n); err != nil {
+			// An unsendable neighbour is a miss, not a failed query:
+			// the rest of the fan-out proceeds.
+			res.SendFailed = append(res.SendFailed, n)
+			continue
 		}
+		sent++
+	}
+	if sent == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
 	}
 
-	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		return Result{}, fmt.Errorf("icp: set deadline: %w", err)
+	deadline := start.Add(timeout)
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return res, fmt.Errorf("icp: set deadline: %w", err)
 	}
-	var res Result
 	buf := make([]byte, maxLen)
-	for res.Replies < len(neighbours) {
-		n, peer, err := conn.ReadFromUDP(buf)
+	for res.Replies < sent {
+		n, peer, err := conn.ReadFrom(buf)
 		if err != nil {
-			// Timeout: treat unanswered neighbours as misses.
+			// Deadline: with no hit this is the timeout path (silent
+			// neighbours count as misses); with a hit it merely ends
+			// the post-hit grace drain.
+			res.TimedOut = !res.Hit
 			break
 		}
 		m, err := Parse(buf[:n])
 		if err != nil || m.ReqNum != reqNum {
-			continue // stray or stale datagram
+			continue // stray, stale, or corrupted datagram
 		}
 		res.Replies++
+		udp := toUDPAddr(peer)
+		if udp == nil {
+			continue
+		}
+		res.Answered = append(res.Answered, udp)
 		if m.Op == OpHit && m.URL == url {
-			res.Hit = true
-			res.Responder = peer
-			break
+			res.Responders = append(res.Responders, udp)
+			if !res.Hit {
+				res.Hit = true
+				res.Responder = udp
+				// Resolve now, but drain briefly for other hits already
+				// in flight: they are the retry targets if this
+				// responder dies before the follow-up fetch.
+				grace := time.Since(start)
+				if grace < hitGraceMin {
+					grace = hitGraceMin
+				}
+				if grace > hitGraceMax {
+					grace = hitGraceMax
+				}
+				if gd := time.Now().Add(grace); gd.Before(deadline) {
+					_ = conn.SetReadDeadline(gd)
+				}
+			}
 		}
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// toUDPAddr recovers a *net.UDPAddr from a reply's source address (which
+// an injector-wrapped conn may surface as another net.Addr type).
+func toUDPAddr(a net.Addr) *net.UDPAddr {
+	if u, ok := a.(*net.UDPAddr); ok {
+		return u
+	}
+	u, err := net.ResolveUDPAddr("udp", a.String())
+	if err != nil {
+		return nil
+	}
+	return u
 }

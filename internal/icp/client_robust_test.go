@@ -132,3 +132,82 @@ func TestQueryErrReplyCountsAsMiss(t *testing.T) {
 		t.Fatalf("res = %+v, want one non-hit reply", res)
 	}
 }
+
+func TestQuerySurvivesUnsendableNeighbour(t *testing.T) {
+	// One neighbour's datagram cannot even be sent (IPv6 target from the
+	// client's IPv4 socket); the fan-out must continue and find the hit.
+	unsendable := &net.UDPAddr{IP: net.ParseIP("ff02::1"), Port: 9}
+	hitSrv := startServer(t, "http://x/")
+
+	c := NewClient()
+	res, err := c.Query([]*net.UDPAddr{unsendable, hitSrv.Addr()}, "http://x/", 2*time.Second)
+	if err != nil {
+		t.Fatalf("send failure aborted the query: %v", err)
+	}
+	if !res.Hit {
+		t.Fatalf("res = %+v, want hit despite unsendable neighbour", res)
+	}
+	if len(res.SendFailed) != 1 || !res.SendFailed[0].IP.Equal(unsendable.IP) {
+		t.Fatalf("SendFailed = %v, want the unsendable neighbour", res.SendFailed)
+	}
+}
+
+func TestQueryAllNeighboursUnsendable(t *testing.T) {
+	unsendable := &net.UDPAddr{IP: net.ParseIP("ff02::1"), Port: 9}
+	c := NewClient()
+	res, err := c.Query([]*net.UDPAddr{unsendable}, "http://x/", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || len(res.SendFailed) != 1 || res.TimedOut {
+		t.Fatalf("res = %+v, want immediate miss", res)
+	}
+}
+
+func TestQueryCollectsEveryHitResponder(t *testing.T) {
+	// Two neighbours both hold the document; both must be reported so the
+	// caller can retry the fetch against the second if the first dies.
+	hitA := startServer(t, "http://x/")
+	hitB := startServer(t, "http://x/")
+
+	c := NewClient()
+	res, err := c.Query([]*net.UDPAddr{hitA.Addr(), hitB.Addr()}, "http://x/", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Fatalf("res = %+v, want hit", res)
+	}
+	if len(res.Responders) != 2 {
+		t.Fatalf("responders = %v, want both neighbours", res.Responders)
+	}
+	if res.Responder == nil || res.Responders[0].Port != res.Responder.Port {
+		t.Fatal("Responders[0] is not the first responder")
+	}
+}
+
+func TestQueryTimedOutFlag(t *testing.T) {
+	silent := rawResponder(t, func(q Message) []byte { return nil })
+	missSrv := startServer(t, "http://other/")
+
+	c := NewClient()
+	res, err := c.Query([]*net.UDPAddr{silent, missSrv.Addr()}, "http://x/", 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || !res.TimedOut {
+		t.Fatalf("res = %+v, want timed-out miss", res)
+	}
+	if len(res.Answered) != 1 || res.Answered[0].Port != missSrv.Addr().Port {
+		t.Fatalf("Answered = %v, want only the miss responder", res.Answered)
+	}
+
+	// All neighbours answering resolves without the timeout flag.
+	res, err = c.Query([]*net.UDPAddr{missSrv.Addr()}, "http://x/", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut || res.Elapsed > time.Second {
+		t.Fatalf("res = %+v, want fast non-timeout miss", res)
+	}
+}

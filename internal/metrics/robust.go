@@ -1,0 +1,54 @@
+package metrics
+
+import "sync/atomic"
+
+// Robustness counts the degradations the fault-tolerant fetch path takes,
+// so that surviving a failure is observable rather than silent. The zero
+// value is ready to use; all methods are safe for concurrent use (the
+// request path increments these while holding no locks).
+type Robustness struct {
+	peerFailures  atomic.Int64
+	retries       atomic.Int64
+	fallbacks     atomic.Int64
+	breakerOpens  atomic.Int64
+	breakerCloses atomic.Int64
+}
+
+// PeerFailure records one failed exchange with a peer: an ICP silence on a
+// timed-out fan-out, a failed dial, or a fetch that broke mid-body.
+func (r *Robustness) PeerFailure() { r.peerFailures.Add(1) }
+
+// Retry records one extra attempt after a failure: the next ICP hit
+// responder, or a repeated parent/origin fetch.
+func (r *Robustness) Retry() { r.retries.Add(1) }
+
+// Fallback records a request that abandoned the cooperative path (every
+// hit responder failed) and degraded to the parent/origin instead.
+func (r *Robustness) Fallback() { r.fallbacks.Add(1) }
+
+// BreakerOpen records a peer breaker opening (peer marked dead).
+func (r *Robustness) BreakerOpen() { r.breakerOpens.Add(1) }
+
+// BreakerClose records a dead peer resurrecting after a successful probe.
+func (r *Robustness) BreakerClose() { r.breakerCloses.Add(1) }
+
+// RobustnessSnapshot is a consistent-enough copy of the counters for
+// reporting and tests.
+type RobustnessSnapshot struct {
+	PeerFailures  int64
+	Retries       int64
+	Fallbacks     int64
+	BreakerOpens  int64
+	BreakerCloses int64
+}
+
+// Snapshot returns the current counter values.
+func (r *Robustness) Snapshot() RobustnessSnapshot {
+	return RobustnessSnapshot{
+		PeerFailures:  r.peerFailures.Load(),
+		Retries:       r.retries.Load(),
+		Fallbacks:     r.fallbacks.Load(),
+		BreakerOpens:  r.breakerOpens.Load(),
+		BreakerCloses: r.breakerCloses.Load(),
+	}
+}

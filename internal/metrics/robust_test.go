@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRobustnessCounters(t *testing.T) {
+	var r Robustness
+	r.PeerFailure()
+	r.PeerFailure()
+	r.Retry()
+	r.Fallback()
+	r.BreakerOpen()
+	r.BreakerClose()
+	got := r.Snapshot()
+	want := RobustnessSnapshot{
+		PeerFailures: 2, Retries: 1, Fallbacks: 1, BreakerOpens: 1, BreakerCloses: 1,
+	}
+	if got != want {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestRobustnessConcurrent(t *testing.T) {
+	var r Robustness
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.PeerFailure()
+				r.Retry()
+			}
+		}()
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if got.PeerFailures != 8000 || got.Retries != 8000 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}

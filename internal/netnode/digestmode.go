@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"net"
 	"time"
 
 	"eacache/internal/digest"
@@ -40,7 +39,7 @@ type peerDigest struct {
 }
 
 func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duration) (*digestState, error) {
-	dc := digestConfigDefaults(cfg, capacity)
+	dc := cfg.WithDefaults(capacity)
 	own, err := digest.NewSummary(dc.Expected, dc.FPRate, dc.RebuildEvery)
 	if err != nil {
 		return nil, err
@@ -55,27 +54,6 @@ func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duratio
 	}, nil
 }
 
-// digestConfigDefaults mirrors proxy's unexported defaulting so the live
-// node sizes its filters the same way.
-func digestConfigDefaults(c proxy.DigestConfig, capacity int64) proxy.DigestConfig {
-	if c.Expected == 0 {
-		c.Expected = int(capacity / 4096)
-		if c.Expected < 16 {
-			c.Expected = 16
-		}
-	}
-	if c.FPRate == 0 {
-		c.FPRate = 0.01
-	}
-	if c.RebuildEvery == 0 {
-		c.RebuildEvery = int64(c.Expected / 50)
-		if c.RebuildEvery < 1 {
-			c.RebuildEvery = 1
-		}
-	}
-	return c
-}
-
 // ownDigestBytes rebuilds the node's summary if stale and serialises it.
 // Caller must hold n.mu.
 func (n *Node) ownDigestBytes() ([]byte, error) {
@@ -86,16 +64,19 @@ func (n *Node) ownDigestBytes() ([]byte, error) {
 	return n.digests.own.Filter().MarshalBinary()
 }
 
-// digestCandidates returns the peers whose (cached, possibly re-fetched)
-// digests advertise url. Network fetches happen without holding the lock.
+// digestCandidates returns the health-allowed peers whose (cached,
+// possibly re-fetched) digests advertise url. Network fetches happen
+// without holding the lock.
 func (n *Node) digestCandidates(peers []Peer, url string) []Peer {
 	var candidates []Peer
 	for _, p := range peers {
+		if !n.health.Allow(p.HTTP) {
+			continue
+		}
 		f := n.peerDigest(p)
 		if f == nil {
-			// No digest obtainable: be conservative and try the peer
-			// anyway only if we have no better candidate? No — treat
-			// as not advertising; the origin path still serves us.
+			// No digest obtainable: treat as not advertising; the
+			// origin path still serves us.
 			continue
 		}
 		if f.MayContain(url) {
@@ -116,11 +97,14 @@ func (n *Node) peerDigest(p Peer) *digest.Filter {
 		return pd.filter
 	}
 
-	f, err := fetchDigest(p.HTTP)
+	f, err := n.fetchDigest(p.HTTP)
 	if err != nil {
 		n.logf("netnode %s: digest fetch from %s: %v", n.id, p.HTTP, err)
+		n.health.ReportFailure(p.HTTP)
+		n.robust.PeerFailure()
 		return nil
 	}
+	n.health.ReportSuccess(p.HTTP)
 	n.mu.Lock()
 	n.digests.peers[p.HTTP] = &peerDigest{filter: f, fetchedAt: time.Now()}
 	n.mu.Unlock()
@@ -128,13 +112,13 @@ func (n *Node) peerDigest(p Peer) *digest.Filter {
 }
 
 // fetchDigest GETs a peer's digest from the reserved URL.
-func fetchDigest(addr string) (*digest.Filter, error) {
-	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+func (n *Node) fetchDigest(addr string) (*digest.Filter, error) {
+	conn, err := n.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(n.fetchTimeout))
 
 	if err := hproto.WriteRequest(conn, hproto.Request{URL: DigestURL}); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package netnode
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -172,17 +173,17 @@ func TestDigestRefreshPicksUpNewContent(t *testing.T) {
 func TestICPNodeServes404ForDigestURL(t *testing.T) {
 	origin := startOrigin(t)
 	icpNode := startNode(t, "plain", 1<<20, core.EA{}, origin.Addr())
-	if _, err := fetchDigest(icpNode.HTTPAddr()); err == nil {
+	if _, err := icpNode.fetchDigest(icpNode.HTTPAddr()); err == nil {
 		t.Fatal("non-digest node served a digest")
 	}
 }
 
 func TestDigestConfigDefaultsAndNodeID(t *testing.T) {
-	dc := digestConfigDefaults(proxy.DigestConfig{}, 1<<20)
+	dc := proxy.DigestConfig{}.WithDefaults(1 << 20)
 	if dc.Expected != 256 || dc.FPRate != 0.01 || dc.RebuildEvery != 5 {
 		t.Fatalf("defaults = %+v", dc)
 	}
-	tiny := digestConfigDefaults(proxy.DigestConfig{}, 100)
+	tiny := proxy.DigestConfig{}.WithDefaults(100)
 	if tiny.Expected != 16 || tiny.RebuildEvery != 1 {
 		t.Fatalf("tiny defaults = %+v", tiny)
 	}
@@ -208,14 +209,18 @@ func TestNewDigestStateDefaultsRefresh(t *testing.T) {
 }
 
 func TestFetchFromErrors(t *testing.T) {
-	// Unreachable address.
-	if _, _, _, err := fetchFrom("127.0.0.1:1", "http://x/", 10, 0, false); err == nil {
-		t.Fatal("dial to closed port succeeded")
-	}
-	// A responder that 404s.
 	origin := startOrigin(t)
 	node := startNode(t, "n", 1<<20, core.EA{}, origin.Addr())
-	if _, _, _, err := fetchFrom(node.HTTPAddr(), "http://absent/", 10, 0, false); err == nil {
+	// Unreachable address.
+	if _, _, _, err := node.fetchFrom("127.0.0.1:1", "http://x/", 10, 0, false); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	// A responder that 404s maps to errNotFound (a miss, not a fault).
+	_, _, _, err := node.fetchFrom(node.HTTPAddr(), "http://absent/", 10, 0, false)
+	if err == nil {
 		t.Fatal("404 fetch reported success")
+	}
+	if !errors.Is(err, errNotFound) {
+		t.Fatalf("404 fetch error = %v, want errNotFound", err)
 	}
 }

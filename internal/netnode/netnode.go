@@ -19,6 +19,8 @@ import (
 
 	"eacache/internal/cache"
 	"eacache/internal/core"
+	"eacache/internal/faults"
+	"eacache/internal/health"
 	"eacache/internal/hproto"
 	"eacache/internal/icp"
 	"eacache/internal/metrics"
@@ -28,6 +30,14 @@ import (
 // DefaultICPTimeout bounds how long a node waits for ICP replies before
 // treating silent neighbours as misses.
 const DefaultICPTimeout = 150 * time.Millisecond
+
+// Defaults for the fetch-path timeouts and retry budget (Config fields of
+// the same names).
+const (
+	DefaultDialTimeout   = 2 * time.Second
+	DefaultFetchTimeout  = 5 * time.Second
+	DefaultFetchAttempts = 2
+)
 
 // Peer is a neighbour node's pair of service addresses.
 type Peer struct {
@@ -68,6 +78,25 @@ type Config struct {
 	// DigestRefresh bounds how long a fetched peer digest is trusted.
 	// Defaults to DefaultDigestRefresh.
 	DigestRefresh time.Duration
+	// DialTimeout bounds TCP connection establishment for every outbound
+	// fetch (peers, parent, origin). Defaults to DefaultDialTimeout;
+	// negative is rejected.
+	DialTimeout time.Duration
+	// FetchTimeout bounds a whole fetch exchange (request, response head,
+	// body) on both the requester and responder side. Defaults to
+	// DefaultFetchTimeout; negative is rejected.
+	FetchTimeout time.Duration
+	// FetchAttempts is how many times a parent/origin fetch is tried
+	// before the request fails (transport errors only; a 404 is final).
+	// Defaults to DefaultFetchAttempts; negative is rejected.
+	FetchAttempts int
+	// Health tunes the per-peer circuit breaker (thresholds, probe
+	// backoff). The zero value uses the health package defaults.
+	Health health.Config
+	// Faults, when set, injects deterministic faults into every socket
+	// the node opens — the ICP query socket, outbound fetch dials, and
+	// accepted fetch conns — for chaos tests and manual chaos runs.
+	Faults *faults.Injector
 	// Logger receives operational errors; nil discards them.
 	Logger *log.Logger
 }
@@ -86,14 +115,20 @@ type Result struct {
 
 // Node is a live cooperative cache node.
 type Node struct {
-	id         string
-	scheme     core.Scheme
-	originAddr string
-	parentAddr string
-	icpTimeout time.Duration
-	location   proxy.Location
-	digests    *digestState
-	logger     *log.Logger
+	id            string
+	scheme        core.Scheme
+	originAddr    string
+	parentAddr    string
+	icpTimeout    time.Duration
+	dialTimeout   time.Duration
+	fetchTimeout  time.Duration
+	fetchAttempts int
+	location      proxy.Location
+	digests       *digestState
+	health        *health.Tracker
+	robust        metrics.Robustness
+	faults        *faults.Injector
+	logger        *log.Logger
 
 	mu    sync.Mutex // guards store and peers
 	store *cache.Store
@@ -119,20 +154,75 @@ func New(cfg Config) (*Node, error) {
 	if cfg.ICPTimeout <= 0 {
 		cfg.ICPTimeout = DefaultICPTimeout
 	}
+	if cfg.DialTimeout < 0 {
+		return nil, fmt.Errorf("netnode: negative DialTimeout %v", cfg.DialTimeout)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.FetchTimeout < 0 {
+		return nil, fmt.Errorf("netnode: negative FetchTimeout %v", cfg.FetchTimeout)
+	}
+	if cfg.FetchTimeout == 0 {
+		cfg.FetchTimeout = DefaultFetchTimeout
+	}
+	if cfg.FetchAttempts < 0 {
+		return nil, fmt.Errorf("netnode: negative FetchAttempts %d", cfg.FetchAttempts)
+	}
+	if cfg.FetchAttempts == 0 {
+		cfg.FetchAttempts = DefaultFetchAttempts
+	}
 	if cfg.Location == 0 {
 		cfg.Location = proxy.LocateICP
 	}
 	n := &Node{
-		id:         cfg.ID,
-		scheme:     cfg.Scheme,
-		originAddr: cfg.OriginAddr,
-		parentAddr: cfg.ParentAddr,
-		icpTimeout: cfg.ICPTimeout,
-		location:   cfg.Location,
-		logger:     cfg.Logger,
-		store:      cfg.Store,
-		icpClient:  icp.NewClient(),
-		closed:     make(chan struct{}),
+		id:            cfg.ID,
+		scheme:        cfg.Scheme,
+		originAddr:    cfg.OriginAddr,
+		parentAddr:    cfg.ParentAddr,
+		icpTimeout:    cfg.ICPTimeout,
+		dialTimeout:   cfg.DialTimeout,
+		fetchTimeout:  cfg.FetchTimeout,
+		fetchAttempts: cfg.FetchAttempts,
+		location:      cfg.Location,
+		faults:        cfg.Faults,
+		logger:        cfg.Logger,
+		store:         cfg.Store,
+		icpClient:     icp.NewClient(),
+		closed:        make(chan struct{}),
+	}
+
+	// The breaker feeds the robustness counters; a user callback (tests)
+	// is chained after them.
+	healthCfg := cfg.Health
+	userStateChange := healthCfg.OnStateChange
+	healthCfg.OnStateChange = func(peer string, from, to health.State) {
+		switch {
+		case to == health.Dead:
+			n.robust.BreakerOpen()
+		case from == health.Dead:
+			n.robust.BreakerClose()
+		}
+		n.logf("netnode %s: peer %s %s -> %s", n.id, peer, from, to)
+		if userStateChange != nil {
+			userStateChange(peer, from, to)
+		}
+	}
+	n.health = health.NewTracker(healthCfg)
+
+	if cfg.Faults != nil {
+		// Chaos mode: every socket the node opens goes through the
+		// injector — the per-query ICP socket here, fetch dials in
+		// Node.dial, and accepted fetch conns below.
+		n.icpClient.Listen = func() (net.PacketConn, error) {
+			c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				if c, err = net.ListenUDP("udp", nil); err != nil {
+					return nil, err
+				}
+			}
+			return cfg.Faults.WrapPacketConn(c), nil
+		}
 	}
 	if cfg.Location == proxy.LocateDigest {
 		ds, err := newDigestState(cfg.Digest, cfg.Store.Capacity(), cfg.DigestRefresh)
@@ -153,6 +243,9 @@ func New(cfg Config) (*Node, error) {
 		_ = icpServer.Close()
 		return nil, fmt.Errorf("netnode: listen %q: %w", cfg.HTTPAddr, err)
 	}
+	if cfg.Faults != nil {
+		ln = cfg.Faults.WrapListener(ln)
+	}
 	n.httpLn = ln
 
 	n.wg.Add(1)
@@ -169,12 +262,26 @@ func (n *Node) ICPAddr() *net.UDPAddr { return n.icpServer.Addr() }
 // HTTPAddr returns the bound TCP address.
 func (n *Node) HTTPAddr() string { return n.httpLn.Addr().String() }
 
-// SetPeers replaces the neighbour set.
+// SetPeers replaces the neighbour set and drops breaker state for peers
+// that left it.
 func (n *Node) SetPeers(peers []Peer) {
+	keep := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		keep[p.HTTP] = true
+	}
+	n.health.Forget(keep)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.peers = append([]Peer(nil), peers...)
 }
+
+// Robustness returns the node's degradation counters: peer failures,
+// retries, fallbacks to parent/origin, and breaker transitions.
+func (n *Node) Robustness() metrics.RobustnessSnapshot { return n.robust.Snapshot() }
+
+// PeerHealth returns the breaker state of every tracked peer, keyed by the
+// peer's fetch (HTTP) address.
+func (n *Node) PeerHealth() []health.PeerStatus { return n.health.Snapshot() }
 
 // Close stops both servers and waits for in-flight handlers.
 func (n *Node) Close() error {
@@ -223,67 +330,51 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 	n.mu.Unlock()
 
 	// 2. Locate the document in the group. The lock is NOT held across
-	// network operations so concurrent nodes can answer each other.
+	// network operations so concurrent nodes can answer each other. Peers
+	// whose breaker is open are excluded up front, so a dead neighbour
+	// stops costing the full ICP timeout on every miss; a failed remote
+	// fetch is retried against the next copy holder and then degrades to
+	// the parent/origin path instead of failing the request.
 	if n.location == proxy.LocateDigest {
-		for _, p := range n.digestCandidates(peers, url) {
-			size, respAge, _, err := fetchFrom(p.HTTP, url, sizeHint, reqAge, false)
-			if err != nil {
-				// A stale or colliding digest advertised a document
-				// the peer no longer has: try the next candidate.
-				n.logf("netnode %s: digest false hit at %s for %s", n.id, p.HTTP, url)
-				continue
-			}
-			res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: p.HTTP}
-			if n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester {
-				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
-			}
-			return res, nil
+		if hit, ok := n.locateViaDigests(peers, url, sizeHint, reqAge); ok {
+			return hit, nil
 		}
-	} else if len(peers) > 0 {
-		addrs := make([]*net.UDPAddr, len(peers))
-		for i, p := range peers {
-			addrs[i] = p.ICP
-		}
-		res, err := n.icpClient.Query(addrs, url, n.icpTimeout)
-		if err != nil {
-			n.logf("netnode %s: icp query: %v", n.id, err)
-		} else if res.Hit {
-			if hit, ok := n.fetchRemote(peers, res.Responder, url, sizeHint, reqAge); ok {
-				return hit, nil
-			}
-			// The responder evicted it between reply and fetch; fall
-			// through to the miss path.
-		}
+	} else if hit, ok := n.locateViaICP(peers, url, sizeHint, reqAge); ok {
+		return hit, nil
 	}
 
 	// 3. Group-wide miss: resolve through the parent when configured
 	// (hierarchical architecture, §3.3), otherwise straight from the
-	// origin.
+	// origin. A broken parent degrades to the origin when one is known.
 	if n.parentAddr != "" {
-		size, parentAge, source, err := fetchFrom(n.parentAddr, url, sizeHint, reqAge, true)
-		if err != nil {
-			return Result{}, fmt.Errorf("netnode %s: parent resolve: %w", n.id, err)
-		}
-		res := Result{Outcome: metrics.Miss, Size: size}
-		if source == hproto.SourceCache {
-			// Some cache up the hierarchy held it: a group hit.
-			res.Outcome = metrics.RemoteHit
-			res.Responder = n.parentAddr
-			if n.scheme.OnRemoteHit(reqAge, parentAge).StoreAtRequester {
+		size, parentAge, source, err := n.fetchUpstream(n.parentAddr, url, sizeHint, reqAge, true)
+		if err == nil {
+			res := Result{Outcome: metrics.Miss, Size: size}
+			if source == hproto.SourceCache {
+				// Some cache up the hierarchy held it: a group hit.
+				res.Outcome = metrics.RemoteHit
+				res.Responder = n.parentAddr
+				if n.scheme.OnRemoteHit(reqAge, parentAge).StoreAtRequester {
+					res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+				}
+				return res, nil
+			}
+			if n.scheme.OnMissViaParent(reqAge, parentAge) {
 				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
 			}
 			return res, nil
 		}
-		if n.scheme.OnMissViaParent(reqAge, parentAge) {
-			res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+		if n.originAddr == "" {
+			return Result{}, fmt.Errorf("netnode %s: parent resolve: %w", n.id, err)
 		}
-		return res, nil
+		n.logf("netnode %s: parent resolve %s: %v (degrading to origin)", n.id, url, err)
+		n.robust.Fallback()
 	}
 
 	if n.originAddr == "" {
 		return Result{}, fmt.Errorf("netnode %s: miss for %s and no origin", n.id, url)
 	}
-	size, _, _, err := fetchFrom(n.originAddr, url, sizeHint, reqAge, false)
+	size, _, _, err := n.fetchUpstream(n.originAddr, url, sizeHint, reqAge, false)
 	if err != nil {
 		return Result{}, fmt.Errorf("netnode %s: origin fetch: %w", n.id, err)
 	}
@@ -294,9 +385,137 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 	return res, nil
 }
 
-// fetchRemote transfers the document from the ICP responder and applies the
-// requester-side placement rule.
-func (n *Node) fetchRemote(peers []Peer, responder *net.UDPAddr, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
+// locateViaICP runs the health-gated ICP fan-out and tries every hit
+// responder in arrival order. It reports (hit, true) on a completed remote
+// hit and (zero, false) when the request must take the miss path.
+func (n *Node) locateViaICP(peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
+	active := peers[:0:0]
+	for _, p := range peers {
+		if n.health.Allow(p.HTTP) {
+			active = append(active, p)
+		}
+	}
+	if len(active) == 0 {
+		return Result{}, false
+	}
+	addrs := make([]*net.UDPAddr, len(active))
+	for i, p := range active {
+		addrs[i] = p.ICP
+	}
+	res, err := n.icpClient.Query(addrs, url, n.icpTimeout)
+	if err != nil {
+		n.logf("netnode %s: icp query: %v", n.id, err)
+		return Result{}, false
+	}
+	n.recordFanout(active, res)
+
+	failed := false
+	for i, responder := range res.Responders {
+		if i > 0 {
+			n.robust.Retry()
+		}
+		hit, outcome := n.fetchRemote(active, responder, url, sizeHint, reqAge)
+		switch outcome {
+		case fetchOK:
+			return hit, true
+		case fetchFailed:
+			failed = true
+		}
+		// fetchGone: the responder answered but no longer holds the
+		// document — not a fault, just a race with its eviction.
+	}
+	if failed {
+		// Every copy holder broke mid-exchange: degrade to the miss path
+		// rather than failing the request.
+		n.robust.Fallback()
+	}
+	return Result{}, false
+}
+
+// locateViaDigests consults the (health-gated) peer digests and tries each
+// advertising candidate in turn.
+func (n *Node) locateViaDigests(peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
+	failed := false
+	for _, p := range n.digestCandidates(peers, url) {
+		size, respAge, _, err := n.fetchFrom(p.HTTP, url, sizeHint, reqAge, false)
+		switch {
+		case err == nil:
+			n.health.ReportSuccess(p.HTTP)
+			res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: p.HTTP}
+			if n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester {
+				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
+			}
+			return res, true
+		case errors.Is(err, errNotFound):
+			// A stale or colliding digest advertised a document the
+			// peer no longer has: the peer is alive, try the next one.
+			n.health.ReportSuccess(p.HTTP)
+			n.logf("netnode %s: digest false hit at %s for %s", n.id, p.HTTP, url)
+		default:
+			n.health.ReportFailure(p.HTTP)
+			n.robust.PeerFailure()
+			failed = true
+			n.logf("netnode %s: digest fetch from %s: %v", n.id, p.HTTP, err)
+		}
+	}
+	if failed {
+		n.robust.Fallback()
+	}
+	return Result{}, false
+}
+
+// recordFanout feeds the fan-out's per-peer evidence to the breaker: every
+// reply (hit or miss) is a success, an unsendable datagram is a failure,
+// and — only when the query ran out its full timeout — silence is a
+// failure too. A query resolved early by a hit says nothing about peers
+// that simply had not answered yet.
+func (n *Node) recordFanout(active []Peer, res icp.Result) {
+	byICP := make(map[string]Peer, len(active))
+	for _, p := range active {
+		byICP[p.ICP.String()] = p
+	}
+	heard := make(map[string]bool, len(res.Answered))
+	for _, a := range res.Answered {
+		if p, ok := byICP[a.String()]; ok {
+			heard[p.HTTP] = true
+			n.health.ReportSuccess(p.HTTP)
+		}
+	}
+	for _, a := range res.SendFailed {
+		if p, ok := byICP[a.String()]; ok {
+			heard[p.HTTP] = true
+			n.health.ReportFailure(p.HTTP)
+			n.robust.PeerFailure()
+		}
+	}
+	if !res.TimedOut {
+		return
+	}
+	for _, p := range active {
+		if !heard[p.HTTP] {
+			n.health.ReportFailure(p.HTTP)
+			n.robust.PeerFailure()
+		}
+	}
+}
+
+// fetchOutcome classifies one remote-hit fetch attempt.
+type fetchOutcome int
+
+const (
+	// fetchOK: the document was transferred.
+	fetchOK fetchOutcome = iota
+	// fetchGone: the responder answered but no longer holds the document
+	// (eviction race, stray ICP reply) — the peer is healthy.
+	fetchGone
+	// fetchFailed: the transport broke (dial error, reset, stall,
+	// truncated body) — evidence against the peer.
+	fetchFailed
+)
+
+// fetchRemote transfers the document from the ICP responder, applies the
+// requester-side placement rule, and feeds the outcome to the breaker.
+func (n *Node) fetchRemote(peers []Peer, responder *net.UDPAddr, url string, sizeHint int64, reqAge time.Duration) (Result, fetchOutcome) {
 	httpAddr := ""
 	for _, p := range peers {
 		if p.ICP.IP.Equal(responder.IP) && p.ICP.Port == responder.Port {
@@ -306,18 +525,49 @@ func (n *Node) fetchRemote(peers []Peer, responder *net.UDPAddr, url string, siz
 	}
 	if httpAddr == "" {
 		n.logf("netnode %s: ICP hit from unknown peer %s", n.id, responder)
-		return Result{}, false
+		return Result{}, fetchGone
 	}
-	size, respAge, _, err := fetchFrom(httpAddr, url, sizeHint, reqAge, false)
-	if err != nil {
+	size, respAge, _, err := n.fetchFrom(httpAddr, url, sizeHint, reqAge, false)
+	switch {
+	case errors.Is(err, errNotFound):
+		// The responder evicted it between reply and fetch.
+		n.health.ReportSuccess(httpAddr)
+		return Result{}, fetchGone
+	case err != nil:
 		n.logf("netnode %s: remote fetch from %s: %v", n.id, httpAddr, err)
-		return Result{}, false
+		n.health.ReportFailure(httpAddr)
+		n.robust.PeerFailure()
+		return Result{}, fetchFailed
 	}
+	n.health.ReportSuccess(httpAddr)
 	res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: httpAddr}
 	if n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester {
 		res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
 	}
-	return res, true
+	return res, fetchOK
+}
+
+// fetchUpstream fetches from the parent or origin with the configured
+// retry budget. Transport errors are retried; a NotFound answer is final
+// (repeating the question will not change it).
+func (n *Node) fetchUpstream(addr, url string, sizeHint int64, reqAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
+	var lastErr error
+	for attempt := 0; attempt < n.fetchAttempts; attempt++ {
+		if attempt > 0 {
+			n.robust.Retry()
+		}
+		size, age, source, err := n.fetchFrom(addr, url, sizeHint, reqAge, resolve)
+		if err == nil {
+			return size, age, source, nil
+		}
+		lastErr = err
+		if errors.Is(err, errNotFound) {
+			break
+		}
+		n.logf("netnode %s: fetch %s from %s (attempt %d/%d): %v",
+			n.id, url, addr, attempt+1, n.fetchAttempts, err)
+	}
+	return 0, 0, "", lastErr
 }
 
 func (n *Node) putIfFits(doc cache.Document) bool {
@@ -368,7 +618,7 @@ func (n *Node) acceptLoop() {
 // reports whether the body came from a cache or the origin.
 func (n *Node) serveConn(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(n.fetchTimeout))
 
 	req, err := hproto.ReadRequest(bufio.NewReader(conn))
 	if err != nil {
@@ -423,9 +673,9 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 	)
 	switch {
 	case n.parentAddr != "":
-		size, _, source, err = fetchFrom(n.parentAddr, req.URL, req.SizeHint, myAge, true)
+		size, _, source, err = n.fetchUpstream(n.parentAddr, req.URL, req.SizeHint, myAge, true)
 	case n.originAddr != "":
-		size, _, _, err = fetchFrom(n.originAddr, req.URL, req.SizeHint, myAge, false)
+		size, _, _, err = n.fetchUpstream(n.originAddr, req.URL, req.SizeHint, myAge, false)
 		source = hproto.SourceOrigin
 	default:
 		return hproto.WriteResponse(conn, hproto.Response{
@@ -457,16 +707,33 @@ func (n *Node) logf(format string, args ...any) {
 	}
 }
 
+// errNotFound marks a responder that answered the exchange but does not
+// hold (and could not resolve) the document — an application-level miss,
+// not a transport failure, so it is never retried and never counts
+// against the peer's health.
+var errNotFound = errors.New("netnode: document not at responder")
+
+// dial opens the TCP conn for one fetch, through the fault injector when
+// one is configured.
+func (n *Node) dial(addr string) (net.Conn, error) {
+	if n.faults != nil {
+		return n.faults.DialTimeout("tcp", addr, n.dialTimeout)
+	}
+	return net.DialTimeout("tcp", addr, n.dialTimeout)
+}
+
 // fetchFrom performs one hproto GET against addr, discarding the body and
 // returning its length, the piggybacked responder age, and the body's
-// source (cache or origin; an absent header means cache).
-func fetchFrom(addr, url string, sizeHint int64, requesterAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
-	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+// source (cache or origin; an absent header means cache). A non-OK status
+// maps to errNotFound; a body shorter than advertised maps to
+// hproto.ErrTruncatedBody.
+func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
+	conn, err := n.dial(addr)
 	if err != nil {
 		return 0, 0, "", fmt.Errorf("dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(n.fetchTimeout))
 
 	if err := hproto.WriteRequest(conn, hproto.Request{
 		URL:          url,
@@ -482,10 +749,10 @@ func fetchFrom(addr, url string, sizeHint int64, requesterAge time.Duration, res
 		return 0, 0, "", err
 	}
 	if resp.Status != hproto.StatusOK {
-		return 0, resp.ResponderAge, "", fmt.Errorf("fetch %s from %s: status %d", url, addr, resp.Status)
+		return 0, resp.ResponderAge, "", fmt.Errorf("fetch %s from %s: status %d: %w", url, addr, resp.Status, errNotFound)
 	}
 	if _, err := io.CopyN(io.Discard, br, resp.ContentLength); err != nil {
-		return 0, resp.ResponderAge, "", fmt.Errorf("read body: %w", err)
+		return 0, resp.ResponderAge, "", fmt.Errorf("read body from %s: %w: %v", addr, hproto.ErrTruncatedBody, err)
 	}
 	source := resp.Source
 	if source == "" {

@@ -40,11 +40,11 @@ func TestLocationString(t *testing.T) {
 }
 
 func TestDigestConfigDefaults(t *testing.T) {
-	dc := DigestConfig{}.withDefaults(1 << 20)
+	dc := DigestConfig{}.WithDefaults(1 << 20)
 	if dc.Expected != 256 || dc.FPRate != 0.01 || dc.RebuildEvery != 5 {
 		t.Fatalf("defaults = %+v", dc)
 	}
-	tiny := DigestConfig{}.withDefaults(1024)
+	tiny := DigestConfig{}.WithDefaults(1024)
 	if tiny.Expected != 16 || tiny.RebuildEvery < 1 {
 		t.Fatalf("tiny defaults = %+v", tiny)
 	}

@@ -60,7 +60,10 @@ type DigestConfig struct {
 	RebuildEvery int64
 }
 
-func (c DigestConfig) withDefaults(capacity int64) DigestConfig {
+// WithDefaults fills the zero fields from capacity, at the paper's 4KB
+// mean document size. Exported so the live node (internal/netnode) sizes
+// its filters exactly the same way as the in-process proxy.
+func (c DigestConfig) WithDefaults(capacity int64) DigestConfig {
 	if c.Expected == 0 {
 		c.Expected = int(capacity / 4096)
 		if c.Expected < 16 {
@@ -266,7 +269,7 @@ func New(cfg Config) (*Proxy, error) {
 		tracer:   cfg.Tracer,
 	}
 	if cfg.Location == LocateDigest {
-		dc := cfg.Digest.withDefaults(cfg.Store.Capacity())
+		dc := cfg.Digest.WithDefaults(cfg.Store.Capacity())
 		summary, err := digest.NewSummary(dc.Expected, dc.FPRate, dc.RebuildEvery)
 		if err != nil {
 			return nil, fmt.Errorf("proxy %s: %w", cfg.ID, err)
