@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-short test-race chaos bench
+.PHONY: check build vet test test-short test-race chaos bench fuzz
 
 check: vet build test-race
 
@@ -30,3 +30,13 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Fuzz the decoders that face untrusted bytes: journal/snapshot recovery
+# and the wire parsers. Short per-target budget by default; raise with
+# e.g. `make fuzz FUZZTIME=2m` for a longer soak.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -fuzz FuzzReadRequest -fuzztime $(FUZZTIME) ./internal/hproto/
+	$(GO) test -fuzz FuzzReadResponse -fuzztime $(FUZZTIME) ./internal/hproto/

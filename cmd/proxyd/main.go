@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"eacache/internal/cache"
 	"eacache/internal/core"
@@ -62,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fetchTimeout  = fs.Duration("fetch-timeout", netnode.DefaultFetchTimeout, "whole-exchange timeout for inter-proxy fetches")
 		fetchAttempts = fs.Int("fetch-attempts", netnode.DefaultFetchAttempts, "attempts per parent/origin fetch before the request fails")
 		chaosSpec     = fs.String("chaos", "", `inject deterministic faults into every socket, e.g. "seed=42,udp-drop=0.3,tcp-stall=0.05" (see internal/faults)`)
+
+		dataDir      = fs.String("data-dir", "", "directory for crash-safe cache persistence (snapshot + journal); empty runs in-memory only")
+		snapInterval = fs.Duration("snapshot-interval", netnode.DefaultSnapshotInterval, "how often to checkpoint the cache (needs -data-dir)")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "how long a SIGTERM/SIGINT drain waits for in-flight fetches before exiting")
 	)
 	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr> (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -111,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	node, err := netnode.New(netnode.Config{
+	nodeCfg := netnode.Config{
 		ID:            "proxyd",
 		ICPAddr:       *icpAddr,
 		HTTPAddr:      *httpAddr,
@@ -125,19 +130,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 		FetchAttempts: *fetchAttempts,
 		Faults:        injector,
 		Logger:        logger,
-	})
+	}
+	if *dataDir != "" {
+		nodeCfg.DataDir = *dataDir
+		nodeCfg.SnapshotInterval = *snapInterval
+	}
+	node, err := netnode.New(nodeCfg)
 	if err != nil {
 		return err
 	}
-	defer node.Close()
+	defer node.Close() // idempotent; the drain below already released everything
 	node.SetPeers(peers.peers)
 
 	fmt.Fprintf(stdout, "proxy up: icp=%s http=%s scheme=%s capacity=%s peers=%d\n",
 		node.ICPAddr(), node.HTTPAddr(), scheme.Name(), *capacity, len(peers.peers))
+	if rec, ok := node.Recovery(); ok {
+		fmt.Fprintf(stdout, "warm restart: recovered %d entries (%d bytes) from %s (snapshot %d entries + %d journal records)\n",
+			rec.Restored.Entries, rec.Restored.Bytes, *dataDir, rec.SnapshotEntries, rec.JournalRecords)
+		if rec.Discarded != "" {
+			fmt.Fprintf(stdout, "warm restart: discarded %d corrupt journal bytes (%s)\n",
+				rec.DiscardedBytes, rec.Discarded)
+		}
+	}
 	if injector != nil {
 		fmt.Fprintf(stdout, "chaos mode: %s\n", *chaosSpec)
 	}
-	waitForSignal()
+	sig := waitForSignal()
+	fmt.Fprintf(stdout, "%s: draining (in-flight deadline %v)...\n", sig, *drainTimeout)
+	if err := node.Drain(*drainTimeout); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(stdout, "drained: final snapshot flushed to %s\n", *dataDir)
+	} else {
+		fmt.Fprintln(stdout, "drained")
+	}
 	if injector != nil {
 		fmt.Fprintf(stdout, "chaos injected: %+v\n", injector.Stats())
 		fmt.Fprintf(stdout, "robustness: %+v\n", node.Robustness())
@@ -315,8 +342,8 @@ func parseBytes(s string) (int64, error) {
 	return n * mult, nil
 }
 
-func waitForSignal() {
+func waitForSignal() os.Signal {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
+	return <-ch
 }

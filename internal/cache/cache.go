@@ -129,6 +129,63 @@ const DefaultExpirationWindow = 512
 // layer uses by default for the contention signal.
 const DefaultExpirationHorizon = 6 * time.Hour
 
+// EventKind classifies a Store mutation as seen by an event sink.
+type EventKind int
+
+// Event kinds, in the order the store applies them.
+const (
+	// EventInsert: a document entered the cache via Put, or an already
+	// cached URL was refreshed (new size adopted, hit recorded).
+	EventInsert EventKind = iota + 1
+	// EventHit: a Get found the document (hit counter and last-hit
+	// updated).
+	EventHit
+	// EventPromote: a Touch promoted the document (the EA responder-side
+	// promotion; same metadata effect as a hit).
+	EventPromote
+	// EventEvict: the replacement policy evicted the document and its
+	// expiration age was folded into the tracker.
+	EventEvict
+	// EventRemove: the document was explicitly invalidated via Remove
+	// (no expiration age recorded).
+	EventRemove
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventInsert:
+		return "insert"
+	case EventHit:
+		return "hit"
+	case EventPromote:
+		return "promote"
+	case EventEvict:
+		return "evict"
+	case EventRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event describes one Store mutation, emitted to the event sink in the
+// exact order the store applied it — an observer that records every event
+// can replay them to reproduce the store's state (this is how
+// internal/persist journals the cache without being entangled with the
+// replacement policies).
+type Event struct {
+	Kind EventKind
+	// Doc is the document the event concerns (for EventEvict and
+	// EventRemove, the document as it was when removed).
+	Doc Document
+	// At is the mutation time the store recorded (the caller-supplied
+	// now; zero for EventRemove, which takes no timestamp).
+	At time.Time
+	// Age is the victim's document expiration age (EventEvict only).
+	Age time.Duration
+}
+
 // Store is a single proxy cache: documents, capacity accounting, replacement
 // policy, and expiration-age tracking. It is not safe for concurrent use;
 // the proxy layer serialises access.
@@ -138,6 +195,7 @@ type Store struct {
 	entries  map[string]*Entry
 	policy   Policy
 	ages     *ExpAgeTracker
+	sink     func(Event)
 
 	insertions int64
 	evictions  int64
@@ -171,6 +229,18 @@ func New(cfg Config) (*Store, error) {
 		policy:   policy,
 		ages:     ages,
 	}, nil
+}
+
+// SetEventSink installs fn as the store's mutation observer; nil removes
+// it. Events are delivered synchronously, in mutation order, while the
+// store is mid-operation — the sink must not call back into the store.
+func (s *Store) SetEventSink(fn func(Event)) { s.sink = fn }
+
+// emit delivers one event to the sink, if any.
+func (s *Store) emit(ev Event) {
+	if s.sink != nil {
+		s.sink(ev)
+	}
 }
 
 // Capacity returns the configured byte budget.
@@ -213,6 +283,7 @@ func (s *Store) Get(url string, now time.Time) (Document, bool) {
 	e.Hits++
 	e.LastHit = now
 	s.policy.Touch(e)
+	s.emit(Event{Kind: EventHit, Doc: e.Doc, At: now})
 	return e.Doc, true
 }
 
@@ -227,6 +298,7 @@ func (s *Store) Touch(url string, now time.Time) bool {
 	e.Hits++
 	e.LastHit = now
 	s.policy.Touch(e)
+	s.emit(Event{Kind: EventPromote, Doc: e.Doc, At: now})
 	return true
 }
 
@@ -247,6 +319,7 @@ func (s *Store) Put(doc Document, now time.Time) ([]Eviction, error) {
 		e.Hits++
 		e.LastHit = now
 		s.policy.Touch(e)
+		s.emit(Event{Kind: EventInsert, Doc: doc, At: now})
 		return s.makeRoom(now, doc.URL)
 	}
 
@@ -264,6 +337,7 @@ func (s *Store) Put(doc Document, now time.Time) ([]Eviction, error) {
 	s.used += doc.Size
 	s.insertions++
 	s.policy.Add(e)
+	s.emit(Event{Kind: EventInsert, Doc: doc, At: now})
 	return evicted, nil
 }
 
@@ -277,6 +351,7 @@ func (s *Store) Remove(url string) bool {
 	s.policy.Remove(e)
 	delete(s.entries, url)
 	s.used -= e.Doc.Size
+	s.emit(Event{Kind: EventRemove, Doc: e.Doc})
 	return true
 }
 
@@ -310,6 +385,67 @@ func (s *Store) Entry(url string) (Entry, bool) {
 	cp := *e
 	cp.prev, cp.next = nil, nil
 	return cp, true
+}
+
+// Entries returns copies of every entry (policy hooks zeroed) in
+// unspecified order, for persistence snapshots and inspection.
+func (s *Store) Entries() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		cp := *e
+		cp.prev, cp.next = nil, nil
+		out = append(out, cp)
+	}
+	return out
+}
+
+// RestoreEntry reinserts a recovered document with its persisted metadata,
+// bypassing eviction and the event sink (recovery must not re-journal what
+// it replays). Callers restore entries in ascending LastHit order so the
+// LRU list rebuilds in recency order. Hits below 1 are clamped to 1; a
+// zero LastHit adopts enteredAt. Restoring over a present URL, a
+// non-positive size, or past capacity is an error: the recovered set must
+// be exactly what fitted before the crash.
+func (s *Store) RestoreEntry(doc Document, enteredAt, lastHit time.Time, hits int64) error {
+	if doc.Size <= 0 {
+		return fmt.Errorf("cache: restore %q: non-positive size %d", doc.URL, doc.Size)
+	}
+	if doc.URL == "" {
+		return fmt.Errorf("cache: restore: empty URL")
+	}
+	if _, ok := s.entries[doc.URL]; ok {
+		return fmt.Errorf("cache: restore %q: already present", doc.URL)
+	}
+	if s.used+doc.Size > s.capacity {
+		return fmt.Errorf("cache: restore %q: %d bytes do not fit (%d/%d used)",
+			doc.URL, doc.Size, s.used, s.capacity)
+	}
+	if hits < 1 {
+		hits = 1
+	}
+	if lastHit.IsZero() {
+		lastHit = enteredAt
+	}
+	e := &Entry{Doc: doc, EnteredAt: enteredAt, LastHit: lastHit, Hits: hits}
+	s.entries[doc.URL] = e
+	s.used += doc.Size
+	s.policy.Add(e)
+	return nil
+}
+
+// TrackerState exports the expiration-age tracker for persistence.
+func (s *Store) TrackerState() TrackerState { return s.ages.State() }
+
+// RestoreTracker rebuilds the expiration-age tracker from a persisted
+// state, restoring the contention signal across a restart. The window
+// configuration always comes from this store's Config, never from disk: a
+// store reopened with a different window (or restored from a state that
+// recorded none) must not silently adopt the old shape. The persisted
+// samples and cumulative totals are re-windowed into the configured one.
+func (s *Store) RestoreTracker(st TrackerState) {
+	st.Window = s.ages.Window()
+	st.Horizon = s.ages.Horizon()
+	s.ages = NewTrackerFromState(st)
 }
 
 // URLs returns the cached URLs in unspecified order.
@@ -367,6 +503,7 @@ func (s *Store) evict(v *Entry, now time.Time) Eviction {
 	s.used -= v.Doc.Size
 	s.evictions++
 	s.ages.Record(age, now)
+	s.emit(Event{Kind: EventEvict, Doc: v.Doc, At: now, Age: age})
 	return Eviction{
 		Doc:           v.Doc,
 		Age:           age,

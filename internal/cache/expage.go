@@ -1,6 +1,9 @@
 package cache
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // ExpAgeTracker aggregates document expiration ages of evicted victims into
 // the cache expiration age (paper eq. 5):
@@ -90,7 +93,13 @@ func (t *ExpAgeTracker) Record(age time.Duration, now time.Time) {
 	}
 	t.totalSum += age.Seconds()
 	t.totalCount++
-	if t.window == WindowAll && t.horizon == 0 {
+	t.push(now, age)
+}
+
+// push inserts one sample into the windowed ring (a no-op for a cumulative
+// tracker, which keeps no ring).
+func (t *ExpAgeTracker) push(now time.Time, age time.Duration) {
+	if len(t.ring) == 0 {
 		return
 	}
 	if t.ringLen == len(t.ring) {
@@ -146,4 +155,79 @@ func (t *ExpAgeTracker) Cumulative() time.Duration {
 	}
 	secs := t.totalSum / float64(t.totalCount)
 	return time.Duration(secs * float64(time.Second))
+}
+
+// TrackerSample is one windowed eviction sample in a TrackerState.
+type TrackerSample struct {
+	// At is the eviction time.
+	At time.Time
+	// Age is the victim's document expiration age.
+	Age time.Duration
+}
+
+// TrackerState is a serializable snapshot of an ExpAgeTracker: the window
+// configuration, the cumulative totals, and the windowed samples (oldest
+// first). It is the unit internal/persist writes to disk so a restarted
+// cache reports the same contention signal it reported before the crash
+// instead of rejoining the group with a meaningless expiration age.
+type TrackerState struct {
+	Window          int
+	Horizon         time.Duration
+	TotalSumSeconds float64
+	TotalCount      int64
+	Samples         []TrackerSample
+}
+
+// State exports the tracker for persistence. The returned samples are
+// ordered oldest first.
+func (t *ExpAgeTracker) State() TrackerState {
+	st := TrackerState{
+		Window:          t.window,
+		Horizon:         t.horizon,
+		TotalSumSeconds: t.totalSum,
+		TotalCount:      t.totalCount,
+	}
+	if t.ringLen > 0 {
+		st.Samples = make([]TrackerSample, 0, t.ringLen)
+		for i := 0; i < t.ringLen; i++ {
+			s := t.ring[(t.ringPos+i)%len(t.ring)]
+			st.Samples = append(st.Samples, TrackerSample{At: s.at, Age: s.age})
+		}
+	}
+	return st
+}
+
+// NewTrackerFromState rebuilds a tracker from a persisted state. The input
+// is sanitized rather than trusted — a corrupted or hand-edited state file
+// must not produce a tracker that panics or reports garbage: negative
+// window/horizon collapse to cumulative, negative ages clamp to zero,
+// non-finite or negative totals are recomputed from the samples, and a
+// total count smaller than the sample count is raised to it.
+func NewTrackerFromState(st TrackerState) *ExpAgeTracker {
+	var t *ExpAgeTracker
+	switch {
+	case st.Horizon > 0:
+		t = NewTimeHorizonTracker(st.Horizon)
+	case st.Window > 0:
+		t = NewExpAgeTracker(st.Window)
+	default:
+		t = NewExpAgeTracker(WindowAll)
+	}
+	for _, s := range st.Samples {
+		age := s.Age
+		if age < 0 {
+			age = 0
+		}
+		t.push(s.At, age)
+	}
+	sum := st.TotalSumSeconds
+	if math.IsNaN(sum) || math.IsInf(sum, 0) || sum < 0 {
+		sum = t.ringSum.Seconds()
+	}
+	count := st.TotalCount
+	if count < int64(t.ringLen) {
+		count = int64(t.ringLen)
+	}
+	t.totalSum, t.totalCount = sum, count
+	return t
 }

@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// roundTrip serializes tr and rebuilds it.
+func roundTrip(tr *ExpAgeTracker) *ExpAgeTracker {
+	return NewTrackerFromState(tr.State())
+}
+
+func TestTrackerStateRoundTripCountWindow(t *testing.T) {
+	tr := NewExpAgeTracker(3)
+	for i, age := range []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second, 40 * time.Second} {
+		tr.Record(age, at(i))
+	}
+	got := roundTrip(tr)
+	if got.Window() != 3 || got.Horizon() != 0 {
+		t.Fatalf("shape = (%d, %v), want (3, 0)", got.Window(), got.Horizon())
+	}
+	if got.Count() != tr.Count() {
+		t.Fatalf("Count = %d, want %d", got.Count(), tr.Count())
+	}
+	if w, h := got.WindowedAt(at(4)), tr.WindowedAt(at(4)); w != h {
+		t.Fatalf("WindowedAt = %v, want %v", w, h)
+	}
+	if c, w := got.Cumulative(), tr.Cumulative(); c != w {
+		t.Fatalf("Cumulative = %v, want %v", c, w)
+	}
+	// The rebuilt ring must keep rolling correctly.
+	tr.Record(100*time.Second, at(5))
+	got.Record(100*time.Second, at(5))
+	if got.WindowedAt(at(5)) != tr.WindowedAt(at(5)) {
+		t.Fatalf("post-restore Record diverged: %v vs %v", got.WindowedAt(at(5)), tr.WindowedAt(at(5)))
+	}
+}
+
+func TestTrackerStateRoundTripTimeHorizon(t *testing.T) {
+	tr := NewTimeHorizonTracker(10 * time.Second)
+	tr.Record(4*time.Second, at(0))
+	tr.Record(8*time.Second, at(5))
+	tr.Record(12*time.Second, at(9))
+	got := roundTrip(tr)
+	if got.Horizon() != 10*time.Second {
+		t.Fatalf("Horizon = %v, want 10s", got.Horizon())
+	}
+	for _, now := range []int{9, 12, 30} {
+		if w, h := got.WindowedAt(at(now)), tr.WindowedAt(at(now)); w != h {
+			t.Fatalf("WindowedAt(at(%d)) = %v, want %v", now, w, h)
+		}
+	}
+	if got.Cumulative() != tr.Cumulative() {
+		t.Fatalf("Cumulative = %v, want %v", got.Cumulative(), tr.Cumulative())
+	}
+}
+
+func TestTrackerStateRoundTripEmpty(t *testing.T) {
+	for _, tr := range []*ExpAgeTracker{
+		NewExpAgeTracker(WindowAll),
+		NewExpAgeTracker(8),
+		NewTimeHorizonTracker(time.Minute),
+	} {
+		st := tr.State()
+		if len(st.Samples) != 0 || st.TotalCount != 0 {
+			t.Fatalf("empty tracker exported %+v", st)
+		}
+		got := NewTrackerFromState(st)
+		if got.WindowedAt(at(0)) != NoContention || got.Cumulative() != NoContention {
+			t.Fatalf("restored empty tracker reports contention: %v / %v",
+				got.WindowedAt(at(0)), got.Cumulative())
+		}
+		got.Record(5*time.Second, at(1))
+		if got.WindowedAt(at(1)) != 5*time.Second {
+			t.Fatalf("restored empty tracker broken: %v", got.WindowedAt(at(1)))
+		}
+	}
+}
+
+// TestTrackerStateSanitizesGarbage feeds hand-corrupted states to the
+// rebuild path: nothing here may panic or produce NaN-driven nonsense.
+func TestTrackerStateSanitizesGarbage(t *testing.T) {
+	st := TrackerState{
+		Window:          4,
+		TotalSumSeconds: math.NaN(),
+		TotalCount:      -7,
+		Samples: []TrackerSample{
+			{At: at(1), Age: -30 * time.Second},
+			{At: at(2), Age: 10 * time.Second},
+		},
+	}
+	tr := NewTrackerFromState(st)
+	if tr.Count() != 2 {
+		t.Fatalf("Count = %d, want raised to 2 samples", tr.Count())
+	}
+	// Negative age clamps to 0, so mean(0, 10s) = 5s — and the NaN total
+	// was recomputed from the clamped ring.
+	if got := tr.WindowedAt(at(2)); got != 5*time.Second {
+		t.Fatalf("WindowedAt = %v, want 5s", got)
+	}
+	if got := tr.Cumulative(); got != 5*time.Second {
+		t.Fatalf("Cumulative = %v, want 5s", got)
+	}
+
+	// Negative window and horizon collapse to cumulative; an infinite
+	// total is recomputed from the (empty) ring, so the claimed eviction
+	// count stands with a zero sum rather than propagating the infinity.
+	inf := TrackerState{Window: -3, Horizon: -time.Second, TotalSumSeconds: math.Inf(1), TotalCount: 1}
+	tr2 := NewTrackerFromState(inf)
+	if tr2.Window() != 0 || tr2.Horizon() != 0 {
+		t.Fatalf("negative shape survived: (%d, %v)", tr2.Window(), tr2.Horizon())
+	}
+	if got := tr2.Cumulative(); got != 0 {
+		t.Fatalf("all-garbage state yielded %v, want sanitized 0s", got)
+	}
+}
+
+// TestStoreRestoreTrackerKeepsConfiguredShape pins the recovery contract:
+// the window configuration comes from the store's Config, while the
+// persisted samples and totals are re-windowed into it. A state recorded
+// with no window (journal-only replay) must not demote a windowed store to
+// a cumulative signal.
+func TestStoreRestoreTrackerKeepsConfiguredShape(t *testing.T) {
+	s, err := New(Config{Capacity: 100, ExpirationWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RestoreTracker(TrackerState{
+		Window:          0, // replayed without knowing the configuration
+		TotalCount:      3,
+		TotalSumSeconds: (10*time.Second + 20*time.Second + 60*time.Second).Seconds(),
+		Samples: []TrackerSample{
+			{At: at(1), Age: 10 * time.Second},
+			{At: at(2), Age: 20 * time.Second},
+			{At: at(3), Age: 60 * time.Second},
+		},
+	})
+	// Window of 2: mean(20s, 60s) = 40s, not the cumulative 30s.
+	if got := s.ExpirationAge(at(3)); got != 40*time.Second {
+		t.Fatalf("ExpirationAge = %v, want 40s", got)
+	}
+	if got := s.CumulativeExpirationAge(); got != 30*time.Second {
+		t.Fatalf("CumulativeExpirationAge = %v, want 30s", got)
+	}
+
+	// A cold restore (zero state) leaves a fresh store fresh.
+	s2, err := New(Config{Capacity: 100, ExpirationHorizon: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.RestoreTracker(TrackerState{})
+	if got := s2.ExpirationAge(at(0)); got != NoContention {
+		t.Fatalf("cold restore reports contention: %v", got)
+	}
+	if s2.TrackerState().Horizon != time.Minute {
+		t.Fatalf("cold restore lost the configured horizon: %+v", s2.TrackerState())
+	}
+}

@@ -131,6 +131,25 @@ func (in *Injector) count(f func(*Stats)) {
 	f(&in.stats)
 }
 
+// FlipBits returns a copy of data with n random single-bit flips drawn
+// from the injector's seeded PRNG — file-level corruption injection for
+// crash-safety tests (the on-disk analogue of UDPCorruptRate). Flips may
+// land on the same bit twice; n is attempts, not guaranteed distinct
+// corruptions. Empty data or n <= 0 returns data unchanged.
+func (in *Injector) FlipBits(data []byte, n int) []byte {
+	if len(data) == 0 || n <= 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := 0; i < n; i++ {
+		pos := in.rng.Intn(len(out))
+		out[pos] ^= 1 << uint(in.rng.Intn(8))
+	}
+	return out
+}
+
 // DialTimeout dials like net.DialTimeout but may fail the dial outright
 // (TCPDialErrRate) and wraps the resulting conn with the TCP stream faults.
 func (in *Injector) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {

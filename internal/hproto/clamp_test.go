@@ -1,0 +1,91 @@
+package hproto
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+func TestParseAgeClamped(t *testing.T) {
+	for _, tt := range []struct {
+		in      string
+		want    time.Duration
+		clamped bool
+		ok      bool
+	}{
+		{"0", 0, false, true},
+		{"1500", 1500 * time.Millisecond, false, true},
+		{"inf", cache.NoContention, false, true},
+		// Hostile values clamp instead of being trusted or fatal.
+		{"-3", 0, true, true},
+		{"-9223372036854775808", 0, true, true},                     // math.MinInt64
+		{"9223372036854775807", cache.NoContention, true, true},     // overflows Duration
+		{"99999999999999999999999", cache.NoContention, true, true}, // overflows int64
+		{"-99999999999999999999999", 0, true, true},
+		// Garbage is still malformed, not silently zeroed.
+		{"abc", 0, false, false},
+		{"", 0, false, false},
+		{"1.5", 0, false, false},
+		{"nan", 0, false, false},
+	} {
+		got, clamped, err := ParseAgeClamped(tt.in)
+		if (err == nil) != tt.ok {
+			t.Fatalf("ParseAgeClamped(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+		}
+		if !tt.ok {
+			continue
+		}
+		if got != tt.want || clamped != tt.clamped {
+			t.Fatalf("ParseAgeClamped(%q) = (%v, %v), want (%v, %v)",
+				tt.in, got, clamped, tt.want, tt.clamped)
+		}
+	}
+}
+
+// TestReadRequestClampsHostileAge pins the wire behaviour: a peer sending
+// a negative or overflowing piggybacked age gets clamped and flagged, not
+// refused (the request is otherwise fine) and not believed.
+func TestReadRequestClampsHostileAge(t *testing.T) {
+	for _, tt := range []struct {
+		age  string
+		want time.Duration
+	}{
+		{"-42", 0},
+		{"9223372036854775807", cache.NoContention},
+	} {
+		in := fmt.Sprintf("GET http://a/ EAC/1.0\r\nX-Cache-Expiration-Age: %s\r\n\r\n", tt.age)
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(in)))
+		if err != nil {
+			t.Fatalf("age %q refused: %v", tt.age, err)
+		}
+		if !req.AgeClamped || req.RequesterAge != tt.want {
+			t.Fatalf("age %q -> (%v, clamped=%v), want (%v, true)",
+				tt.age, req.RequesterAge, req.AgeClamped, tt.want)
+		}
+	}
+
+	// A clean request must not be flagged.
+	in := "GET http://a/ EAC/1.0\r\nX-Cache-Expiration-Age: 100\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.AgeClamped {
+		t.Fatal("clean age flagged as clamped")
+	}
+}
+
+func TestReadResponseClampsHostileAge(t *testing.T) {
+	in := "EAC/1.0 200 OK\r\nX-Cache-Expiration-Age: -5\r\nContent-Length: 0\r\n\r\n"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatalf("negative age refused: %v", err)
+	}
+	if !resp.AgeClamped || resp.ResponderAge != 0 {
+		t.Fatalf("resp = %+v, want age 0 clamped", resp)
+	}
+}

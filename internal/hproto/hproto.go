@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -84,6 +85,11 @@ type Request struct {
 	// Resolve asks a hierarchical parent to fetch the document from
 	// upstream on a miss instead of answering 404.
 	Resolve bool
+	// AgeClamped reports that the wire carried a negative or overflowing
+	// expiration age and RequesterAge is the clamped substitute — a
+	// misbehaving peer, worth counting (metrics.Robustness) but not worth
+	// failing the exchange over.
+	AgeClamped bool
 }
 
 // Response is the reply carrying the document and the responder's age.
@@ -98,6 +104,9 @@ type Response struct {
 	// responder held it) or SourceOrigin (it was resolved upstream).
 	// Empty is treated as SourceCache for compatibility.
 	Source string
+	// AgeClamped reports that the wire carried a negative or overflowing
+	// expiration age and ResponderAge is the clamped substitute.
+	AgeClamped bool
 }
 
 // FormatAge renders an expiration age for the wire: integer milliseconds,
@@ -112,16 +121,54 @@ func FormatAge(age time.Duration) string {
 	return strconv.FormatInt(age.Milliseconds(), 10)
 }
 
-// ParseAge parses a wire-format expiration age.
+// ParseAge parses a wire-format expiration age strictly: negative and
+// non-numeric values are errors. The message readers use ParseAgeClamped
+// instead, so a misbehaving peer cannot fail an exchange with a hostile
+// age value.
 func ParseAge(s string) (time.Duration, error) {
-	if s == "inf" {
-		return cache.NoContention, nil
+	age, clamped, err := ParseAgeClamped(s)
+	if err != nil {
+		return 0, err
 	}
-	ms, err := strconv.ParseInt(s, 10, 64)
-	if err != nil || ms < 0 {
+	if clamped {
 		return 0, fmt.Errorf("%w: bad age %q", ErrMalformed, s)
 	}
-	return time.Duration(ms) * time.Millisecond, nil
+	return age, nil
+}
+
+// maxAgeMillis is the largest millisecond count representable as a
+// time.Duration; anything above it would overflow the multiplication.
+const maxAgeMillis = math.MaxInt64 / int64(time.Millisecond)
+
+// ParseAgeClamped parses a wire-format expiration age without trusting
+// the peer: a negative value clamps to zero (maximum contention claims
+// nothing it could not claim with "0") and a value too large for a
+// time.Duration clamps to NoContention (it was asserting effectively
+// infinite headroom anyway). clamped reports that such a substitution
+// happened so the caller can count the misbehaving peer. Only a
+// non-numeric value — line noise, not a number at all — is an error.
+func ParseAgeClamped(s string) (age time.Duration, clamped bool, err error) {
+	if s == "inf" {
+		return cache.NoContention, false, nil
+	}
+	ms, perr := strconv.ParseInt(s, 10, 64)
+	if perr != nil {
+		if !errors.Is(perr, strconv.ErrRange) {
+			return 0, false, fmt.Errorf("%w: bad age %q", ErrMalformed, s)
+		}
+		// Out of int64 range entirely: clamp by sign.
+		if strings.HasPrefix(strings.TrimSpace(s), "-") {
+			return 0, true, nil
+		}
+		return cache.NoContention, true, nil
+	}
+	switch {
+	case ms < 0:
+		return 0, true, nil
+	case ms > maxAgeMillis:
+		return cache.NoContention, true, nil
+	}
+	return time.Duration(ms) * time.Millisecond, false, nil
 }
 
 // WriteRequest serialises req.
@@ -163,7 +210,7 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		return Request{}, err
 	}
 	if v, ok := headers[AgeHeader]; ok {
-		if req.RequesterAge, err = ParseAge(v); err != nil {
+		if req.RequesterAge, req.AgeClamped, err = ParseAgeClamped(v); err != nil {
 			return Request{}, err
 		}
 	}
@@ -236,7 +283,7 @@ func ReadResponse(r *bufio.Reader) (Response, error) {
 		return Response{}, err
 	}
 	if v, ok := headers[AgeHeader]; ok {
-		if resp.ResponderAge, err = ParseAge(v); err != nil {
+		if resp.ResponderAge, resp.AgeClamped, err = ParseAgeClamped(v); err != nil {
 			return Response{}, err
 		}
 	}

@@ -12,6 +12,7 @@ type Robustness struct {
 	fallbacks     atomic.Int64
 	breakerOpens  atomic.Int64
 	breakerCloses atomic.Int64
+	wireClamps    atomic.Int64
 }
 
 // PeerFailure records one failed exchange with a peer: an ICP silence on a
@@ -32,6 +33,11 @@ func (r *Robustness) BreakerOpen() { r.breakerOpens.Add(1) }
 // BreakerClose records a dead peer resurrecting after a successful probe.
 func (r *Robustness) BreakerClose() { r.breakerCloses.Add(1) }
 
+// WireClamp records a piggybacked expiration age that arrived negative or
+// overflowing and was clamped instead of trusted (hproto.ParseAgeClamped)
+// — a peer whose wire output cannot be taken at face value.
+func (r *Robustness) WireClamp() { r.wireClamps.Add(1) }
+
 // RobustnessSnapshot is a consistent-enough copy of the counters for
 // reporting and tests.
 type RobustnessSnapshot struct {
@@ -40,6 +46,7 @@ type RobustnessSnapshot struct {
 	Fallbacks     int64
 	BreakerOpens  int64
 	BreakerCloses int64
+	WireClamps    int64
 }
 
 // Snapshot returns the current counter values.
@@ -50,5 +57,6 @@ func (r *Robustness) Snapshot() RobustnessSnapshot {
 		Fallbacks:     r.fallbacks.Load(),
 		BreakerOpens:  r.breakerOpens.Load(),
 		BreakerCloses: r.breakerCloses.Load(),
+		WireClamps:    r.wireClamps.Load(),
 	}
 }

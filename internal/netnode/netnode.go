@@ -24,6 +24,7 @@ import (
 	"eacache/internal/hproto"
 	"eacache/internal/icp"
 	"eacache/internal/metrics"
+	"eacache/internal/persist"
 	"eacache/internal/proxy"
 )
 
@@ -38,6 +39,10 @@ const (
 	DefaultFetchTimeout  = 5 * time.Second
 	DefaultFetchAttempts = 2
 )
+
+// DefaultSnapshotInterval is how often a persistent node checkpoints when
+// Config.SnapshotInterval is left zero.
+const DefaultSnapshotInterval = 30 * time.Second
 
 // Peer is a neighbour node's pair of service addresses.
 type Peer struct {
@@ -93,6 +98,16 @@ type Config struct {
 	// Health tunes the per-peer circuit breaker (thresholds, probe
 	// backoff). The zero value uses the health package defaults.
 	Health health.Config
+	// DataDir, when set, makes the node crash-safe: cache contents,
+	// per-document metadata, and the expiration-age tracker are journaled
+	// to this directory and recovered on restart (see internal/persist).
+	// The Store must be freshly built — recovered state is loaded into it
+	// before the servers start. Empty disables persistence.
+	DataDir string
+	// SnapshotInterval is how often the node checkpoints (snapshot +
+	// journal rotation). Zero defaults to DefaultSnapshotInterval;
+	// negative is rejected. Requires DataDir.
+	SnapshotInterval time.Duration
 	// Faults, when set, injects deterministic faults into every socket
 	// the node opens — the ICP query socket, outbound fetch dials, and
 	// accepted fetch conns — for chaos tests and manual chaos runs.
@@ -134,12 +149,26 @@ type Node struct {
 	store *cache.Store
 	peers []Peer
 
+	persister *persist.Persister
+	snapEvery time.Duration
+	recovery  *RecoveryReport
+
 	icpServer *icp.Server
 	icpClient *icp.Client
 	httpLn    net.Listener
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// RecoveryReport describes a warm restart: what the persistence layer
+// found on disk and what was actually loaded back into the store.
+type RecoveryReport struct {
+	persist.Report
+	// Restored is what made it into the live store.
+	Restored persist.RestoreStats
 }
 
 // New starts a node's ICP responder and fetch listener. Close releases
@@ -171,6 +200,15 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.FetchAttempts == 0 {
 		cfg.FetchAttempts = DefaultFetchAttempts
+	}
+	if cfg.SnapshotInterval < 0 {
+		return nil, fmt.Errorf("netnode: negative SnapshotInterval %v", cfg.SnapshotInterval)
+	}
+	if cfg.SnapshotInterval > 0 && cfg.DataDir == "" {
+		return nil, errors.New("netnode: SnapshotInterval requires DataDir")
+	}
+	if cfg.DataDir != "" && cfg.SnapshotInterval == 0 {
+		cfg.SnapshotInterval = DefaultSnapshotInterval
 	}
 	if cfg.Location == 0 {
 		cfg.Location = proxy.LocateICP
@@ -232,8 +270,28 @@ func New(cfg Config) (*Node, error) {
 		n.digests = ds
 	}
 
+	// Recover persisted state into the store before any server can touch
+	// it, then journal every mutation from here on. Persistence observes
+	// the store through its event sink, so the replacement policies and
+	// the request path stay oblivious to it.
+	if cfg.DataDir != "" {
+		p, err := persist.Open(persist.Config{Dir: cfg.DataDir, Logger: cfg.Logger})
+		if err != nil {
+			return nil, fmt.Errorf("netnode: %w", err)
+		}
+		stats := persist.Restore(cfg.Store, p.RecoveredState())
+		if stats.Skipped > 0 {
+			n.logf("netnode %s: recovery skipped %d entries that no longer fit", n.id, stats.Skipped)
+		}
+		cfg.Store.SetEventSink(p.Append)
+		n.persister = p
+		n.snapEvery = cfg.SnapshotInterval
+		n.recovery = &RecoveryReport{Report: p.Report(), Restored: stats}
+	}
+
 	icpServer, err := icp.NewServer(cfg.ICPAddr, icp.HandlerFunc(n.handleICP), cfg.Logger)
 	if err != nil {
+		n.closePersister()
 		return nil, err
 	}
 	n.icpServer = icpServer
@@ -241,6 +299,7 @@ func New(cfg Config) (*Node, error) {
 	ln, err := net.Listen("tcp", cfg.HTTPAddr)
 	if err != nil {
 		_ = icpServer.Close()
+		n.closePersister()
 		return nil, fmt.Errorf("netnode: listen %q: %w", cfg.HTTPAddr, err)
 	}
 	if cfg.Faults != nil {
@@ -250,7 +309,22 @@ func New(cfg Config) (*Node, error) {
 
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if n.persister != nil && n.snapEvery > 0 {
+		n.wg.Add(1)
+		go n.snapshotLoop()
+	}
 	return n, nil
+}
+
+// closePersister detaches and closes the persistence layer (constructor
+// error paths only).
+func (n *Node) closePersister() {
+	if n.persister == nil {
+		return
+	}
+	n.store.SetEventSink(nil)
+	_ = n.persister.Close()
+	n.persister = nil
 }
 
 // ID returns the node name.
@@ -283,21 +357,102 @@ func (n *Node) Robustness() metrics.RobustnessSnapshot { return n.robust.Snapsho
 // peer's fetch (HTTP) address.
 func (n *Node) PeerHealth() []health.PeerStatus { return n.health.Snapshot() }
 
-// Close stops both servers and waits for in-flight handlers.
-func (n *Node) Close() error {
-	select {
-	case <-n.closed:
-		return nil
-	default:
+// Close stops both servers, waits for in-flight handlers, checkpoints
+// persistent state, and releases the data directory. It is idempotent and
+// safe to call concurrently — with other Close/Drain calls and with an
+// in-flight Request, which at worst fails with a connection error.
+func (n *Node) Close() error { return n.shutdown(0) }
+
+// Drain is the graceful variant of Close: stop accepting new work
+// immediately, give in-flight handlers up to timeout to finish (instead
+// of waiting indefinitely), write a final snapshot, then release
+// everything. Handlers still running at the deadline keep their journal
+// appends — recovery replays them on top of the final snapshot.
+func (n *Node) Drain(timeout time.Duration) error { return n.shutdown(timeout) }
+
+// shutdown runs the close sequence exactly once; wait > 0 bounds the
+// in-flight handler wait.
+func (n *Node) shutdown(wait time.Duration) error {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		icpErr := n.icpServer.Close()
+		lnErr := n.httpLn.Close()
+
+		done := make(chan struct{})
+		go func() {
+			n.wg.Wait()
+			close(done)
+		}()
+		if wait > 0 {
+			select {
+			case <-done:
+			case <-time.After(wait):
+				n.logf("netnode %s: drain deadline %v passed with handlers in flight", n.id, wait)
+			}
+		} else {
+			<-done
+		}
+
+		if n.persister != nil {
+			if err := n.checkpoint(); err != nil {
+				n.logf("netnode %s: final snapshot: %v", n.id, err)
+			}
+			n.mu.Lock()
+			n.store.SetEventSink(nil)
+			n.mu.Unlock()
+			if err := n.persister.Close(); err != nil {
+				n.logf("netnode %s: close persister: %v", n.id, err)
+			}
+		}
+
+		if icpErr != nil {
+			n.closeErr = icpErr
+		} else {
+			n.closeErr = lnErr
+		}
+	})
+	return n.closeErr
+}
+
+// Recovery reports what the last warm restart recovered; ok is false when
+// the node runs without persistence.
+func (n *Node) Recovery() (RecoveryReport, bool) {
+	if n.recovery == nil {
+		return RecoveryReport{}, false
 	}
-	close(n.closed)
-	icpErr := n.icpServer.Close()
-	lnErr := n.httpLn.Close()
-	n.wg.Wait()
-	if icpErr != nil {
-		return icpErr
+	return *n.recovery, true
+}
+
+// snapshotLoop checkpoints every snapEvery until the node closes.
+func (n *Node) snapshotLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.snapEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-t.C:
+			if err := n.checkpoint(); err != nil {
+				n.logf("netnode %s: snapshot: %v", n.id, err)
+			}
+		}
 	}
-	return lnErr
+}
+
+// checkpoint captures the store and rotates the journal at one consistent
+// instant (under the store lock), then writes the snapshot without
+// blocking the request path — events that land after the rotation go to
+// the new journal and replay on top of the snapshot.
+func (n *Node) checkpoint() error {
+	n.mu.Lock()
+	st := persist.CaptureState(n.store)
+	err := n.persister.Rotate()
+	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return n.persister.WriteSnapshot(st)
 }
 
 // ExpirationAge returns the node's current contention signal.
@@ -625,6 +780,10 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.logf("netnode %s: bad fetch request: %v", n.id, err)
 		return
 	}
+	if req.AgeClamped {
+		n.robust.WireClamp()
+		n.logf("netnode %s: clamped bad requester age from %s", n.id, conn.RemoteAddr())
+	}
 
 	// The reserved digest URL serves this node's own cache digest.
 	if req.URL == DigestURL {
@@ -747,6 +906,10 @@ func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Dur
 	resp, err := hproto.ReadResponse(br)
 	if err != nil {
 		return 0, 0, "", err
+	}
+	if resp.AgeClamped {
+		n.robust.WireClamp()
+		n.logf("netnode %s: clamped bad responder age from %s", n.id, addr)
 	}
 	if resp.Status != hproto.StatusOK {
 		return 0, resp.ResponderAge, "", fmt.Errorf("fetch %s from %s: status %d: %w", url, addr, resp.Status, errNotFound)

@@ -1,0 +1,153 @@
+// The write-ahead journal: an append-only file of CRC32C-framed records,
+// one per cache mutation (insert/hit/promote/evict/remove). Each record is
+// appended with a single write() so a crash leaves at worst one torn frame
+// at the tail; replay verifies every frame checksum and stops at the first
+// bad one, keeping every fully-committed record and discarding the tear.
+//
+// Frame layout (little-endian):
+//
+//	u32  payload length
+//	u8   record kind (cache.EventKind)
+//	[]b  payload
+//	u32  CRC32C over kind byte + payload
+//
+// Payloads per kind (url = u16 length + bytes, times are unix nanos):
+//
+//	insert:  url, i64 size, i64 expires, i64 at
+//	hit:     url, i64 at
+//	promote: url, i64 at
+//	evict:   url, i64 at, i64 age
+//	remove:  url
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+const (
+	// maxJournalURL mirrors hproto's URL bound; nothing longer can enter
+	// a cache through the protocol.
+	maxJournalURL = 8 * 1024
+	// maxFramePayload bounds one frame's payload so a corrupted length
+	// field cannot demand an absurd allocation during replay.
+	maxFramePayload = 64 * 1024
+	// frameOverhead is the non-payload bytes of a frame: length(4) +
+	// kind(1) + crc(4).
+	frameOverhead = 9
+)
+
+// MarshalEvent frames one cache event for the journal.
+func MarshalEvent(ev cache.Event) ([]byte, error) {
+	if ev.Doc.URL == "" || len(ev.Doc.URL) > maxJournalURL {
+		return nil, fmt.Errorf("persist: bad journal URL (len %d)", len(ev.Doc.URL))
+	}
+	var p encoder
+	p.str(ev.Doc.URL)
+	switch ev.Kind {
+	case cache.EventInsert:
+		p.i64(ev.Doc.Size)
+		p.i64(timeToNano(ev.Doc.Expires))
+		p.i64(timeToNano(ev.At))
+	case cache.EventHit, cache.EventPromote:
+		p.i64(timeToNano(ev.At))
+	case cache.EventEvict:
+		p.i64(timeToNano(ev.At))
+		p.i64(int64(ev.Age))
+	case cache.EventRemove:
+		// URL only.
+	default:
+		return nil, fmt.Errorf("persist: unknown event kind %v", ev.Kind)
+	}
+
+	var f encoder
+	f.u32(uint32(len(p.b)))
+	f.u8(byte(ev.Kind))
+	f.b = append(f.b, p.b...)
+	f.u32(crc32.Checksum(f.b[4:], crcTable))
+	return f.b, nil
+}
+
+// decodeEventPayload rebuilds the event from one verified frame payload.
+func decodeEventPayload(kind byte, payload []byte) (cache.Event, error) {
+	ev := cache.Event{Kind: cache.EventKind(kind)}
+	d := &decoder{b: payload}
+	ev.Doc.URL = d.str(maxJournalURL)
+	if d.err == nil && ev.Doc.URL == "" {
+		d.fail("empty URL")
+	}
+	switch ev.Kind {
+	case cache.EventInsert:
+		ev.Doc.Size = d.i64()
+		ev.Doc.Expires = nanoToTime(d.i64())
+		ev.At = nanoToTime(d.i64())
+		if d.err == nil && ev.Doc.Size <= 0 {
+			d.fail("non-positive size %d", ev.Doc.Size)
+		}
+	case cache.EventHit, cache.EventPromote:
+		ev.At = nanoToTime(d.i64())
+	case cache.EventEvict:
+		ev.At = nanoToTime(d.i64())
+		ev.Age = clampDuration(d.i64())
+	case cache.EventRemove:
+		// URL only.
+	default:
+		d.fail("unknown record kind %d", kind)
+	}
+	if err := d.done(); err != nil {
+		return cache.Event{}, err
+	}
+	return ev, nil
+}
+
+// clampDuration clamps a journalled duration to non-negative; a negative
+// age never leaves MarshalEvent, so one on disk is corruption that decoded
+// to valid framing — clamp rather than poison the tracker.
+func clampDuration(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return time.Duration(n)
+}
+
+// ReplayJournal decodes frames from data in order until the first bad
+// frame, returning the decoded events and how many bytes of data they
+// span. A nil damage means the journal ended exactly on a frame boundary;
+// otherwise damage says why replay stopped (torn tail, checksum mismatch,
+// malformed payload) and everything past the reported offset must be
+// discarded — the caller truncates the file there. Replay never fails
+// outright: a corrupt journal yields the longest verifiable prefix.
+func ReplayJournal(data []byte) (events []cache.Event, goodBytes int, damage error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 4 {
+			return events, off, fmt.Errorf("%w: torn frame header (%d bytes) at offset %d", ErrCorrupt, len(rest), off)
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		if plen > maxFramePayload {
+			return events, off, fmt.Errorf("%w: frame payload length %d exceeds limit at offset %d", ErrCorrupt, plen, off)
+		}
+		total := frameOverhead + plen
+		if len(rest) < total {
+			return events, off, fmt.Errorf("%w: torn frame (%d of %d bytes) at offset %d", ErrCorrupt, len(rest), total, off)
+		}
+		kind := rest[4]
+		payload := rest[5 : 5+plen]
+		want := binary.LittleEndian.Uint32(rest[5+plen : total])
+		if got := crc32.Checksum(rest[4:5+plen], crcTable); got != want {
+			return events, off, fmt.Errorf("%w: frame checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		ev, err := decodeEventPayload(kind, payload)
+		if err != nil {
+			return events, off, fmt.Errorf("frame at offset %d: %w", off, err)
+		}
+		events = append(events, ev)
+		off += total
+	}
+	return events, off, nil
+}

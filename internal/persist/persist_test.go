@@ -1,0 +1,475 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/dist"
+	"eacache/internal/faults"
+)
+
+// newStore builds a small store with a count-window tracker.
+func newStore(t *testing.T, capacity int64) *cache.Store {
+	t.Helper()
+	s, err := cache.New(cache.Config{Capacity: capacity, ExpirationWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// openPersister opens dir and fails the test on error.
+func openPersister(t *testing.T, dir string) *Persister {
+	t.Helper()
+	p, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return p
+}
+
+// driveWorkload runs a deterministic mix of puts/gets/touches/removes
+// through the store (whose event sink feeds the persister) and returns
+// the final wall-clock-free timestamp used.
+func driveWorkload(t *testing.T, store *cache.Store, seed uint64, ops int) {
+	t.Helper()
+	rng := dist.NewRNG(seed)
+	now := t0()
+	for i := 0; i < ops; i++ {
+		now = now.Add(time.Duration(1+rng.Intn(1000)) * time.Millisecond)
+		url := fmt.Sprintf("http://w/%d", rng.Intn(40))
+		switch rng.Intn(10) {
+		case 0:
+			store.Remove(url)
+		case 1, 2:
+			store.Get(url, now)
+		case 3:
+			store.Touch(url, now)
+		default:
+			size := int64(64 + rng.Intn(2048))
+			if _, err := store.Put(cache.Document{URL: url, Size: size}, now); err != nil {
+				t.Fatalf("put %s: %v", url, err)
+			}
+		}
+	}
+}
+
+// assertSameState fails unless b contains exactly a's entries (with
+// identical metadata) and reports the same expiration age.
+func assertSameState(t *testing.T, a, b *cache.Store, now time.Time) {
+	t.Helper()
+	if a.Len() != b.Len() || a.Used() != b.Used() {
+		t.Fatalf("len/used = %d/%d, want %d/%d", b.Len(), b.Used(), a.Len(), a.Used())
+	}
+	for _, url := range a.URLs() {
+		ae, _ := a.Entry(url)
+		be, ok := b.Entry(url)
+		if !ok {
+			t.Fatalf("recovered store missing %s", url)
+		}
+		if be.Doc != ae.Doc || be.Hits != ae.Hits ||
+			!be.EnteredAt.Equal(ae.EnteredAt) || !be.LastHit.Equal(ae.LastHit) {
+			t.Fatalf("%s: entry %+v, want %+v", url, be, ae)
+		}
+	}
+	if got, want := b.ExpirationAge(now), a.ExpirationAge(now); got != want {
+		t.Fatalf("expiration age = %v, want %v", got, want)
+	}
+	if got, want := b.CumulativeExpirationAge(), a.CumulativeExpirationAge(); got != want {
+		t.Fatalf("cumulative expiration age = %v, want %v", got, want)
+	}
+}
+
+// recoverInto replays dir into a fresh store and returns it with the
+// persister.
+func recoverInto(t *testing.T, dir string, capacity int64) (*cache.Store, *Persister) {
+	t.Helper()
+	p := openPersister(t, dir)
+	s := newStore(t, capacity)
+	Restore(s, p.RecoveredState())
+	return s, p
+}
+
+// TestRecoverJournalOnly abandons the persister without any snapshot (the
+// kill -9 case before the first checkpoint) and recovers from the journal
+// alone.
+func TestRecoverJournalOnly(t *testing.T) {
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+	driveWorkload(t, live, 1, 400)
+	// Crash: no Close, no snapshot. (The OS file is shared, so writes are
+	// already in the file; a real kill -9 preserves exactly these bytes.)
+
+	got, p2 := recoverInto(t, dir, 8<<10)
+	defer p2.Close()
+	assertSameState(t, live, got, t0().Add(time.Hour))
+	rep := p2.Report()
+	if rep.SnapshotLoaded || rep.JournalRecords == 0 || rep.Discarded != "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	p.Close()
+}
+
+// TestRecoverSnapshotPlusJournal checkpoints mid-workload and keeps
+// mutating, so recovery must compose snapshot + journal.
+func TestRecoverSnapshotPlusJournal(t *testing.T) {
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+
+	driveWorkload(t, live, 2, 300)
+	st := CaptureState(live)
+	if err := p.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, live, 3, 300)
+	// Crash.
+
+	got, p2 := recoverInto(t, dir, 8<<10)
+	defer p2.Close()
+	assertSameState(t, live, got, t0().Add(time.Hour))
+	rep := p2.Report()
+	if !rep.SnapshotLoaded {
+		t.Fatalf("snapshot not loaded: %+v", rep)
+	}
+	p.Close()
+}
+
+// TestRecoverAfterCleanDrain closes everything properly: recovery should
+// come entirely from the final snapshot.
+func TestRecoverAfterCleanDrain(t *testing.T) {
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+	driveWorkload(t, live, 4, 500)
+
+	st := CaptureState(live)
+	if err := p.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	live.SetEventSink(nil)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, p2 := recoverInto(t, dir, 8<<10)
+	defer p2.Close()
+	assertSameState(t, live, got, t0().Add(time.Hour))
+	rep := p2.Report()
+	if !rep.SnapshotLoaded || rep.JournalRecords != 0 || rep.DiscardedBytes != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestKillMidWrite truncates the on-disk journal at arbitrary offsets —
+// the torn write of a node killed mid-append — and requires recovery to
+// keep every fully-committed record and carry on appending cleanly.
+func TestKillMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+	driveWorkload(t, live, 5, 200)
+	p.Close()
+
+	jpath := filepath.Join(dir, "journal.0.wal")
+	full, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents, _, damage := ReplayJournal(full)
+	if damage != nil {
+		t.Fatalf("clean journal damaged: %v", damage)
+	}
+
+	rng := dist.NewRNG(99)
+	for trial := 0; trial < 25; trial++ {
+		cut := rng.Intn(len(full) + 1)
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, "journal.0.wal"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, p2 := recoverInto(t, sub, 8<<10)
+		rep := p2.Report()
+		if rep.JournalBytes > int64(cut) {
+			t.Fatalf("cut %d: claimed %d journal bytes", cut, rep.JournalBytes)
+		}
+		// Replay the committed prefix with an independent oracle and
+		// require identical state.
+		ref := refReplay(t, wantEvents, cut)
+		assertSameState(t, ref, got, t0().Add(time.Hour))
+		// The reopened journal must be appendable and replayable.
+		got.SetEventSink(p2.Append)
+		if _, err := got.Put(cache.Document{URL: "http://post/crash", Size: 64}, t0().Add(2*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		p2.Close()
+
+		got3, p3 := recoverInto(t, sub, 8<<10)
+		if !got3.Contains("http://post/crash") {
+			t.Fatalf("cut %d: post-crash append lost", cut)
+		}
+		p3.Close()
+	}
+}
+
+// refReplay rebuilds the state the journal prefix before byte offset cut
+// describes, at single-event granularity. A cut can land between an
+// eviction record and the insert that triggered it, so the oracle must not
+// re-run the eviction policy: it applies events to an effectively
+// unbounded store, removes eviction victims explicitly, and rebuilds the
+// tracker from the evict records the way the store recorded them.
+func refReplay(t *testing.T, events []cache.Event, cut int) *cache.Store {
+	t.Helper()
+	ref := newStore(t, 1<<40)
+	var tr cache.TrackerState
+	off := 0
+	for _, ev := range events {
+		frame, err := MarshalEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off+len(frame) > cut {
+			break
+		}
+		off += len(frame)
+		switch ev.Kind {
+		case cache.EventInsert:
+			if _, err := ref.Put(ev.Doc, ev.At); err != nil {
+				t.Fatal(err)
+			}
+		case cache.EventHit:
+			ref.Get(ev.Doc.URL, ev.At)
+		case cache.EventPromote:
+			ref.Touch(ev.Doc.URL, ev.At)
+		case cache.EventEvict:
+			ref.Remove(ev.Doc.URL)
+			tr.TotalSumSeconds += ev.Age.Seconds()
+			tr.TotalCount++
+			tr.Samples = append(tr.Samples, cache.TrackerSample{At: ev.At, Age: ev.Age})
+		case cache.EventRemove:
+			ref.Remove(ev.Doc.URL)
+		}
+	}
+	ref.RestoreTracker(tr)
+	return ref
+}
+
+// TestCheckpointCrashWindows simulates dying between Rotate and
+// WriteSnapshot (old snapshot + two journals on disk) and after
+// WriteSnapshot but before the old journal is swept.
+func TestCheckpointCrashWindows(t *testing.T) {
+	// Window 1: rotate happened, snapshot never landed.
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+	driveWorkload(t, live, 6, 200)
+	if err := p.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, live, 7, 200) // lands in journal gen 1
+	// Crash before WriteSnapshot.
+	got, p2 := recoverInto(t, dir, 8<<10)
+	assertSameState(t, live, got, t0().Add(time.Hour))
+	p2.Close()
+	p.Close()
+
+	// Window 2: snapshot landed, old journal still on disk (sweep lost
+	// the race). Recovery must start from the snapshot's generation and
+	// ignore the stale journal.
+	dir2 := t.TempDir()
+	live2 := newStore(t, 8<<10)
+	pp := openPersister(t, dir2)
+	live2.SetEventSink(pp.Append)
+	driveWorkload(t, live2, 8, 200)
+	stale, err := os.ReadFile(filepath.Join(dir2, "journal.0.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := CaptureState(live2)
+	if err := pp.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, live2, 9, 100)
+	// Resurrect the swept journal as if the remove never happened.
+	if err := os.WriteFile(filepath.Join(dir2, "journal.0.wal"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got2, pp2 := recoverInto(t, dir2, 8<<10)
+	assertSameState(t, live2, got2, t0().Add(time.Hour))
+	if _, err := os.Stat(filepath.Join(dir2, "journal.0.wal")); !os.IsNotExist(err) {
+		t.Fatalf("stale journal not swept: %v", err)
+	}
+	pp2.Close()
+	pp.Close()
+}
+
+// TestCorruptSnapshotFallsBackCold flips bits in the snapshot; recovery
+// must reject it, log the discard, and still replay the journal chain
+// from the oldest journal on disk.
+func TestCorruptSnapshotFallsBackCold(t *testing.T) {
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+	driveWorkload(t, live, 10, 100)
+	st := CaptureState(live)
+	if err := p.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	spath := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spath, inj.FlipBits(data, 3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, p2 := recoverInto(t, dir, 8<<10)
+	defer p2.Close()
+	rep := p2.Report()
+	if rep.SnapshotLoaded {
+		t.Fatal("corrupt snapshot loaded")
+	}
+	if rep.Discarded == "" {
+		t.Fatal("discard not reported")
+	}
+	// Journal gen 1 exists but is empty (all state was in the snapshot),
+	// so the store comes back cold — the documented fallback.
+	if got.Len() != 0 {
+		t.Fatalf("expected cold store, got %d entries", got.Len())
+	}
+}
+
+// TestUnreadableJournalFallsBackSnapshotOnly replaces the journal with a
+// directory (ReadFile fails outright) and expects snapshot-only recovery
+// plus an append generation safely beyond the wreckage.
+func TestUnreadableJournalFallsBackSnapshotOnly(t *testing.T) {
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+	driveWorkload(t, live, 12, 150)
+	st := CaptureState(live)
+	if err := p.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, live, 13, 50) // these events will be lost with the journal
+	p.Close()
+
+	jpath := filepath.Join(dir, "journal.1.wal")
+	if err := os.Remove(jpath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(jpath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	got, p2 := recoverInto(t, dir, 8<<10)
+	defer p2.Close()
+	rep := p2.Report()
+	if !rep.SnapshotLoaded || rep.Discarded == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got.Len() != len(st.Entries) {
+		t.Fatalf("recovered %d entries, want snapshot's %d", got.Len(), len(st.Entries))
+	}
+	// New appends must go to a generation past the wreck and survive.
+	got.SetEventSink(p2.Append)
+	if _, err := got.Put(cache.Document{URL: "http://after/wreck", Size: 64}, t0().Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	p2.Close()
+	got3, p3 := recoverInto(t, dir, 8<<10)
+	defer p3.Close()
+	if !got3.Contains("http://after/wreck") {
+		t.Fatal("append after unreadable-journal fallback lost")
+	}
+}
+
+// TestReplayPropertyRandomWorkloads is the property test: for many seeds,
+// crash-replaying snapshot+journal reproduces the exact live store state
+// and expiration age.
+func TestReplayPropertyRandomWorkloads(t *testing.T) {
+	for seed := uint64(100); seed < 120; seed++ {
+		dir := t.TempDir()
+		live := newStore(t, 4<<10)
+		p := openPersister(t, dir)
+		live.SetEventSink(p.Append)
+		driveWorkload(t, live, seed, 600)
+		if seed%3 == 0 {
+			st := CaptureState(live)
+			if err := p.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.WriteSnapshot(st); err != nil {
+				t.Fatal(err)
+			}
+			driveWorkload(t, live, seed+1000, 300)
+		}
+		// Crash without Close.
+		got, p2 := recoverInto(t, dir, 4<<10)
+		assertSameState(t, live, got, t0().Add(time.Hour))
+		p2.Close()
+		p.Close()
+	}
+}
+
+// TestRestoreSkipsWhatNoLongerFits reopens with a smaller capacity; the
+// oversized remainder is skipped, not fatal.
+func TestRestoreSkipsWhatNoLongerFits(t *testing.T) {
+	dir := t.TempDir()
+	live := newStore(t, 8<<10)
+	p := openPersister(t, dir)
+	live.SetEventSink(p.Append)
+	driveWorkload(t, live, 14, 300)
+	p.Close()
+
+	p2 := openPersister(t, dir)
+	small := newStore(t, 512)
+	stats := Restore(small, p2.RecoveredState())
+	if stats.Skipped == 0 {
+		t.Fatalf("expected skips shrinking %d bytes into 512: %+v", live.Used(), stats)
+	}
+	if small.Used() > 512 {
+		t.Fatalf("restored past capacity: %d", small.Used())
+	}
+	p2.Close()
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
