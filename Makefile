@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-short test-race chaos bench fuzz
+.PHONY: check build vet test test-short test-race chaos bench bench-json fuzz
 
 check: vet build test-race
 
@@ -30,6 +30,14 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Headless benchmark run: paper artifacts, a simulated group replay
+# (hit rate / byte hit rate / estimated latency), and the live-socket
+# node benchmarks with telemetry off and on. Writes BENCH_JSON.
+BENCH_JSON ?= BENCH_pr3.json
+BENCH_FLAGS ?=
+bench-json:
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) $(BENCH_FLAGS)
 
 # Fuzz the decoders that face untrusted bytes: journal/snapshot recovery
 # and the wire parsers. Short per-target budget by default; raise with

@@ -3,14 +3,13 @@ package eacache_test
 import (
 	"bytes"
 	"strconv"
-	"sync"
 	"testing"
 	"time"
 
+	"eacache/internal/benchkit"
 	"eacache/internal/cache"
 	"eacache/internal/core"
 	"eacache/internal/dist"
-	"eacache/internal/experiments"
 	"eacache/internal/group"
 	"eacache/internal/hproto"
 	"eacache/internal/icp"
@@ -18,56 +17,12 @@ import (
 	"eacache/internal/trace"
 )
 
-// benchScale is the trace scale the paper-artifact benchmarks run at. The
-// cache sizes are scaled by the same factor, preserving the cache-to-
-// working-set ratio of the paper's configurations. cmd/experiments -full
-// regenerates the artifacts at full paper scale.
-const benchScale = 0.02
-
-var (
-	benchOnce    sync.Once
-	benchRecords []trace.Record
-)
-
-func benchTrace(b *testing.B) []trace.Record {
-	b.Helper()
-	benchOnce.Do(func() {
-		records, err := trace.Generate(trace.BULike().Scaled(benchScale))
-		if err != nil {
-			panic(err)
-		}
-		benchRecords = trace.CleanZeroSizes(records, trace.DefaultDocSize)
-		trace.SortByTime(benchRecords)
-	})
-	return benchRecords
-}
-
-func newBenchSuite(b *testing.B) *experiments.Suite {
-	b.Helper()
-	return experiments.NewSuite(benchTrace(b), experiments.Config{
-		Sizes: experiments.ScaledSizes(benchScale),
-	})
-}
-
-// benchArtifact runs one paper artifact once per iteration on a fresh
-// (unmemoized) suite, so the benchmark measures the real regeneration cost.
+// The artifact benchmark bodies live in internal/benchkit (at trace
+// scale benchkit.Scale, preserving the paper's cache-to-working-set
+// ratio) so cmd/benchjson can run the same measurements headlessly.
+// cmd/experiments -full regenerates the artifacts at full paper scale.
 func benchArtifact(b *testing.B, id string) {
-	b.Helper()
-	benchTrace(b)
-	b.ResetTimer()
-	var table *experiments.Table
-	for i := 0; i < b.N; i++ {
-		var err error
-		table, err = newBenchSuite(b).Experiment(id)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.StopTimer()
-	if table == nil || len(table.Rows) == 0 {
-		b.Fatalf("%s produced no rows", id)
-	}
-	b.ReportMetric(float64(len(table.Rows)), "rows")
+	benchkit.Artifact(id)(b)
 }
 
 // BenchmarkFig1 regenerates paper Figure 1 (document hit rates, ad-hoc vs
@@ -129,7 +84,7 @@ func BenchmarkModelCheck(b *testing.B) { benchArtifact(b, "model-check") }
 // BenchmarkSimulatorThroughput measures raw trace-replay speed through a
 // 4-cache EA group (requests per op reported as custom metric).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	records := benchTrace(b)
+	records := benchkit.Trace()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g, err := group.New(group.Config{

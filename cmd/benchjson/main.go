@@ -1,0 +1,205 @@
+// Command benchjson runs the repo's benchmark suite headlessly — through
+// testing.Benchmark, no `go test` subprocess — and writes the results as
+// a machine-readable JSON artifact (BENCH_pr3.json by default). It covers
+// the paper-artifact benchmarks, a simulated group replay that reports
+// the paper's headline measures (hit rate, byte hit rate, estimated
+// average latency), and the live-socket node benchmarks with telemetry
+// off and on, from which it derives the observability overhead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"eacache/internal/benchkit"
+	"eacache/internal/core"
+	"eacache/internal/obs"
+)
+
+type benchResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// AvgLatencyMS is the measured wall-clock mean per operation (one
+	// operation = one request for the node benchmarks).
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	// CPUNsPerOp is process CPU time (user+system) per operation, where
+	// the benchmark reports it. On a busy host this is the stable
+	// per-request cost; wall-clock ns/op also absorbs scheduler delays.
+	CPUNsPerOp float64 `json:"cpu_ns_per_op,omitempty"`
+
+	// Workload measures, present where the benchmark reports them.
+	HitRate            float64 `json:"hit_rate,omitempty"`
+	ByteHitRate        float64 `json:"byte_hit_rate,omitempty"`
+	RemoteHitRate      float64 `json:"remote_hit_rate,omitempty"`
+	EstimatedLatencyMS float64 `json:"estimated_latency_ms,omitempty"`
+	Rows               int     `json:"rows,omitempty"`
+}
+
+type artifact struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	TraceScale  float64 `json:"trace_scale"`
+
+	Benchmarks []benchResult `json:"benchmarks"`
+
+	// TelemetryOverheadPct is the per-request cost delta of
+	// NodeRequestTelemetry over NodeRequest, as a percentage of the
+	// baseline (budget: <5%). It is computed on OverheadBasis: CPU time
+	// per op where available (min over NodeReps interleaved runs, which
+	// cancels scheduler and run-order noise), wall-clock ns/op otherwise.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	OverheadBasis        string  `json:"overhead_basis"`
+	NodeReps             int     `json:"node_reps"`
+	// TraceSampling is the 1-in-N trace sampling the telemetry run used
+	// (proxyd's default); metrics cover every request regardless.
+	TraceSampling int `json:"trace_sampling"`
+}
+
+func runBench(name, benchtime string, fn func(*testing.B)) (benchResult, error) {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return benchResult{}, err
+	}
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		return benchResult{}, fmt.Errorf("benchmark %s failed (0 iterations)", name)
+	}
+	res := benchResult{
+		Name:         name,
+		Iterations:   r.N,
+		NsPerOp:      r.NsPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		AvgLatencyMS: float64(r.NsPerOp()) / 1e6,
+	}
+	res.HitRate = r.Extra["hitrate"]
+	res.ByteHitRate = r.Extra["bytehitrate"]
+	res.RemoteHitRate = r.Extra["remotehitrate"]
+	res.EstimatedLatencyMS = r.Extra["estlatency_ms"]
+	res.CPUNsPerOp = r.Extra["cpu_ns/op"]
+	res.Rows = int(r.Extra["rows"])
+	fmt.Printf("%-24s %10d ns/op %8d allocs/op", name, res.NsPerOp, res.AllocsPerOp)
+	if res.CPUNsPerOp > 0 {
+		fmt.Printf(" %10.0f cpu_ns/op", res.CPUNsPerOp)
+	}
+	if res.HitRate > 0 {
+		fmt.Printf("  hit %.3f", res.HitRate)
+	}
+	fmt.Println()
+	return res, nil
+}
+
+// cost is the per-op figure the telemetry comparison minimises over
+// repetitions: CPU time where reported, wall clock otherwise.
+func cost(r benchResult) float64 {
+	if r.CPUNsPerOp > 0 {
+		return r.CPUNsPerOp
+	}
+	return float64(r.NsPerOp)
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_pr3.json", "output path for the JSON artifact")
+	nodeIters := flag.Int("node-iters", 20000, "iterations for the node request benchmarks")
+	nodeReps := flag.Int("node-reps", 5, "interleaved repetitions of the node benchmarks (min taken)")
+	artifacts := flag.Bool("artifacts", true, "include the paper-artifact benchmarks")
+	flag.Parse()
+
+	var results []benchResult
+	add := func(name, benchtime string, fn func(*testing.B)) error {
+		res, err := runBench(name, benchtime, fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		return nil
+	}
+
+	if *artifacts {
+		for _, id := range []string{"fig1", "fig2", "fig3", "table1", "table2"} {
+			if err := add("Artifact/"+id, "1x", benchkit.Artifact(id)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := add("GroupReplay/ea", "1x", benchkit.GroupReplay(core.EA{}, 4, 2<<20)); err != nil {
+		return err
+	}
+	if err := add("GroupReplay/adhoc", "1x", benchkit.GroupReplay(core.AdHoc{}, 4, 2<<20)); err != nil {
+		return err
+	}
+
+	// The node benchmarks ride live sockets, so a single run is at the
+	// mercy of whatever else the host schedules. Interleave the off/on
+	// runs and keep each side's cheapest repetition: run-order effects
+	// cancel, and the minimum is the repetition with the least
+	// interference.
+	nodeTime := fmt.Sprintf("%dx", *nodeIters)
+	var base, tel benchResult
+	for i := 0; i < *nodeReps; i++ {
+		rb, err := runBench("NodeRequest", nodeTime, benchkit.NodeRequest(false))
+		if err != nil {
+			return err
+		}
+		rt, err := runBench("NodeRequestTelemetry", nodeTime, benchkit.NodeRequest(true))
+		if err != nil {
+			return err
+		}
+		if i == 0 || cost(rb) < cost(base) {
+			base = rb
+		}
+		if i == 0 || cost(rt) < cost(tel) {
+			tel = rt
+		}
+	}
+	results = append(results, base, tel)
+
+	a := artifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		TraceScale:  benchkit.Scale,
+		Benchmarks:  results,
+	}
+	a.NodeReps = *nodeReps
+	a.TraceSampling = obs.DefaultTraceSampling
+	a.OverheadBasis = "ns_per_op"
+	if base.CPUNsPerOp > 0 && tel.CPUNsPerOp > 0 {
+		a.OverheadBasis = "cpu_ns_per_op"
+	}
+	if c := cost(base); c > 0 {
+		a.TelemetryOverheadPct = (cost(tel) - c) / c * 100
+		fmt.Printf("telemetry overhead: %+.2f%% of %s (budget <5%%)\n",
+			a.TelemetryOverheadPct, a.OverheadBasis)
+	}
+
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func main() {
+	// testing.Init registers the test.* flags so testing.Benchmark can
+	// run outside a test binary; test.benchtime is set per benchmark.
+	testing.Init()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

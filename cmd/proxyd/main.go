@@ -18,7 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -32,6 +32,7 @@ import (
 	"eacache/internal/faults"
 	"eacache/internal/metrics"
 	"eacache/internal/netnode"
+	"eacache/internal/obs"
 	"eacache/internal/proxy"
 )
 
@@ -67,13 +68,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dataDir      = fs.String("data-dir", "", "directory for crash-safe cache persistence (snapshot + journal); empty runs in-memory only")
 		snapInterval = fs.Duration("snapshot-interval", netnode.DefaultSnapshotInterval, "how often to checkpoint the cache (needs -data-dir)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "how long a SIGTERM/SIGINT drain waits for in-flight fetches before exiting")
+
+		adminAddr   = fs.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/trace and pprof; empty disables telemetry")
+		traceCap    = fs.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent request traces /debug/trace retains (needs -admin-addr)")
+		traceSample = fs.Int("trace-sample", obs.DefaultTraceSampling, "trace one request in N; 1 traces every request, metrics always cover all (needs -admin-addr)")
 	)
 	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr> (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	logger := log.New(stderr, "proxyd ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
 
 	if *demo {
 		return runDemo(stdout, logger, *demoNodes, *demoReqs, *schemeName, *chaosSpec)
@@ -116,6 +121,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var tel *obs.Telemetry
+	if *adminAddr != "" {
+		tel = obs.New("proxyd", *traceCap)
+		tel.SetTraceSampling(*traceSample)
+	}
 	nodeCfg := netnode.Config{
 		ID:            "proxyd",
 		ICPAddr:       *icpAddr,
@@ -129,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		FetchTimeout:  *fetchTimeout,
 		FetchAttempts: *fetchAttempts,
 		Faults:        injector,
+		Obs:           tel,
 		Logger:        logger,
 	}
 	if *dataDir != "" {
@@ -141,6 +152,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer node.Close() // idempotent; the drain below already released everything
 	node.SetPeers(peers.peers)
+
+	if tel != nil {
+		admin, err := obs.ServeAdmin(obs.AdminConfig{
+			Addr:      *adminAddr,
+			Telemetry: tel,
+			Info: map[string]string{
+				"service": "proxyd",
+				"scheme":  scheme.Name(),
+				"icp":     node.ICPAddr().String(),
+				"http":    node.HTTPAddr(),
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		fmt.Fprintf(stdout, "admin surface on http://%s (/metrics /healthz /debug/trace /debug/pprof)\n", admin.Addr())
+	}
 
 	fmt.Fprintf(stdout, "proxy up: icp=%s http=%s scheme=%s capacity=%s peers=%d\n",
 		node.ICPAddr(), node.HTTPAddr(), scheme.Name(), *capacity, len(peers.peers))
@@ -158,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sig := waitForSignal()
 	fmt.Fprintf(stdout, "%s: draining (in-flight deadline %v)...\n", sig, *drainTimeout)
 	if err := node.Drain(*drainTimeout); err != nil {
-		logger.Printf("drain: %v", err)
+		logger.Warn("drain failed", "err", err)
 	}
 	if *dataDir != "" {
 		fmt.Fprintf(stdout, "drained: final snapshot flushed to %s\n", *dataDir)
@@ -189,7 +218,7 @@ func newInjector(spec string) (*faults.Injector, error) {
 // replays a Zipf workload through it, and prints what happened on the
 // wire. A non-empty chaosSpec injects deterministic faults into every
 // node's sockets and reports how the group degraded.
-func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName, chaosSpec string) error {
+func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName, chaosSpec string) error {
 	scheme, ok := core.New(schemeName)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", schemeName)
@@ -266,22 +295,23 @@ func runDemo(stdout io.Writer, logger *log.Logger, n, requests int, schemeName, 
 			if injector == nil {
 				return err
 			}
-			logger.Printf("demo request failed: %v", err)
+			logger.Warn("demo request failed", "err", err)
 			failed++
 			continue
 		}
 		counters.Record(res.Outcome, res.Size)
 	}
 
+	snap := counters.Snapshot()
 	fmt.Fprintf(stdout,
 		"replayed %d requests over the wire: local=%.1f%% remote=%.1f%% miss=%.1f%% (origin served %d fetches)\n",
-		counters.Requests, 100*counters.LocalHitRate(), 100*counters.RemoteHitRate(),
-		100*counters.MissRate(), origin.Fetches())
+		snap.Requests, 100*snap.LocalHitRate(), 100*snap.RemoteHitRate(),
+		100*snap.MissRate(), origin.Fetches())
 	if failed > 0 {
 		fmt.Fprintf(stdout, "failed requests: %d of %d (all retries and fallbacks exhausted)\n", failed, requests)
 	}
 	fmt.Fprintf(stdout, "estimated mean latency (paper model): %s\n",
-		metrics.PaperLatencies.EstimatedAverageLatency(&counters))
+		metrics.PaperLatencies.EstimatedAverageLatency(snap))
 	if injector != nil {
 		var rb metrics.RobustnessSnapshot
 		for _, nd := range nodes {

@@ -2,7 +2,8 @@ package main
 
 import (
 	"bytes"
-	"log"
+	"io"
+	"log/slog"
 	"strings"
 	"testing"
 )
@@ -58,7 +59,7 @@ func TestPeerListFlag(t *testing.T) {
 
 func TestDemoEndToEnd(t *testing.T) {
 	var out bytes.Buffer
-	logger := log.New(&bytes.Buffer{}, "", 0)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	if err := runDemo(&out, logger, 3, 200, "ea", ""); err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestDemoEndToEnd(t *testing.T) {
 
 func TestDemoRejectsBadScheme(t *testing.T) {
 	var out bytes.Buffer
-	if err := runDemo(&out, log.New(&bytes.Buffer{}, "", 0), 2, 10, "bogus", ""); err == nil {
+	if err := runDemo(&out, slog.New(slog.NewTextHandler(io.Discard, nil)), 2, 10, "bogus", ""); err == nil {
 		t.Fatal("bad scheme accepted")
 	}
 }
@@ -82,7 +83,7 @@ func TestDemoWithChaos(t *testing.T) {
 		t.Skip("chaos test")
 	}
 	var out bytes.Buffer
-	logger := log.New(&bytes.Buffer{}, "", 0)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	if err := runDemo(&out, logger, 3, 60, "ea", "seed=1,udp-drop=0.3"); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestDemoWithChaos(t *testing.T) {
 
 func TestDemoRejectsBadChaosSpec(t *testing.T) {
 	var out bytes.Buffer
-	if err := runDemo(&out, log.New(&bytes.Buffer{}, "", 0), 2, 10, "ea", "udp-drop=2"); err == nil {
+	if err := runDemo(&out, slog.New(slog.NewTextHandler(io.Discard, nil)), 2, 10, "ea", "udp-drop=2"); err == nil {
 		t.Fatal("bad chaos spec accepted")
 	}
 }

@@ -72,7 +72,7 @@ func run() error {
 		for _, class := range []string{"hot head", "tail"} {
 			c := rep.PerClass[class]
 			if c == nil {
-				c = &metrics.Counters{}
+				c = &metrics.CountersSnapshot{}
 			}
 			fmt.Printf("%-6s  %-8s  %9d  %7.2f%%  %7.2f%%  %7.2f%%\n",
 				schemeName, class, c.Requests,

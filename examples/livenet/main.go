@@ -99,13 +99,14 @@ func run() error {
 		counters.Record(res.Outcome, res.Size)
 	}
 
+	snap := counters.Snapshot()
 	fmt.Printf("replayed %d requests over UDP/TCP on loopback:\n", requests)
-	fmt.Printf("  local hits : %5.1f%%\n", 100*counters.LocalHitRate())
+	fmt.Printf("  local hits : %5.1f%%\n", 100*snap.LocalHitRate())
 	fmt.Printf("  remote hits: %5.1f%%   <- served proxy-to-proxy after an ICP hit\n",
-		100*counters.RemoteHitRate())
+		100*snap.RemoteHitRate())
 	fmt.Printf("  misses     : %5.1f%%   (origin served %d fetches)\n",
-		100*counters.MissRate(), origin.Fetches())
+		100*snap.MissRate(), origin.Fetches())
 	fmt.Printf("  estimated mean latency (paper model): %v\n",
-		metrics.PaperLatencies.EstimatedAverageLatency(&counters))
+		metrics.PaperLatencies.EstimatedAverageLatency(snap))
 	return nil
 }

@@ -1,0 +1,196 @@
+// Package benchkit holds the repo's benchmark bodies as importable
+// functions. Test files (bench_test.go at the root and in
+// internal/netnode) wrap them as ordinary `go test -bench` benchmarks,
+// and cmd/benchjson drives the same bodies through testing.Benchmark to
+// emit a machine-readable JSON artifact without spawning `go test`
+// subprocesses. Custom measures (hit rate, estimated latency) travel on
+// the BenchmarkResult.Extra map via b.ReportMetric.
+package benchkit
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/core"
+	"eacache/internal/experiments"
+	"eacache/internal/group"
+	"eacache/internal/metrics"
+	"eacache/internal/netnode"
+	"eacache/internal/obs"
+	"eacache/internal/sim"
+	"eacache/internal/trace"
+)
+
+// Scale is the trace scale the artifact benchmarks run at; cache sizes
+// are scaled by the same factor, preserving the cache-to-working-set
+// ratio of the paper's configurations.
+const Scale = 0.02
+
+var (
+	traceOnce sync.Once
+	traceRecs []trace.Record
+)
+
+// Trace returns the shared benchmark workload (generated once).
+func Trace() []trace.Record {
+	traceOnce.Do(func() {
+		records, err := trace.Generate(trace.BULike().Scaled(Scale))
+		if err != nil {
+			panic(err)
+		}
+		traceRecs = trace.CleanZeroSizes(records, trace.DefaultDocSize)
+		trace.SortByTime(traceRecs)
+	})
+	return traceRecs
+}
+
+// Artifact returns a benchmark body that regenerates one paper artifact
+// per iteration on a fresh (unmemoized) suite, so it measures the real
+// regeneration cost.
+func Artifact(id string) func(*testing.B) {
+	return func(b *testing.B) {
+		records := Trace()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var table *experiments.Table
+		for i := 0; i < b.N; i++ {
+			suite := experiments.NewSuite(records, experiments.Config{
+				Sizes: experiments.ScaledSizes(Scale),
+			})
+			var err error
+			table, err = suite.Experiment(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if table == nil || len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		b.ReportMetric(float64(len(table.Rows)), "rows")
+	}
+}
+
+// GroupReplay returns a benchmark body that replays the workload through
+// a simulated cache group once per iteration and reports the paper's
+// headline measures — document hit rate, byte hit rate, and the
+// equation-6 estimated average latency — alongside ns/op.
+func GroupReplay(scheme core.Scheme, caches int, aggregate int64) func(*testing.B) {
+	return func(b *testing.B) {
+		records := Trace()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var rep *sim.Report
+		for i := 0; i < b.N; i++ {
+			g, err := group.New(group.Config{
+				Caches:         caches,
+				AggregateBytes: aggregate,
+				Scheme:         scheme,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err = sim.Run(g, records, sim.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(rep.Group.HitRate(), "hitrate")
+		b.ReportMetric(rep.Group.ByteHitRate(), "bytehitrate")
+		b.ReportMetric(rep.EstimatedLatency.Seconds()*1e3, "estlatency_ms")
+		b.ReportMetric(float64(len(records)), "requests/op")
+	}
+}
+
+// NodeRequest returns the end-to-end node benchmark: a live two-node EA
+// group over real sockets, with a steady-state mix of local hits and
+// recurring remote hits (EA's strict rule rejects storing a remote hit
+// on an expiration-age tie, so remote-hit documents keep travelling the
+// ICP + inter-proxy path every lap). withTelemetry wires an
+// obs.Telemetry into the requesting node so the pair of benchmarks
+// measures the observability overhead on the same workload.
+func NodeRequest(withTelemetry bool) func(*testing.B) {
+	return func(b *testing.B) {
+		origin, err := netnode.NewOriginServer("127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer origin.Close()
+
+		newNode := func(id string, tel *obs.Telemetry) *netnode.Node {
+			store, err := cache.New(cache.Config{Capacity: 32 << 20, ExpirationHorizon: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := netnode.New(netnode.Config{
+				ID:         id,
+				ICPAddr:    "127.0.0.1:0",
+				HTTPAddr:   "127.0.0.1:0",
+				Store:      store,
+				Scheme:     core.EA{},
+				OriginAddr: origin.Addr(),
+				ICPTimeout: 500 * time.Millisecond,
+				Obs:        tel,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return n
+		}
+		var tel *obs.Telemetry
+		if withTelemetry {
+			tel = obs.New("bench", 256)
+			tel.SetTraceSampling(obs.DefaultTraceSampling)
+		}
+		requester := newNode("bench-req", tel)
+		defer requester.Close()
+		peer := newNode("bench-peer", nil)
+		defer peer.Close()
+		requester.SetPeers([]netnode.Peer{{ICP: peer.ICPAddr(), HTTP: peer.HTTPAddr()}})
+		peer.SetPeers([]netnode.Peer{{ICP: requester.ICPAddr(), HTTP: requester.HTTPAddr()}})
+
+		// Working set: 512 documents. The first 256 warm the requester
+		// (local hits), the next 128 warm only the peer (remote hits on
+		// every lap), and the last 128 stay cold so the first lap pays
+		// origin fetches that later laps serve locally.
+		const docSize = 2048
+		urls := make([]string, 512)
+		for i := range urls {
+			urls[i] = "http://bench.example.edu/doc" + strconv.Itoa(i)
+		}
+		for _, u := range urls[:256] {
+			if _, err := requester.Request(u, docSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, u := range urls[256:384] {
+			if _, err := peer.Request(u, docSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		var counters metrics.Counters
+		b.ReportAllocs()
+		b.ResetTimer()
+		cpuStart, cpuOK := cpuTimeNS()
+		for i := 0; i < b.N; i++ {
+			res, err := requester.Request(urls[i%len(urls)], docSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			counters.Record(res.Outcome, res.Size)
+		}
+		cpuEnd, _ := cpuTimeNS()
+		b.StopTimer()
+		snap := counters.Snapshot()
+		b.ReportMetric(snap.HitRate(), "hitrate")
+		b.ReportMetric(snap.RemoteHitRate(), "remotehitrate")
+		if cpuOK && b.N > 0 {
+			b.ReportMetric(float64(cpuEnd-cpuStart)/float64(b.N), "cpu_ns/op")
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package benchkit
+
+// cpuTimeNS is unavailable here; callers fall back to wall-clock time.
+func cpuTimeNS() (int64, bool) { return 0, false }

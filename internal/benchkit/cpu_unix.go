@@ -1,0 +1,19 @@
+//go:build unix
+
+package benchkit
+
+import "syscall"
+
+// cpuTimeNS returns the process's cumulative user+system CPU time in
+// nanoseconds. Wall-clock per-op numbers on a loaded single-CPU host
+// carry microseconds of scheduler noise per socket round trip; CPU time
+// is stable, so the telemetry-overhead comparison is based on it.
+func cpuTimeNS() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	user := int64(ru.Utime.Sec)*1e9 + int64(ru.Utime.Usec)*1e3
+	sys := int64(ru.Stime.Sec)*1e9 + int64(ru.Stime.Usec)*1e3
+	return user + sys, true
+}

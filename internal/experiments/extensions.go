@@ -159,15 +159,15 @@ func (s *Suite) runPartitioned(aggregate int64) (*metrics.Counters, error) {
 		if _, ok := st.Get(r.URL, r.Time); ok {
 			if edgeID == home {
 				c.Record(metrics.LocalHit, r.Size)
-				c.SimLatency += s.cfg.Latency.LocalHit
+				c.AddSimLatency(s.cfg.Latency.LocalHit)
 			} else {
 				c.Record(metrics.RemoteHit, r.Size)
-				c.SimLatency += s.cfg.Latency.RemoteHit
+				c.AddSimLatency(s.cfg.Latency.RemoteHit)
 			}
 			continue
 		}
 		c.Record(metrics.Miss, r.Size)
-		c.SimLatency += s.cfg.Latency.Miss
+		c.AddSimLatency(s.cfg.Latency.Miss)
 		if _, err := st.Put(cache.Document{URL: r.URL, Size: r.Size}, r.Time); err != nil &&
 			!errors.Is(err, cache.ErrTooLarge) {
 			return nil, err

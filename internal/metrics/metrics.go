@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,7 +38,105 @@ func (o Outcome) String() string {
 }
 
 // Counters accumulates request outcomes. The zero value is ready to use.
+// All methods are safe for concurrent use: the fields are atomics, so a
+// scrape (Snapshot) can run concurrently with Record on the request path —
+// like Robustness, and unlike the pre-telemetry version whose plain int64
+// fields raced. Read values through Snapshot or the rate helpers.
 type Counters struct {
+	requests   atomic.Int64
+	localHits  atomic.Int64
+	remoteHits atomic.Int64
+	misses     atomic.Int64
+
+	bytesRequested atomic.Int64
+	bytesLocal     atomic.Int64
+	bytesRemote    atomic.Int64
+	bytesMissed    atomic.Int64
+
+	// simLatency sums per-request simulated latencies in nanoseconds, if
+	// the caller applies a latency model per request.
+	simLatency atomic.Int64
+}
+
+// Record adds one request with the given outcome and size.
+func (c *Counters) Record(o Outcome, size int64) {
+	c.requests.Add(1)
+	c.bytesRequested.Add(size)
+	switch o {
+	case LocalHit:
+		c.localHits.Add(1)
+		c.bytesLocal.Add(size)
+	case RemoteHit:
+		c.remoteHits.Add(1)
+		c.bytesRemote.Add(size)
+	default:
+		c.misses.Add(1)
+		c.bytesMissed.Add(size)
+	}
+}
+
+// AddSimLatency folds one request's modelled latency into the sum.
+func (c *Counters) AddSimLatency(d time.Duration) {
+	c.simLatency.Add(int64(d))
+}
+
+// Add merges a snapshot into c.
+func (c *Counters) Add(s CountersSnapshot) {
+	c.requests.Add(s.Requests)
+	c.localHits.Add(s.LocalHits)
+	c.remoteHits.Add(s.RemoteHits)
+	c.misses.Add(s.Misses)
+	c.bytesRequested.Add(s.BytesRequested)
+	c.bytesLocal.Add(s.BytesLocal)
+	c.bytesRemote.Add(s.BytesRemote)
+	c.bytesMissed.Add(s.BytesMissed)
+	c.simLatency.Add(int64(s.SimLatency))
+}
+
+// Snapshot returns a plain-value copy of the counters. Each field is read
+// atomically; a snapshot taken mid-Record may be off by the in-flight
+// request, which is the usual (and harmless) scrape semantics.
+func (c *Counters) Snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Requests:       c.requests.Load(),
+		LocalHits:      c.localHits.Load(),
+		RemoteHits:     c.remoteHits.Load(),
+		Misses:         c.misses.Load(),
+		BytesRequested: c.bytesRequested.Load(),
+		BytesLocal:     c.bytesLocal.Load(),
+		BytesRemote:    c.bytesRemote.Load(),
+		BytesMissed:    c.bytesMissed.Load(),
+		SimLatency:     time.Duration(c.simLatency.Load()),
+	}
+}
+
+// Rate helpers delegating to a point-in-time snapshot, so existing callers
+// keep reading rates straight off the accumulator.
+
+// Hits returns local + remote hits.
+func (c *Counters) Hits() int64 { return c.Snapshot().Hits() }
+
+// HitRate returns the cumulative document hit rate.
+func (c *Counters) HitRate() float64 { return c.Snapshot().HitRate() }
+
+// ByteHitRate returns the cumulative byte hit rate.
+func (c *Counters) ByteHitRate() float64 { return c.Snapshot().ByteHitRate() }
+
+// LocalHitRate returns local hits over requests.
+func (c *Counters) LocalHitRate() float64 { return c.Snapshot().LocalHitRate() }
+
+// RemoteHitRate returns remote hits over requests.
+func (c *Counters) RemoteHitRate() float64 { return c.Snapshot().RemoteHitRate() }
+
+// MissRate returns misses over requests.
+func (c *Counters) MissRate() float64 { return c.Snapshot().MissRate() }
+
+// MeanSimLatency returns the mean simulated per-request latency.
+func (c *Counters) MeanSimLatency() time.Duration { return c.Snapshot().MeanSimLatency() }
+
+// CountersSnapshot is a plain-value copy of Counters — the type reports
+// and tests consume, with the cumulative measures the paper evaluates.
+type CountersSnapshot struct {
 	Requests   int64
 	LocalHits  int64
 	RemoteHits int64
@@ -49,68 +148,51 @@ type Counters struct {
 	BytesMissed    int64
 
 	// SimLatency is the sum of per-request simulated latencies, if the
-	// caller applies a latency model per request.
+	// caller applied a latency model per request.
 	SimLatency time.Duration
 }
 
-// Record adds one request with the given outcome and size.
-func (c *Counters) Record(o Outcome, size int64) {
-	c.Requests++
-	c.BytesRequested += size
-	switch o {
-	case LocalHit:
-		c.LocalHits++
-		c.BytesLocal += size
-	case RemoteHit:
-		c.RemoteHits++
-		c.BytesRemote += size
-	default:
-		c.Misses++
-		c.BytesMissed += size
-	}
-}
-
-// Add merges other into c.
-func (c *Counters) Add(other Counters) {
-	c.Requests += other.Requests
-	c.LocalHits += other.LocalHits
-	c.RemoteHits += other.RemoteHits
-	c.Misses += other.Misses
-	c.BytesRequested += other.BytesRequested
-	c.BytesLocal += other.BytesLocal
-	c.BytesRemote += other.BytesRemote
-	c.BytesMissed += other.BytesMissed
-	c.SimLatency += other.SimLatency
+// Add merges other into s.
+func (s *CountersSnapshot) Add(other CountersSnapshot) {
+	s.Requests += other.Requests
+	s.LocalHits += other.LocalHits
+	s.RemoteHits += other.RemoteHits
+	s.Misses += other.Misses
+	s.BytesRequested += other.BytesRequested
+	s.BytesLocal += other.BytesLocal
+	s.BytesRemote += other.BytesRemote
+	s.BytesMissed += other.BytesMissed
+	s.SimLatency += other.SimLatency
 }
 
 // Hits returns local + remote hits.
-func (c *Counters) Hits() int64 { return c.LocalHits + c.RemoteHits }
+func (s CountersSnapshot) Hits() int64 { return s.LocalHits + s.RemoteHits }
 
 // HitRate returns the cumulative document hit rate: hits anywhere in the
 // group over total requests.
-func (c *Counters) HitRate() float64 { return ratio(c.Hits(), c.Requests) }
+func (s CountersSnapshot) HitRate() float64 { return ratio(s.Hits(), s.Requests) }
 
 // ByteHitRate returns the cumulative byte hit rate: bytes served from the
 // group over bytes requested.
-func (c *Counters) ByteHitRate() float64 {
-	return ratio(c.BytesLocal+c.BytesRemote, c.BytesRequested)
+func (s CountersSnapshot) ByteHitRate() float64 {
+	return ratio(s.BytesLocal+s.BytesRemote, s.BytesRequested)
 }
 
 // LocalHitRate returns local hits over requests.
-func (c *Counters) LocalHitRate() float64 { return ratio(c.LocalHits, c.Requests) }
+func (s CountersSnapshot) LocalHitRate() float64 { return ratio(s.LocalHits, s.Requests) }
 
 // RemoteHitRate returns remote hits over requests.
-func (c *Counters) RemoteHitRate() float64 { return ratio(c.RemoteHits, c.Requests) }
+func (s CountersSnapshot) RemoteHitRate() float64 { return ratio(s.RemoteHits, s.Requests) }
 
 // MissRate returns misses over requests.
-func (c *Counters) MissRate() float64 { return ratio(c.Misses, c.Requests) }
+func (s CountersSnapshot) MissRate() float64 { return ratio(s.Misses, s.Requests) }
 
 // MeanSimLatency returns the mean simulated per-request latency.
-func (c *Counters) MeanSimLatency() time.Duration {
-	if c.Requests == 0 {
+func (s CountersSnapshot) MeanSimLatency() time.Duration {
+	if s.Requests == 0 {
 		return 0
 	}
-	return c.SimLatency / time.Duration(c.Requests)
+	return s.SimLatency / time.Duration(s.Requests)
 }
 
 func ratio(num, den int64) float64 {
@@ -158,12 +240,12 @@ func (m LatencyModel) Of(o Outcome) time.Duration {
 //	(LHR*LHL + RHR*RHL + MR*ML) / (LHR + RHR + MR)
 //
 // over the recorded outcome mix.
-func (m LatencyModel) EstimatedAverageLatency(c *Counters) time.Duration {
-	if c.Requests == 0 {
+func (m LatencyModel) EstimatedAverageLatency(s CountersSnapshot) time.Duration {
+	if s.Requests == 0 {
 		return 0
 	}
-	total := float64(c.LocalHits)*m.LocalHit.Seconds() +
-		float64(c.RemoteHits)*m.RemoteHit.Seconds() +
-		float64(c.Misses)*m.Miss.Seconds()
-	return time.Duration(total / float64(c.Requests) * float64(time.Second))
+	total := float64(s.LocalHits)*m.LocalHit.Seconds() +
+		float64(s.RemoteHits)*m.RemoteHit.Seconds() +
+		float64(s.Misses)*m.Miss.Seconds()
+	return time.Duration(total / float64(s.Requests) * float64(time.Second))
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -31,14 +32,15 @@ func TestCountersRecord(t *testing.T) {
 	c.Record(Miss, 700)
 	c.Record(LocalHit, 100)
 
-	if c.Requests != 4 {
-		t.Fatalf("Requests = %d", c.Requests)
+	s := c.Snapshot()
+	if s.Requests != 4 {
+		t.Fatalf("Requests = %d", s.Requests)
 	}
-	if c.LocalHits != 2 || c.RemoteHits != 1 || c.Misses != 1 {
-		t.Fatalf("split = %d/%d/%d", c.LocalHits, c.RemoteHits, c.Misses)
+	if s.LocalHits != 2 || s.RemoteHits != 1 || s.Misses != 1 {
+		t.Fatalf("split = %d/%d/%d", s.LocalHits, s.RemoteHits, s.Misses)
 	}
-	if c.BytesRequested != 1100 || c.BytesLocal != 200 || c.BytesRemote != 200 || c.BytesMissed != 700 {
-		t.Fatalf("bytes = %d/%d/%d/%d", c.BytesRequested, c.BytesLocal, c.BytesRemote, c.BytesMissed)
+	if s.BytesRequested != 1100 || s.BytesLocal != 200 || s.BytesRemote != 200 || s.BytesMissed != 700 {
+		t.Fatalf("bytes = %d/%d/%d/%d", s.BytesRequested, s.BytesLocal, s.BytesRemote, s.BytesMissed)
 	}
 	if got := c.HitRate(); got != 0.75 {
 		t.Fatalf("HitRate = %v", got)
@@ -67,12 +69,73 @@ func TestCountersZeroSafe(t *testing.T) {
 func TestCountersAdd(t *testing.T) {
 	var a, b Counters
 	a.Record(LocalHit, 10)
-	a.SimLatency = time.Second
+	a.AddSimLatency(time.Second)
 	b.Record(Miss, 20)
-	b.SimLatency = 2 * time.Second
-	a.Add(b)
-	if a.Requests != 2 || a.BytesRequested != 30 || a.SimLatency != 3*time.Second {
-		t.Fatalf("Add: %+v", a)
+	b.AddSimLatency(2 * time.Second)
+	a.Add(b.Snapshot())
+	s := a.Snapshot()
+	if s.Requests != 2 || s.BytesRequested != 30 || s.SimLatency != 3*time.Second {
+		t.Fatalf("Add: %+v", s)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	var a, b Counters
+	a.Record(LocalHit, 10)
+	b.Record(Miss, 20)
+	sum := a.Snapshot()
+	sum.Add(b.Snapshot())
+	if sum.Requests != 2 || sum.BytesRequested != 30 || sum.Hits() != 1 {
+		t.Fatalf("snapshot Add: %+v", sum)
+	}
+}
+
+// TestCountersConcurrentRecordScrape is the regression test for the latent
+// data race the telemetry layer surfaced: a /metrics scrape (Snapshot) must
+// be able to run concurrently with Record on the request path. Run under
+// -race.
+func TestCountersConcurrentRecordScrape(t *testing.T) {
+	var c Counters
+	const (
+		writers = 4
+		perW    = 10000
+	)
+	var writersWG, scrapersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perW; i++ {
+				c.Record(Outcome(i%3+1), int64(i%1024))
+				c.AddSimLatency(time.Millisecond)
+			}
+		}(w)
+	}
+	for s := 0; s < 2; s++ {
+		scrapersWG.Add(1)
+		go func() {
+			defer scrapersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := c.Snapshot()
+				if snap.LocalHits+snap.RemoteHits+snap.Misses != snap.Requests {
+					t.Error("snapshot outcome split does not sum to requests")
+					return
+				}
+				_ = c.HitRate()
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	scrapersWG.Wait()
+	if got := c.Snapshot().Requests; got != writers*perW {
+		t.Fatalf("requests = %d, want %d", got, writers*perW)
 	}
 }
 
@@ -93,13 +156,13 @@ func TestEstimatedAverageLatencyEq6(t *testing.T) {
 	c.Record(RemoteHit, 1)
 	c.Record(Miss, 1)
 	want := (146 + 342 + 2784) / 3
-	got := PaperLatencies.EstimatedAverageLatency(&c).Milliseconds()
+	got := PaperLatencies.EstimatedAverageLatency(c.Snapshot()).Milliseconds()
 	if got != int64(want) {
 		t.Fatalf("eq6 = %dms, want %dms", got, want)
 	}
 
 	var empty Counters
-	if PaperLatencies.EstimatedAverageLatency(&empty) != 0 {
+	if PaperLatencies.EstimatedAverageLatency(empty.Snapshot()) != 0 {
 		t.Fatal("empty counters should estimate 0")
 	}
 }
@@ -109,7 +172,7 @@ func TestEstimatedLatencyAllMisses(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		c.Record(Miss, 1)
 	}
-	if got := PaperLatencies.EstimatedAverageLatency(&c); got != 2784*time.Millisecond {
+	if got := PaperLatencies.EstimatedAverageLatency(c.Snapshot()); got != 2784*time.Millisecond {
 		t.Fatalf("all-miss latency = %v", got)
 	}
 }
@@ -131,14 +194,15 @@ func TestQuickConservation(t *testing.T) {
 				c.Record(Miss, size)
 			}
 		}
-		if c.LocalHits+c.RemoteHits+c.Misses != c.Requests {
+		s := c.Snapshot()
+		if s.LocalHits+s.RemoteHits+s.Misses != s.Requests {
 			return false
 		}
-		if c.BytesLocal+c.BytesRemote+c.BytesMissed != c.BytesRequested {
+		if s.BytesLocal+s.BytesRemote+s.BytesMissed != s.BytesRequested {
 			return false
 		}
-		sum := c.HitRate() + c.MissRate()
-		return c.Requests == 0 || math.Abs(sum-1) < 1e-9
+		sum := s.HitRate() + s.MissRate()
+		return s.Requests == 0 || math.Abs(sum-1) < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -159,10 +223,11 @@ func TestQuickEq6Bounds(t *testing.T) {
 		for i := 0; i < int(m%50); i++ {
 			c.Record(Miss, 1)
 		}
-		if c.Requests == 0 {
+		s := c.Snapshot()
+		if s.Requests == 0 {
 			return true
 		}
-		got := PaperLatencies.EstimatedAverageLatency(&c)
+		got := PaperLatencies.EstimatedAverageLatency(s)
 		return got >= PaperLatencies.LocalHit-time.Millisecond &&
 			got <= PaperLatencies.Miss+time.Millisecond
 	}

@@ -1,0 +1,20 @@
+// End-to-end node benchmarks. This file lives in the external test
+// package so it can import benchkit (which imports netnode) without a
+// cycle; cmd/benchjson runs the same bodies headlessly.
+package netnode_test
+
+import (
+	"testing"
+
+	"eacache/internal/benchkit"
+)
+
+// BenchmarkNodeRequest drives a live two-node EA group over real sockets
+// with telemetry off: the baseline for the observability overhead budget.
+func BenchmarkNodeRequest(b *testing.B) { benchkit.NodeRequest(false)(b) }
+
+// BenchmarkNodeRequestTelemetry is the same workload with an
+// obs.Telemetry wired into the requesting node — metrics, tracing, and
+// the admin registry all live. Compare ns/op against BenchmarkNodeRequest
+// to measure the telemetry tax (budget: <5%).
+func BenchmarkNodeRequestTelemetry(b *testing.B) { benchkit.NodeRequest(true)(b) }

@@ -320,8 +320,8 @@ func TestUDPLossGroupStillCompletes(t *testing.T) {
 		}
 		counters.Record(res.Outcome, res.Size)
 	}
-	if counters.Requests != 160 || counters.Hits() == 0 {
-		t.Fatalf("counters = %+v, want all requests served with some hits", counters)
+	if snap := counters.Snapshot(); snap.Requests != 160 || snap.Hits() == 0 {
+		t.Fatalf("counters = %+v, want all requests served with some hits", snap)
 	}
 }
 

@@ -99,7 +99,7 @@ func (n *Node) peerDigest(p Peer) *digest.Filter {
 
 	f, err := n.fetchDigest(p.HTTP)
 	if err != nil {
-		n.logf("netnode %s: digest fetch from %s: %v", n.id, p.HTTP, err)
+		n.warn("digest fetch failed", nil, "peer", p.HTTP, "err", err)
 		n.health.ReportFailure(p.HTTP)
 		n.robust.PeerFailure()
 		return nil

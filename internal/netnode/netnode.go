@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"eacache/internal/hproto"
 	"eacache/internal/icp"
 	"eacache/internal/metrics"
+	"eacache/internal/obs"
 	"eacache/internal/persist"
 	"eacache/internal/proxy"
 )
@@ -112,8 +115,15 @@ type Config struct {
 	// the node opens — the ICP query socket, outbound fetch dials, and
 	// accepted fetch conns — for chaos tests and manual chaos runs.
 	Faults *faults.Injector
-	// Logger receives operational errors; nil discards them.
-	Logger *log.Logger
+	// Obs, when set, makes the node observable: per-request trace spans
+	// into the telemetry's ring, and counters/histograms/gauges into its
+	// registry (hit mix, per-stage latencies, EA placement decisions,
+	// breaker states, cache contention). Nil disables telemetry at zero
+	// request-path cost.
+	Obs *obs.Telemetry
+	// Logger receives structured operational logs (request-path warnings
+	// carry a request_id when Obs is set); nil discards them.
+	Logger *slog.Logger
 }
 
 // Result describes how one request was served by a live node.
@@ -143,7 +153,9 @@ type Node struct {
 	health        *health.Tracker
 	robust        metrics.Robustness
 	faults        *faults.Injector
-	logger        *log.Logger
+	obs           *obs.Telemetry
+	om            *nodeObs
+	logger        *slog.Logger
 
 	mu    sync.Mutex // guards store and peers
 	store *cache.Store
@@ -229,6 +241,8 @@ func New(cfg Config) (*Node, error) {
 		icpClient:     icp.NewClient(),
 		closed:        make(chan struct{}),
 	}
+	n.obs = cfg.Obs
+	n.om = newNodeObs(n, cfg.Obs)
 
 	// The breaker feeds the robustness counters; a user callback (tests)
 	// is chained after them.
@@ -241,7 +255,7 @@ func New(cfg Config) (*Node, error) {
 		case from == health.Dead:
 			n.robust.BreakerClose()
 		}
-		n.logf("netnode %s: peer %s %s -> %s", n.id, peer, from, to)
+		n.warn("peer breaker state change", nil, "peer", peer, "from", from, "to", to)
 		if userStateChange != nil {
 			userStateChange(peer, from, to)
 		}
@@ -270,26 +284,48 @@ func New(cfg Config) (*Node, error) {
 		n.digests = ds
 	}
 
+	// The icp and persist packages keep their *log.Logger interface; bridge
+	// the structured logger into them.
+	var stdLogger *log.Logger
+	if cfg.Logger != nil {
+		stdLogger = slog.NewLogLogger(cfg.Logger.Handler(), slog.LevelWarn)
+	}
+
 	// Recover persisted state into the store before any server can touch
 	// it, then journal every mutation from here on. Persistence observes
 	// the store through its event sink, so the replacement policies and
 	// the request path stay oblivious to it.
 	if cfg.DataDir != "" {
-		p, err := persist.Open(persist.Config{Dir: cfg.DataDir, Logger: cfg.Logger})
+		p, err := persist.Open(persist.Config{Dir: cfg.DataDir, Logger: stdLogger})
 		if err != nil {
 			return nil, fmt.Errorf("netnode: %w", err)
 		}
 		stats := persist.Restore(cfg.Store, p.RecoveredState())
 		if stats.Skipped > 0 {
-			n.logf("netnode %s: recovery skipped %d entries that no longer fit", n.id, stats.Skipped)
+			n.warn("recovery skipped entries that no longer fit", nil, "skipped", stats.Skipped)
 		}
-		cfg.Store.SetEventSink(p.Append)
 		n.persister = p
 		n.snapEvery = cfg.SnapshotInterval
 		n.recovery = &RecoveryReport{Report: p.Report(), Restored: stats}
+		n.om.setRecovery(*n.recovery)
 	}
 
-	icpServer, err := icp.NewServer(cfg.ICPAddr, icp.HandlerFunc(n.handleICP), cfg.Logger)
+	// Chain the persistence and telemetry event sinks: both observe the
+	// store without the replacement policies knowing.
+	switch {
+	case n.persister != nil && n.om != nil:
+		p, om := n.persister, n.om
+		cfg.Store.SetEventSink(func(ev cache.Event) {
+			p.Append(ev)
+			om.cacheEvent(ev)
+		})
+	case n.persister != nil:
+		cfg.Store.SetEventSink(n.persister.Append)
+	case n.om != nil:
+		cfg.Store.SetEventSink(n.om.cacheEvent)
+	}
+
+	icpServer, err := icp.NewServer(cfg.ICPAddr, icp.HandlerFunc(n.handleICP), stdLogger)
 	if err != nil {
 		n.closePersister()
 		return nil, err
@@ -344,6 +380,7 @@ func (n *Node) SetPeers(peers []Peer) {
 		keep[p.HTTP] = true
 	}
 	n.health.Forget(keep)
+	n.om.registerPeerGauges(n, peers)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.peers = append([]Peer(nil), peers...)
@@ -387,7 +424,7 @@ func (n *Node) shutdown(wait time.Duration) error {
 			select {
 			case <-done:
 			case <-time.After(wait):
-				n.logf("netnode %s: drain deadline %v passed with handlers in flight", n.id, wait)
+				n.warn("drain deadline passed with handlers in flight", nil, "deadline", wait)
 			}
 		} else {
 			<-done
@@ -395,13 +432,13 @@ func (n *Node) shutdown(wait time.Duration) error {
 
 		if n.persister != nil {
 			if err := n.checkpoint(); err != nil {
-				n.logf("netnode %s: final snapshot: %v", n.id, err)
+				n.warn("final snapshot failed", nil, "err", err)
 			}
 			n.mu.Lock()
 			n.store.SetEventSink(nil)
 			n.mu.Unlock()
 			if err := n.persister.Close(); err != nil {
-				n.logf("netnode %s: close persister: %v", n.id, err)
+				n.warn("close persister failed", nil, "err", err)
 			}
 		}
 
@@ -434,7 +471,7 @@ func (n *Node) snapshotLoop() {
 			return
 		case <-t.C:
 			if err := n.checkpoint(); err != nil {
-				n.logf("netnode %s: snapshot: %v", n.id, err)
+				n.warn("snapshot failed", nil, "err", err)
 			}
 		}
 	}
@@ -445,14 +482,16 @@ func (n *Node) snapshotLoop() {
 // blocking the request path — events that land after the rotation go to
 // the new journal and replay on top of the snapshot.
 func (n *Node) checkpoint() error {
+	start := time.Now()
 	n.mu.Lock()
 	st := persist.CaptureState(n.store)
 	err := n.persister.Rotate()
 	n.mu.Unlock()
-	if err != nil {
-		return err
+	if err == nil {
+		err = n.persister.WriteSnapshot(st)
 	}
-	return n.persister.WriteSnapshot(st)
+	n.om.observeCheckpoint(time.Since(start), err)
+	return err
 }
 
 // ExpirationAge returns the node's current contention signal.
@@ -471,18 +510,46 @@ func (n *Node) Contains(url string) bool {
 
 // Request serves a client request end-to-end over the real protocols:
 // local lookup, ICP fan-out, remote or origin fetch, placement decision.
+// With telemetry configured it also records a trace (one span per stage,
+// with the EA decision's two expiration ages on the placement span) and the
+// outcome/latency metrics.
 func (n *Node) Request(url string, sizeHint int64) (Result, error) {
+	start := time.Now()
+	tr := n.obs.StartTrace(n.id, url)
+	res, err := n.serveRequest(tr, url, sizeHint)
+	n.om.observeRequest(res, err, time.Since(start))
+	if tr != nil {
+		if err != nil {
+			tr.Outcome = outcomeError
+			tr.Err = err.Error()
+		} else {
+			tr.Outcome = res.Outcome.String()
+			tr.SizeBytes = res.Size
+			tr.Responder = res.Responder
+			tr.Stored = res.Stored
+		}
+		n.obs.Finish(tr)
+	}
+	return res, err
+}
+
+// serveRequest is the request lifecycle proper; tr may be nil (telemetry
+// off) — every trace entry point is nil-safe.
+func (n *Node) serveRequest(tr *obs.Trace, url string, sizeHint int64) (Result, error) {
 	now := time.Now()
 
 	// 1. Local cache.
+	lookup := n.startStage(tr, stLocalLookup)
 	n.mu.Lock()
 	if doc, ok := n.store.Get(url, now); ok {
 		n.mu.Unlock()
+		n.endStage(tr, lookup)
 		return Result{Outcome: metrics.LocalHit, Size: doc.Size}, nil
 	}
 	reqAge := n.store.ExpirationAge(time.Now())
 	peers := append([]Peer(nil), n.peers...)
 	n.mu.Unlock()
+	n.endStage(tr, lookup)
 
 	// 2. Locate the document in the group. The lock is NOT held across
 	// network operations so concurrent nodes can answer each other. Peers
@@ -491,10 +558,10 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 	// fetch is retried against the next copy holder and then degrades to
 	// the parent/origin path instead of failing the request.
 	if n.location == proxy.LocateDigest {
-		if hit, ok := n.locateViaDigests(peers, url, sizeHint, reqAge); ok {
+		if hit, ok := n.locateViaDigests(tr, peers, url, sizeHint, reqAge); ok {
 			return hit, nil
 		}
-	} else if hit, ok := n.locateViaICP(peers, url, sizeHint, reqAge); ok {
+	} else if hit, ok := n.locateViaICP(tr, peers, url, sizeHint, reqAge); ok {
 		return hit, nil
 	}
 
@@ -502,19 +569,27 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 	// (hierarchical architecture, §3.3), otherwise straight from the
 	// origin. A broken parent degrades to the origin when one is known.
 	if n.parentAddr != "" {
-		size, parentAge, source, err := n.fetchUpstream(n.parentAddr, url, sizeHint, reqAge, true)
+		parent := n.startStage(tr, stParentFetch)
+		tr.Annotate("parent", n.parentAddr)
+		size, parentAge, source, err := n.fetchUpstream(tr, n.parentAddr, url, sizeHint, reqAge, true)
+		tr.SpanErr(err)
+		n.endStage(tr, parent)
 		if err == nil {
 			res := Result{Outcome: metrics.Miss, Size: size}
 			if source == hproto.SourceCache {
 				// Some cache up the hierarchy held it: a group hit.
 				res.Outcome = metrics.RemoteHit
 				res.Responder = n.parentAddr
-				if n.scheme.OnRemoteHit(reqAge, parentAge).StoreAtRequester {
+				store := n.scheme.OnRemoteHit(reqAge, parentAge).StoreAtRequester
+				n.placementSpan(tr, roleRequester, reqAge, parentAge, decisionOf(store))
+				if store {
 					res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
 				}
 				return res, nil
 			}
-			if n.scheme.OnMissViaParent(reqAge, parentAge) {
+			store := n.scheme.OnMissViaParent(reqAge, parentAge)
+			n.placementSpan(tr, roleRequester, reqAge, parentAge, decisionOf(store))
+			if store {
 				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
 			}
 			return res, nil
@@ -522,19 +597,24 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 		if n.originAddr == "" {
 			return Result{}, fmt.Errorf("netnode %s: parent resolve: %w", n.id, err)
 		}
-		n.logf("netnode %s: parent resolve %s: %v (degrading to origin)", n.id, url, err)
+		n.warn("parent resolve failed, degrading to origin", tr, "url", url, "err", err)
 		n.robust.Fallback()
 	}
 
 	if n.originAddr == "" {
 		return Result{}, fmt.Errorf("netnode %s: miss for %s and no origin", n.id, url)
 	}
-	size, _, _, err := n.fetchUpstream(n.originAddr, url, sizeHint, reqAge, false)
+	origin := n.startStage(tr, stOriginFetch)
+	size, _, _, err := n.fetchUpstream(tr, n.originAddr, url, sizeHint, reqAge, false)
+	tr.SpanErr(err)
+	n.endStage(tr, origin)
 	if err != nil {
 		return Result{}, fmt.Errorf("netnode %s: origin fetch: %w", n.id, err)
 	}
 	res := Result{Outcome: metrics.Miss, Size: size}
-	if n.scheme.OnOriginFetch(reqAge) {
+	store := n.scheme.OnOriginFetch(reqAge)
+	n.placementSpan(tr, roleRequester, reqAge, cache.NoContention, decisionOf(store))
+	if store {
 		res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
 	}
 	return res, nil
@@ -543,7 +623,7 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 // locateViaICP runs the health-gated ICP fan-out and tries every hit
 // responder in arrival order. It reports (hit, true) on a completed remote
 // hit and (zero, false) when the request must take the miss path.
-func (n *Node) locateViaICP(peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
+func (n *Node) locateViaICP(tr *obs.Trace, peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
 	active := peers[:0:0]
 	for _, p := range peers {
 		if n.health.Allow(p.HTTP) {
@@ -557,11 +637,21 @@ func (n *Node) locateViaICP(peers []Peer, url string, sizeHint int64, reqAge tim
 	for i, p := range active {
 		addrs[i] = p.ICP
 	}
+	fanout := n.startStage(tr, stICPFanout)
 	res, err := n.icpClient.Query(addrs, url, n.icpTimeout)
 	if err != nil {
-		n.logf("netnode %s: icp query: %v", n.id, err)
+		tr.SpanErr(err)
+		n.endStage(tr, fanout)
+		n.warn("icp query failed", tr, "err", err)
 		return Result{}, false
 	}
+	tr.Annotate("queried", strconv.Itoa(len(active)))
+	tr.Annotate("replies", strconv.Itoa(len(res.Answered)))
+	tr.Annotate("hits", strconv.Itoa(len(res.Responders)))
+	if res.TimedOut {
+		tr.Annotate("timed_out", "true")
+	}
+	n.endStage(tr, fanout)
 	n.recordFanout(active, res)
 
 	failed := false
@@ -569,7 +659,7 @@ func (n *Node) locateViaICP(peers []Peer, url string, sizeHint int64, reqAge tim
 		if i > 0 {
 			n.robust.Retry()
 		}
-		hit, outcome := n.fetchRemote(active, responder, url, sizeHint, reqAge)
+		hit, outcome := n.fetchRemote(tr, active, responder, url, sizeHint, reqAge)
 		switch outcome {
 		case fetchOK:
 			return hit, true
@@ -589,15 +679,26 @@ func (n *Node) locateViaICP(peers []Peer, url string, sizeHint int64, reqAge tim
 
 // locateViaDigests consults the (health-gated) peer digests and tries each
 // advertising candidate in turn.
-func (n *Node) locateViaDigests(peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
+func (n *Node) locateViaDigests(tr *obs.Trace, peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
+	scan := n.startStage(tr, stDigestScan)
+	candidates := n.digestCandidates(peers, url)
+	tr.Annotate("candidates", strconv.Itoa(len(candidates)))
+	n.endStage(tr, scan)
+
 	failed := false
-	for _, p := range n.digestCandidates(peers, url) {
+	for _, p := range candidates {
+		fetch := n.startStage(tr, stRemoteFetch)
+		tr.Annotate("responder", p.HTTP)
 		size, respAge, _, err := n.fetchFrom(p.HTTP, url, sizeHint, reqAge, false)
+		tr.SpanErr(err)
+		n.endStage(tr, fetch)
 		switch {
 		case err == nil:
 			n.health.ReportSuccess(p.HTTP)
 			res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: p.HTTP}
-			if n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester {
+			store := n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester
+			n.placementSpan(tr, roleRequester, reqAge, respAge, decisionOf(store))
+			if store {
 				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
 			}
 			return res, true
@@ -605,12 +706,12 @@ func (n *Node) locateViaDigests(peers []Peer, url string, sizeHint int64, reqAge
 			// A stale or colliding digest advertised a document the
 			// peer no longer has: the peer is alive, try the next one.
 			n.health.ReportSuccess(p.HTTP)
-			n.logf("netnode %s: digest false hit at %s for %s", n.id, p.HTTP, url)
+			n.warn("digest false hit", tr, "peer", p.HTTP, "url", url)
 		default:
 			n.health.ReportFailure(p.HTTP)
 			n.robust.PeerFailure()
 			failed = true
-			n.logf("netnode %s: digest fetch from %s: %v", n.id, p.HTTP, err)
+			n.warn("digest fetch failed", tr, "peer", p.HTTP, "err", err)
 		}
 	}
 	if failed {
@@ -643,15 +744,17 @@ func (n *Node) recordFanout(active []Peer, res icp.Result) {
 			n.robust.PeerFailure()
 		}
 	}
-	if !res.TimedOut {
-		return
-	}
-	for _, p := range active {
-		if !heard[p.HTTP] {
-			n.health.ReportFailure(p.HTTP)
-			n.robust.PeerFailure()
+	silent := 0
+	if res.TimedOut {
+		for _, p := range active {
+			if !heard[p.HTTP] {
+				silent++
+				n.health.ReportFailure(p.HTTP)
+				n.robust.PeerFailure()
+			}
 		}
 	}
+	n.om.observeFanout(len(res.Answered), silent, len(res.SendFailed))
 }
 
 // fetchOutcome classifies one remote-hit fetch attempt.
@@ -670,7 +773,7 @@ const (
 
 // fetchRemote transfers the document from the ICP responder, applies the
 // requester-side placement rule, and feeds the outcome to the breaker.
-func (n *Node) fetchRemote(peers []Peer, responder *net.UDPAddr, url string, sizeHint int64, reqAge time.Duration) (Result, fetchOutcome) {
+func (n *Node) fetchRemote(tr *obs.Trace, peers []Peer, responder *net.UDPAddr, url string, sizeHint int64, reqAge time.Duration) (Result, fetchOutcome) {
 	httpAddr := ""
 	for _, p := range peers {
 		if p.ICP.IP.Equal(responder.IP) && p.ICP.Port == responder.Port {
@@ -679,24 +782,30 @@ func (n *Node) fetchRemote(peers []Peer, responder *net.UDPAddr, url string, siz
 		}
 	}
 	if httpAddr == "" {
-		n.logf("netnode %s: ICP hit from unknown peer %s", n.id, responder)
+		n.warn("icp hit from unknown peer", tr, "responder", responder.String())
 		return Result{}, fetchGone
 	}
+	fetch := n.startStage(tr, stRemoteFetch)
+	tr.Annotate("responder", httpAddr)
 	size, respAge, _, err := n.fetchFrom(httpAddr, url, sizeHint, reqAge, false)
+	tr.SpanErr(err)
+	n.endStage(tr, fetch)
 	switch {
 	case errors.Is(err, errNotFound):
 		// The responder evicted it between reply and fetch.
 		n.health.ReportSuccess(httpAddr)
 		return Result{}, fetchGone
 	case err != nil:
-		n.logf("netnode %s: remote fetch from %s: %v", n.id, httpAddr, err)
+		n.warn("remote fetch failed", tr, "peer", httpAddr, "err", err)
 		n.health.ReportFailure(httpAddr)
 		n.robust.PeerFailure()
 		return Result{}, fetchFailed
 	}
 	n.health.ReportSuccess(httpAddr)
 	res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: httpAddr}
-	if n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester {
+	store := n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester
+	n.placementSpan(tr, roleRequester, reqAge, respAge, decisionOf(store))
+	if store {
 		res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
 	}
 	return res, fetchOK
@@ -705,7 +814,7 @@ func (n *Node) fetchRemote(peers []Peer, responder *net.UDPAddr, url string, siz
 // fetchUpstream fetches from the parent or origin with the configured
 // retry budget. Transport errors are retried; a NotFound answer is final
 // (repeating the question will not change it).
-func (n *Node) fetchUpstream(addr, url string, sizeHint int64, reqAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
+func (n *Node) fetchUpstream(tr *obs.Trace, addr, url string, sizeHint int64, reqAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
 	var lastErr error
 	for attempt := 0; attempt < n.fetchAttempts; attempt++ {
 		if attempt > 0 {
@@ -719,8 +828,9 @@ func (n *Node) fetchUpstream(addr, url string, sizeHint int64, reqAge time.Durat
 		if errors.Is(err, errNotFound) {
 			break
 		}
-		n.logf("netnode %s: fetch %s from %s (attempt %d/%d): %v",
-			n.id, url, addr, attempt+1, n.fetchAttempts, err)
+		n.warn("upstream fetch attempt failed", tr,
+			"url", url, "upstream", addr,
+			"attempt", attempt+1, "attempts", n.fetchAttempts, "err", err)
 	}
 	return 0, 0, "", lastErr
 }
@@ -753,7 +863,7 @@ func (n *Node) acceptLoop() {
 				return
 			default:
 			}
-			n.logf("netnode %s: accept: %v", n.id, err)
+			n.warn("accept failed", nil, "err", err)
 			continue
 		}
 		n.wg.Add(1)
@@ -777,12 +887,12 @@ func (n *Node) serveConn(conn net.Conn) {
 
 	req, err := hproto.ReadRequest(bufio.NewReader(conn))
 	if err != nil {
-		n.logf("netnode %s: bad fetch request: %v", n.id, err)
+		n.warn("bad fetch request", nil, "err", err)
 		return
 	}
 	if req.AgeClamped {
 		n.robust.WireClamp()
-		n.logf("netnode %s: clamped bad requester age from %s", n.id, conn.RemoteAddr())
+		n.warn("clamped bad requester age", nil, "remote", conn.RemoteAddr().String())
 	}
 
 	// The reserved digest URL serves this node's own cache digest.
@@ -794,8 +904,13 @@ func (n *Node) serveConn(conn net.Conn) {
 	n.mu.Lock()
 	respAge := n.store.ExpirationAge(time.Now())
 	doc, ok := n.store.Peek(req.URL)
-	if ok && n.scheme.OnRemoteHit(req.RequesterAge, respAge).PromoteAtResponder {
-		n.store.Touch(req.URL, time.Now())
+	if ok {
+		if n.scheme.OnRemoteHit(req.RequesterAge, respAge).PromoteAtResponder {
+			n.store.Touch(req.URL, time.Now())
+			n.om.decision(roleResponder, decisionPromote)
+		} else {
+			n.om.decision(roleResponder, decisionReject)
+		}
 	}
 	n.mu.Unlock()
 
@@ -816,7 +931,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		}, nil)
 	}
 	if err != nil {
-		n.logf("netnode %s: write fetch response: %v", n.id, err)
+		n.warn("write fetch response failed", nil, "err", err)
 	}
 }
 
@@ -832,9 +947,9 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 	)
 	switch {
 	case n.parentAddr != "":
-		size, _, source, err = n.fetchUpstream(n.parentAddr, req.URL, req.SizeHint, myAge, true)
+		size, _, source, err = n.fetchUpstream(nil, n.parentAddr, req.URL, req.SizeHint, myAge, true)
 	case n.originAddr != "":
-		size, _, _, err = n.fetchUpstream(n.originAddr, req.URL, req.SizeHint, myAge, false)
+		size, _, _, err = n.fetchUpstream(nil, n.originAddr, req.URL, req.SizeHint, myAge, false)
 		source = hproto.SourceOrigin
 	default:
 		return hproto.WriteResponse(conn, hproto.Response{
@@ -843,13 +958,15 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 		}, nil)
 	}
 	if err != nil {
-		n.logf("netnode %s: resolve %s: %v", n.id, req.URL, err)
+		n.warn("parent resolve failed", nil, "url", req.URL, "err", err)
 		return hproto.WriteResponse(conn, hproto.Response{
 			Status:       hproto.StatusNotFound,
 			ResponderAge: myAge,
 		}, nil)
 	}
-	if n.scheme.OnParentResolve(myAge, req.RequesterAge) {
+	keep := n.scheme.OnParentResolve(myAge, req.RequesterAge)
+	n.om.decision(roleParent, decisionOf(keep))
+	if keep {
 		n.putIfFits(cache.Document{URL: req.URL, Size: size})
 	}
 	return hproto.WriteResponse(conn, hproto.Response{
@@ -860,10 +977,18 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 	}, zeroReader(size))
 }
 
-func (n *Node) logf(format string, args ...any) {
-	if n.logger != nil {
-		n.logger.Printf(format, args...)
+// warn emits one structured operational warning, tagged with the node ID
+// and — when the call sits on a traced request path — the request ID, so
+// log lines join up with /debug/trace entries.
+func (n *Node) warn(msg string, tr *obs.Trace, attrs ...any) {
+	if n.logger == nil {
+		return
 	}
+	attrs = append(attrs, "node", n.id)
+	if tr != nil {
+		attrs = append(attrs, "request_id", tr.ID)
+	}
+	n.logger.Warn(msg, attrs...)
 }
 
 // errNotFound marks a responder that answered the exchange but does not
@@ -909,7 +1034,7 @@ func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Dur
 	}
 	if resp.AgeClamped {
 		n.robust.WireClamp()
-		n.logf("netnode %s: clamped bad responder age from %s", n.id, addr)
+		n.warn("clamped bad responder age", nil, "responder", addr)
 	}
 	if resp.Status != hproto.StatusOK {
 		return 0, resp.ResponderAge, "", fmt.Errorf("fetch %s from %s: status %d: %w", url, addr, resp.Status, errNotFound)
@@ -945,7 +1070,7 @@ var _ io.Reader = zeros{}
 // hinted size (or 4KB), standing in for the web servers behind the group.
 type OriginServer struct {
 	ln     net.Listener
-	logger *log.Logger
+	logger *slog.Logger
 	wg     sync.WaitGroup
 	closed chan struct{}
 
@@ -954,7 +1079,7 @@ type OriginServer struct {
 }
 
 // NewOriginServer starts an origin on addr ("127.0.0.1:0" for tests).
-func NewOriginServer(addr string, logger *log.Logger) (*OriginServer, error) {
+func NewOriginServer(addr string, logger *slog.Logger) (*OriginServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netnode: origin listen %q: %w", addr, err)
@@ -1000,7 +1125,7 @@ func (o *OriginServer) acceptLoop() {
 			default:
 			}
 			if o.logger != nil {
-				o.logger.Printf("origin: accept: %v", err)
+				o.logger.Warn("origin accept failed", "err", err)
 			}
 			continue
 		}
@@ -1048,7 +1173,7 @@ func (n *Node) serveDigest(conn net.Conn) {
 	n.mu.Unlock()
 	if n.digests == nil || err != nil {
 		if err != nil {
-			n.logf("netnode %s: marshal digest: %v", n.id, err)
+			n.warn("marshal digest failed", nil, "err", err)
 		}
 		_ = hproto.WriteResponse(conn, hproto.Response{Status: hproto.StatusNotFound}, nil)
 		return
@@ -1057,6 +1182,6 @@ func (n *Node) serveDigest(conn net.Conn) {
 		Status:        hproto.StatusOK,
 		ContentLength: int64(len(data)),
 	}, bytes.NewReader(data)); err != nil {
-		n.logf("netnode %s: write digest: %v", n.id, err)
+		n.warn("write digest failed", nil, "err", err)
 	}
 }

@@ -172,17 +172,18 @@ func TestGroupWorkloadOverWire(t *testing.T) {
 		}
 		counters.Record(res.Outcome, res.Size)
 	}
-	if counters.Requests != 300 {
-		t.Fatalf("requests = %d", counters.Requests)
+	snap := counters.Snapshot()
+	if snap.Requests != 300 {
+		t.Fatalf("requests = %d", snap.Requests)
 	}
-	if counters.Hits() == 0 {
+	if snap.Hits() == 0 {
 		t.Fatal("no hits across a 20-doc working set")
 	}
-	if counters.RemoteHits == 0 {
+	if snap.RemoteHits == 0 {
 		t.Fatal("no cooperative (remote) hits over the wire")
 	}
-	if origin.Fetches() == 0 || origin.Fetches() > counters.Misses {
-		t.Fatalf("origin fetches = %d, misses = %d", origin.Fetches(), counters.Misses)
+	if origin.Fetches() == 0 || origin.Fetches() > snap.Misses {
+		t.Fatalf("origin fetches = %d, misses = %d", origin.Fetches(), snap.Misses)
 	}
 }
 

@@ -1,0 +1,351 @@
+package netnode
+
+import (
+	"math"
+	"time"
+
+	"eacache/internal/cache"
+	"eacache/internal/metrics"
+	"eacache/internal/obs"
+)
+
+// Stage indexes for the request lifecycle. The hot path indexes plain
+// arrays with these instead of hashing stage-name strings: the request
+// path runs with cold caches, where a map lookup costs several times an
+// array index.
+const (
+	stLocalLookup = iota
+	stICPFanout
+	stDigestScan
+	stRemoteFetch
+	stParentFetch
+	stOriginFetch
+	stageCount
+)
+
+var stageNames = [stageCount]string{
+	obs.StageLocalLookup, obs.StageICPFanout, obs.StageDigestScan,
+	obs.StageRemoteFetch, obs.StageParentFetch, obs.StageOriginFetch,
+}
+
+// Placement-decision roles on the eac_placement_decisions_total counter:
+// the requester-side store rule, the responder-side promote rule, and the
+// parent's §3.3 keep-a-copy rule.
+const (
+	roleRequester = iota
+	roleResponder
+	roleParent
+	roleCount
+)
+
+var roleNames = [roleCount]string{"requester", "responder", "parent"}
+
+// Decision indexes matching the obs.Decision* labels.
+const (
+	decisionAccept = iota
+	decisionReject
+	decisionPromote
+	decisionCount
+)
+
+var decisionNames = [decisionCount]string{
+	obs.DecisionAccept, obs.DecisionReject, obs.DecisionPromote,
+}
+
+// Request-outcome indexes: the three metrics.Outcome values (shifted to
+// zero base) plus a terminal-error bucket.
+const (
+	ocLocalHit = iota
+	ocRemoteHit
+	ocMiss
+	ocError
+	outcomeCount
+)
+
+// outcomeError is the label for requests that ended in a terminal error.
+const outcomeError = "error"
+
+var outcomeNames = [outcomeCount]string{
+	metrics.LocalHit.String(), metrics.RemoteHit.String(),
+	metrics.Miss.String(), outcomeError,
+}
+
+func outcomeIndex(res Result, err error) int {
+	if err != nil {
+		return ocError
+	}
+	if idx := int(res.Outcome) - 1; idx >= ocLocalHit && idx <= ocMiss {
+		return idx
+	}
+	return ocError
+}
+
+// decisionOf maps a placement scheme's store verdict to the decision index.
+func decisionOf(store bool) int {
+	if store {
+		return decisionAccept
+	}
+	return decisionReject
+}
+
+// nodeObs caches the node's instruments in flat arrays so the request
+// path records with array indexes and plain atomic adds — no registry
+// lock, no map hashing. A nil *nodeObs is inert: every method starts with
+// a nil check, so a node built without telemetry pays one pointer test
+// per call site.
+type nodeObs struct {
+	tel *obs.Telemetry
+
+	requests [outcomeCount]*obs.Counter   // eac_requests_total{outcome}
+	bytes    [outcomeCount]*obs.Counter   // eac_bytes_served_total{outcome}
+	reqDur   [outcomeCount]*obs.Histogram // eac_request_duration_seconds{outcome}
+	stageDur [stageCount]*obs.Histogram   // eac_stage_duration_seconds{stage}
+	// decisions holds only the meaningful (role, decision) pairs; the
+	// rest stay nil and are skipped.
+	decisions [roleCount][decisionCount]*obs.Counter
+
+	icpReplies *obs.Counter
+	icpSilent  *obs.Counter
+	icpSendErr *obs.Counter
+
+	events []*obs.Counter // indexed by cache.EventKind
+
+	checkpoints   *obs.Counter
+	checkpointErr *obs.Counter
+	checkpointDur *obs.Histogram
+}
+
+// newNodeObs registers the node's metric families and returns the cached
+// instruments. The gauge funcs close over n and are evaluated at scrape
+// time, so the exposed values are always current.
+func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
+	if tel == nil {
+		return nil
+	}
+	r := tel.Registry
+	o := &nodeObs{tel: tel}
+
+	for idx, oc := range outcomeNames {
+		l := obs.Labels{"outcome": oc}
+		o.requests[idx] = r.Counter("eac_requests_total",
+			"Requests served, by final outcome.", l)
+		o.bytes[idx] = r.Counter("eac_bytes_served_total",
+			"Body bytes served to clients, by final outcome.", l)
+		o.reqDur[idx] = r.Histogram("eac_request_duration_seconds",
+			"End-to-end request latency, by final outcome.", l, nil)
+	}
+	for idx, st := range stageNames {
+		o.stageDur[idx] = r.Histogram("eac_stage_duration_seconds",
+			"Per-stage latency of the request lifecycle.",
+			obs.Labels{"stage": st}, nil)
+	}
+	for _, rd := range [][2]int{
+		{roleRequester, decisionAccept}, {roleRequester, decisionReject},
+		{roleResponder, decisionPromote}, {roleResponder, decisionReject},
+		{roleParent, decisionAccept}, {roleParent, decisionReject},
+	} {
+		o.decisions[rd[0]][rd[1]] = r.Counter("eac_placement_decisions_total",
+			"EA placement decisions, by deciding role and outcome.",
+			obs.Labels{"role": roleNames[rd[0]], "decision": decisionNames[rd[1]]})
+	}
+
+	o.icpReplies = r.Counter("eac_icp_replies_total",
+		"ICP replies heard across all fan-outs.", nil)
+	o.icpSilent = r.Counter("eac_icp_silent_peers_total",
+		"Peers that stayed silent through a full ICP timeout.", nil)
+	o.icpSendErr = r.Counter("eac_icp_send_failures_total",
+		"ICP queries that could not be sent.", nil)
+
+	kinds := []cache.EventKind{
+		cache.EventInsert, cache.EventHit, cache.EventPromote,
+		cache.EventEvict, cache.EventRemove,
+	}
+	max := 0
+	for _, k := range kinds {
+		if int(k) > max {
+			max = int(k)
+		}
+	}
+	o.events = make([]*obs.Counter, max+1)
+	for _, k := range kinds {
+		o.events[k] = r.Counter("eac_cache_events_total",
+			"Cache mutations by kind (with persistence on, every event is one journal record).",
+			obs.Labels{"kind": k.String()})
+	}
+
+	o.checkpoints = r.Counter("eac_checkpoints_total",
+		"Completed snapshot+journal-rotation checkpoints.", nil)
+	o.checkpointErr = r.Counter("eac_checkpoint_failures_total",
+		"Checkpoints that failed.", nil)
+	o.checkpointDur = r.Histogram("eac_checkpoint_duration_seconds",
+		"Checkpoint (capture + rotate + snapshot write) duration.", nil, nil)
+
+	r.GaugeFunc("eac_cache_expiration_age_seconds",
+		"Current cache expiration age, the EA scheme's contention signal (+Inf = no contention yet).",
+		nil, func() float64 {
+			age := n.ExpirationAge()
+			if age == cache.NoContention {
+				return math.Inf(1)
+			}
+			return age.Seconds()
+		})
+	r.GaugeFunc("eac_cache_documents", "Resident documents.", nil, func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(n.store.Len())
+	})
+	r.GaugeFunc("eac_cache_bytes", "Resident bytes.", nil, func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(n.store.Used())
+	})
+	r.GaugeFunc("eac_cache_evictions", "Documents evicted by the replacement policy.",
+		nil, func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return float64(n.store.Evictions())
+		})
+	return o
+}
+
+// registerPeerGauges (re-)registers one breaker-state gauge per neighbour;
+// SetPeers calls it so the scrape always covers the current peer set.
+func (o *nodeObs) registerPeerGauges(n *Node, peers []Peer) {
+	if o == nil {
+		return
+	}
+	for _, p := range peers {
+		addr := p.HTTP
+		o.tel.Registry.GaugeFunc("eac_peer_breaker_state",
+			"Per-peer circuit-breaker state: 0 healthy, 1 suspect, 2 dead.",
+			obs.Labels{"peer": addr},
+			func() float64 { return float64(n.health.State(addr)) })
+	}
+}
+
+// setRecovery exposes what the last warm restart found on disk.
+func (o *nodeObs) setRecovery(rep RecoveryReport) {
+	if o == nil {
+		return
+	}
+	r := o.tel.Registry
+	set := func(name, help string, v float64) {
+		r.Gauge(name, help, nil).Set(v)
+	}
+	set("eac_recovery_journal_records", "Journal records replayed at the last recovery.",
+		float64(rep.JournalRecords))
+	set("eac_recovery_discarded_bytes", "Corrupt journal bytes discarded at the last recovery.",
+		float64(rep.DiscardedBytes))
+	set("eac_recovery_restored_documents", "Documents restored into the store at the last recovery.",
+		float64(rep.Restored.Entries))
+	set("eac_recovery_skipped_documents", "Recovered documents skipped because they no longer fit.",
+		float64(rep.Restored.Skipped))
+}
+
+// observeRequest records the end-to-end outcome of one Request call.
+func (o *nodeObs) observeRequest(res Result, err error, dur time.Duration) {
+	if o == nil {
+		return
+	}
+	idx := outcomeIndex(res, err)
+	o.requests[idx].Inc()
+	o.bytes[idx].Add(res.Size)
+	o.reqDur[idx].ObserveDuration(dur)
+}
+
+// observeFanout records one ICP fan-out's per-peer evidence.
+func (o *nodeObs) observeFanout(replies, silent, sendFailed int) {
+	if o == nil {
+		return
+	}
+	o.icpReplies.Add(int64(replies))
+	o.icpSilent.Add(int64(silent))
+	o.icpSendErr.Add(int64(sendFailed))
+}
+
+// decision counts one EA placement decision.
+func (o *nodeObs) decision(role, decision int) {
+	if o == nil {
+		return
+	}
+	if c := o.decisions[role][decision]; c != nil {
+		c.Inc()
+	}
+}
+
+// cacheEvent is the store's telemetry event sink (chained after the
+// persistence sink when both are on).
+func (o *nodeObs) cacheEvent(ev cache.Event) {
+	if o == nil {
+		return
+	}
+	if int(ev.Kind) < len(o.events) {
+		if c := o.events[ev.Kind]; c != nil {
+			c.Inc()
+		}
+	}
+}
+
+// observeCheckpoint records one checkpoint attempt.
+func (o *nodeObs) observeCheckpoint(dur time.Duration, err error) {
+	if o == nil {
+		return
+	}
+	o.checkpointDur.ObserveDuration(dur)
+	if err != nil {
+		o.checkpointErr.Inc()
+	} else {
+		o.checkpoints.Inc()
+	}
+}
+
+// placementSpan stamps the EA decision onto the trace — a placement span
+// marking where in the timeline the rule ran, with both piggybacked
+// expiration ages and the verdict on the trace's top-level fields — and
+// counts it. The span itself carries no attributes: duplicating the ages
+// there would cost three string allocations on every non-local-hit
+// request for data the trace already has.
+func (n *Node) placementSpan(tr *obs.Trace, role int, reqAge, respAge time.Duration, decision int) {
+	n.om.decision(role, decision)
+	if tr == nil {
+		return
+	}
+	idx := tr.OpenSpan(obs.StagePlacement, time.Now())
+	tr.CloseSpan(idx, 0)
+	tr.RequesterAgeMS = obs.AgeMS(reqAge)
+	tr.ResponderAgeMS = obs.AgeMS(respAge)
+	tr.Decision = decisionNames[decision]
+}
+
+// stageTimer brackets one lifecycle stage. It is a plain value (no
+// closure, no heap) because every stage of every request opens one.
+type stageTimer struct {
+	start time.Time
+	span  int
+	stage int8
+	live  bool
+}
+
+// startStage opens one lifecycle stage on both the trace (span) and the
+// stage histogram; close it with endStage. One clock read covers both
+// sinks.
+func (n *Node) startStage(tr *obs.Trace, stage int) stageTimer {
+	if tr == nil && n.om == nil {
+		return stageTimer{}
+	}
+	st := stageTimer{start: time.Now(), stage: int8(stage), live: true}
+	st.span = tr.OpenSpan(stageNames[stage], st.start)
+	return st
+}
+
+// endStage seals the stage opened by startStage.
+func (n *Node) endStage(tr *obs.Trace, st stageTimer) {
+	if !st.live {
+		return
+	}
+	dur := time.Since(st.start)
+	tr.CloseSpan(st.span, dur)
+	if n.om != nil {
+		n.om.stageDur[st.stage].ObserveDuration(dur)
+	}
+}

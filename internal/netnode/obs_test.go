@@ -1,0 +1,202 @@
+package netnode
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"eacache/internal/core"
+	"eacache/internal/metrics"
+	"eacache/internal/obs"
+)
+
+// startObservedNode is startNode plus a Telemetry wired into the node.
+func startObservedNode(t *testing.T, id string, scheme core.Scheme, origin string) (*Node, *obs.Telemetry) {
+	t.Helper()
+	tel := obs.New(id, 64)
+	n, err := New(Config{
+		ID:         id,
+		ICPAddr:    "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		Store:      newStore(t, 1<<20),
+		Scheme:     scheme,
+		OriginAddr: origin,
+		ICPTimeout: 500 * time.Millisecond,
+		Obs:        tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n, tel
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestGroupTelemetryEndToEnd is the PR's acceptance test: run a live
+// two-node cooperative group with telemetry on, drive a miss / local-hit /
+// remote-hit mix through it over real sockets, then scrape the admin
+// surface of the requesting node over HTTP and check that the metrics,
+// the trace dump (with both piggybacked expiration ages on the remote
+// hit), and pprof all come back.
+func TestGroupTelemetryEndToEnd(t *testing.T) {
+	origin := startOrigin(t)
+	a, _ := startObservedNode(t, "a", core.EA{}, origin.Addr())
+	b, telB := startObservedNode(t, "b", core.EA{}, origin.Addr())
+	mesh(a, b)
+
+	// Miss at a (origin fetch + store), then local hit at a, then remote
+	// hit at b via ICP + inter-proxy fetch.
+	const url = "http://obs.example.edu/doc"
+	if res, err := a.Request(url, 4096); err != nil || res.Outcome != metrics.Miss {
+		t.Fatalf("warm-up miss: res=%+v err=%v", res, err)
+	}
+	if res, err := a.Request(url, 4096); err != nil || res.Outcome != metrics.LocalHit {
+		t.Fatalf("local hit: res=%+v err=%v", res, err)
+	}
+	res, err := b.Request(url, 4096)
+	if err != nil || res.Outcome != metrics.RemoteHit {
+		t.Fatalf("remote hit: res=%+v err=%v", res, err)
+	}
+	if res.Responder != a.HTTPAddr() {
+		t.Fatalf("responder = %q, want %q", res.Responder, a.HTTPAddr())
+	}
+
+	admin, err := obs.ServeAdmin(obs.AdminConfig{Addr: "127.0.0.1:0", Telemetry: telB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	base := "http://" + admin.Addr()
+
+	code, body := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`eac_requests_total{outcome="remote-hit"} 1`,
+		`eac_bytes_served_total{outcome="remote-hit"} 4096`,
+		`eac_request_duration_seconds_count{outcome="remote-hit"} 1`,
+		`eac_stage_duration_seconds_count{stage="local-lookup"} 1`,
+		`eac_stage_duration_seconds_count{stage="icp-fanout"} 1`,
+		`eac_stage_duration_seconds_count{stage="remote-fetch"} 1`,
+		`eac_placement_decisions_total{decision="reject",role="requester"} 1`,
+		`eac_peer_breaker_state{peer="` + a.HTTPAddr() + `"} 0`,
+		`eac_icp_replies_total 1`,
+		"eac_cache_expiration_age_seconds",
+		"eac_cache_events_total",
+		`eac_stage_duration_seconds_bucket{stage="icp-fanout",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	code, body = httpGet(t, base+"/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	var traces []obs.Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("trace dump: %v\n%s", err, body)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Outcome != "remote-hit" || tr.URL != url || tr.Responder != a.HTTPAddr() {
+		t.Fatalf("trace = %+v", tr)
+	}
+	// Both piggybacked expiration ages travelled with the remote hit:
+	// neither cache has evicted yet, so both report the no-contention
+	// sentinel (-1). On this tie the strict EA rule neither stores at the
+	// requester nor promotes at the responder.
+	if tr.RequesterAgeMS != -1 || tr.ResponderAgeMS != -1 {
+		t.Fatalf("ages = %d/%d, want -1/-1 (no contention)", tr.RequesterAgeMS, tr.ResponderAgeMS)
+	}
+	if tr.Decision != obs.DecisionReject || tr.Stored {
+		t.Fatalf("decision = %q stored=%v, want reject/unstored on an age tie", tr.Decision, tr.Stored)
+	}
+	stages := make(map[string]bool)
+	var fanout *obs.Span
+	for i, sp := range tr.Spans {
+		stages[sp.Stage] = true
+		if sp.Stage == obs.StageICPFanout {
+			fanout = &tr.Spans[i]
+		}
+	}
+	for _, want := range []string{obs.StageLocalLookup, obs.StageICPFanout, obs.StageRemoteFetch, obs.StagePlacement} {
+		if !stages[want] {
+			t.Fatalf("trace missing stage %q (spans %+v)", want, tr.Spans)
+		}
+	}
+	if fanout.Attrs.Get("queried") != "1" || fanout.Attrs.Get("hits") != "1" {
+		t.Fatalf("icp-fanout span attrs = %+v", fanout.Attrs)
+	}
+
+	if code, _ := httpGet(t, base+"/debug/pprof/heap?debug=1"); code != 200 {
+		t.Fatalf("pprof heap = %d", code)
+	}
+}
+
+// TestResponderPromoteCounter checks the responder-side leg of the EA
+// decision telemetry: node a serves b's remote hit and counts its own
+// promote/reject verdict.
+func TestResponderPromoteCounter(t *testing.T) {
+	origin := startOrigin(t)
+	a, telA := startObservedNode(t, "a", core.EA{}, origin.Addr())
+	b, _ := startObservedNode(t, "b", core.EA{}, origin.Addr())
+	mesh(a, b)
+
+	url := "http://obs.example.edu/promote"
+	if _, err := a.Request(url, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Request(url, 1024); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := telA.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	// EA with equal (no-contention) ages does not promote at the
+	// responder, so the reject leg must have fired exactly once.
+	if !strings.Contains(body, `eac_placement_decisions_total{decision="reject",role="responder"} 1`) {
+		t.Fatalf("responder decision not counted:\n%s", body)
+	}
+}
+
+// TestNodeWithoutTelemetryStaysInert pins the nil-telemetry contract: no
+// Config.Obs means no traces, no metrics, and no crashes anywhere on the
+// request path.
+func TestNodeWithoutTelemetryStaysInert(t *testing.T) {
+	origin := startOrigin(t)
+	n := startNode(t, "plain", 1<<20, core.EA{}, origin.Addr())
+	if _, err := n.Request("http://obs.example.edu/inert", 512); err != nil {
+		t.Fatal(err)
+	}
+	if n.obs != nil || n.om != nil {
+		t.Fatal("telemetry should be absent")
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminConfig configures the admin HTTP surface.
+type AdminConfig struct {
+	// Addr is the listen address (":9301", "127.0.0.1:0", ...). Required.
+	Addr string
+	// Telemetry supplies /metrics and /debug/trace. Required.
+	Telemetry *Telemetry
+	// Healthz, when set, decides /healthz: nil error is 200 "ok", an error
+	// is 503 with the message. Unset always reports ok.
+	Healthz func() error
+	// Info is served as JSON on / (node identity, addresses, build info).
+	Info map[string]string
+}
+
+// Admin is a running admin HTTP server. It is deliberately separate from
+// the node's service sockets: operators scrape and profile on a loopback or
+// management address without touching the ICP/fetch ports.
+type Admin struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin binds cfg.Addr and serves the admin surface until Close:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       liveness/readiness probe
+//	/debug/trace   JSON dump of the request-trace ring (oldest first)
+//	/debug/vars    expvar (process stats, cmdline)
+//	/debug/pprof/  CPU, heap, goroutine, ... profiles
+func ServeAdmin(cfg AdminConfig) (*Admin, error) {
+	if cfg.Telemetry == nil {
+		return nil, errors.New("obs: admin server needs telemetry")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %q: %w", cfg.Addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Telemetry.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Healthz != nil {
+			if err := cfg.Healthz(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = cfg.Telemetry.Traces.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Info)
+	})
+
+	a := &Admin{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (a *Admin) Close() error { return a.srv.Close() }

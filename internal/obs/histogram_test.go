@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad ExpBuckets accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestDefaultLatencyBucketsCoverage(t *testing.T) {
+	b := DefaultLatencyBuckets
+	if b[0] != 100e-6 {
+		t.Fatalf("first bound = %v, want 100µs", b[0])
+	}
+	// Must straddle the paper's latency model: a 146ms local hit and a
+	// 2784ms origin miss both land in interior buckets.
+	if last := b[len(b)-1]; last < 60 {
+		t.Fatalf("last bound = %vs, want >= 60s to cover stalled fetches", last)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (less-than-or-equal) semantics:
+// a value exactly on a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 4.0, 4.1} {
+		h.Observe(v)
+	}
+	counts := h.snapshot()
+	// buckets: le=1 gets {0.5, 1.0}; le=2 gets {1.5, 2.0}; le=4 gets {4.0};
+	// +Inf gets {4.1}.
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+4+4.1; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramQuantile checks quantile estimation against exact reference
+// values computed by hand from the linear-interpolation definition.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20], none beyond.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		// rank = q*20. Bucket 1 spans cum (0,10] over value (0,10]:
+		// value = 0 + 10*(rank/10). Bucket 2 spans cum (10,20] over
+		// (10,20]: value = 10 + 10*(rank-10)/10.
+		{0, 0},
+		{0.25, 5},  // rank 5 -> mid of first bucket
+		{0.5, 10},  // rank 10 -> top of first bucket
+		{0.75, 15}, // rank 15 -> mid of second bucket
+		{1.0, 20},  // rank 20 -> top of second bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf bucket quantile = %v, want last bound 2", got)
+	}
+	// Out-of-range q clamps; with all mass in +Inf every quantile is the
+	// top bound.
+	if got := h.Quantile(-1); got != 2 {
+		t.Fatalf("clamped q<0 on +Inf-only data = %v, want 2", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveDuration(150 * time.Millisecond)
+	if math.Abs(h.Sum()-0.15) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.15", h.Sum())
+	}
+}
+
+func TestHistogramDuplicateBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate bound accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1, 2})
+}
+
+// TestHistogramConcurrent hammers Observe while scraping under -race.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var observers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		observers.Add(1)
+		go func(seed int) {
+			defer observers.Done()
+			v := 0.0001 * float64(seed+1)
+			for j := 0; j < 5000; j++ {
+				h.Observe(v)
+			}
+		}(i)
+	}
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			_ = h.writePrometheus(&sb, "x", "")
+			_ = h.Quantile(0.5)
+		}
+	}()
+	observers.Wait()
+	close(stop)
+	scraper.Wait()
+	if h.Count() != 4*5000 {
+		t.Fatalf("count = %d, want %d", h.Count(), 4*5000)
+	}
+}

@@ -1,0 +1,271 @@
+// Package obs is the runtime telemetry layer of the live node: a typed
+// counter/gauge/histogram registry with Prometheus text exposition, HDR-style
+// log-bucketed latency histograms, per-request trace spans in a lock-cheap
+// ring buffer, and an opt-in admin HTTP surface (/metrics, /healthz,
+// /debug/trace, /debug/vars, pprof). It is stdlib-only and designed so that
+// a node built without telemetry pays nothing: every recording entry point
+// is nil-safe and the hot-path cost with telemetry on is a handful of
+// atomic adds per request.
+//
+// The registry is the measurement substrate the paper's argument needs at
+// runtime — cumulative hit and byte-hit rates, the per-cache expiration age,
+// the EA placement-decision mix, and the latency split behind equation 6 —
+// exposed from a running group instead of recompiled experiments.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attach dimension values to an instrument, e.g.
+// {"outcome": "local-hit"}. Instruments with the same name but different
+// label sets form one exposition family and must share a value type.
+type Labels map[string]string
+
+// canonical renders labels in sorted {k="v",...} form, the identity key of
+// an instrument within its family ("" for no labels).
+func (l Labels) canonical() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabelValue(l[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes; %q above
+// already escapes quotes and backslashes, so only raw newlines remain.
+func escapeLabelValue(v string) string {
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing value. The zero value is usable but
+// counters normally come from Registry.Counter so they are scraped.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (stored as float64 bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// instrumentKind discriminates a family's value type for exposition.
+type instrumentKind int
+
+const (
+	kindCounter instrumentKind = iota + 1
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k instrumentKind) promType() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// family groups every instrument sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind instrumentKind
+
+	// instruments by canonical label string. Values are *Counter, *Gauge,
+	// func() float64, or *Histogram depending on kind.
+	instruments map[string]any
+	// labels preserves the label set per canonical key for GaugeFunc
+	// collectors that are re-registered (same key replaces).
+	order []string
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use; recording on
+// the returned instruments is lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string // registration order for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family for name, creating it with kind/help on first
+// use. It panics on a kind clash: two instruments sharing a name but not a
+// type is a programming error worth failing loudly on.
+func (r *Registry) lookup(name, help string, kind instrumentKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, instruments: make(map[string]any)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind.promType(), kind.promType()))
+	}
+	return f
+}
+
+// add registers inst under labels, returning the existing instrument when
+// the same (name, labels) pair was registered before.
+func (f *family) add(labels Labels, inst any, replace bool) any {
+	key := labels.canonical()
+	if cur, ok := f.instruments[key]; ok {
+		if !replace {
+			return cur
+		}
+		f.instruments[key] = inst
+		return inst
+	}
+	f.instruments[key] = inst
+	f.order = append(f.order, key)
+	return inst
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindCounter)
+	return f.add(labels, &Counter{}, false).(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindGauge)
+	return f.add(labels, &Gauge{}, false).(*Gauge)
+}
+
+// GaugeFunc registers fn as the value source for (name, labels); fn is
+// called at scrape time, so dynamic values (expiration age, breaker states)
+// are always current. Re-registering the same (name, labels) replaces fn.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindGaugeFunc)
+	f.add(labels, fn, true)
+}
+
+// Histogram returns the log-bucketed histogram for (name, labels), creating
+// it with bounds on first use (nil bounds selects DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindHistogram)
+	return f.add(labels, NewHistogram(bounds), false).(*Histogram)
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), families in registration order
+// and series in label-registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.names {
+		f := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.kind.promType()); err != nil {
+			return err
+		}
+		for _, key := range f.order {
+			if err := writeSeries(w, f, key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, key string) error {
+	switch inst := f.instruments[key].(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, key, inst.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatFloat(inst.Value()))
+		return err
+	case func() float64:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatFloat(inst()))
+		return err
+	case *Histogram:
+		return inst.writePrometheus(w, f.name, key)
+	default:
+		return fmt.Errorf("obs: unknown instrument type %T", inst)
+	}
+}
+
+// formatFloat renders v the way Prometheus expects: shortest round-trip
+// representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

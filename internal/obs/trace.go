@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names used by the node's request lifecycle. Collected here so the
+// trace schema is greppable in one place; the ring accepts any string.
+const (
+	StageLocalLookup = "local-lookup"
+	StageICPFanout   = "icp-fanout"
+	StageDigestScan  = "digest-scan"
+	StageRemoteFetch = "remote-fetch"
+	StagePlacement   = "placement"
+	StageParentFetch = "parent-fetch"
+	StageOriginFetch = "origin-fetch"
+)
+
+// Placement-decision outcomes recorded on the placement span and the
+// decision counters.
+const (
+	DecisionAccept  = "accept"
+	DecisionReject  = "reject"
+	DecisionPromote = "promote"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// AttrList holds a span's annotations. It is a slice, not a map, because
+// spans carry at most a handful of attributes and the request path runs
+// with cold caches: an append into one backing array costs a fraction of
+// a map allocation plus hashed inserts. It still marshals as a JSON
+// object, so the /debug/trace schema reads like a map.
+type AttrList []Attr
+
+// Get returns the value for key, or "".
+func (l AttrList) Get(key string) string {
+	for _, a := range l {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the list as a {"k":"v",...} object.
+func (l AttrList) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 16*len(l)+2)
+	b = append(b, '{')
+	for i, a := range l {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, a.Key)
+		b = append(b, ':')
+		b = strconv.AppendQuote(b, a.Value)
+	}
+	return append(b, '}'), nil
+}
+
+// UnmarshalJSON accepts the object form MarshalJSON produces.
+func (l *AttrList) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	out := make(AttrList, 0, len(m))
+	for k, v := range m {
+		out = append(out, Attr{Key: k, Value: v})
+	}
+	*l = out
+	return nil
+}
+
+// Span is one timed stage of a request trace.
+type Span struct {
+	// Stage names the lifecycle step (Stage* constants).
+	Stage string `json:"stage"`
+	// StartUS is the span's start offset from the trace start, microseconds.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Err carries the stage's failure, if any.
+	Err string `json:"err,omitempty"`
+	// Attrs carries stage-specific values: the piggybacked expiration ages
+	// on a placement span, the responder address on a fetch span, the
+	// replies/silent counts on an ICP span.
+	Attrs AttrList `json:"attrs,omitempty"`
+}
+
+// Trace is one request's record: identity, outcome, the placement
+// decision's inputs (both piggybacked expiration ages) and its spans.
+// A Trace is built single-threaded by the request goroutine and becomes
+// immutable once published to the ring; nil receivers make every method a
+// no-op so a node without telemetry skips all of it.
+type Trace struct {
+	// ID is the node-unique request ID (also the slog request_id).
+	ID string `json:"id"`
+	// Node is the serving node's configured ID.
+	Node string `json:"node"`
+	// URL is the requested document.
+	URL string `json:"url"`
+	// Start is the wall-clock request start.
+	Start time.Time `json:"start"`
+	// Outcome is the final classification (local-hit/remote-hit/miss/error).
+	Outcome string `json:"outcome"`
+	// SizeBytes is the body size served.
+	SizeBytes int64 `json:"size_bytes,omitempty"`
+	// Responder is the peer that served a remote hit, if any.
+	Responder string `json:"responder,omitempty"`
+	// RequesterAgeMS and ResponderAgeMS are the two piggybacked cache
+	// expiration ages behind the EA placement decision, in milliseconds
+	// (-1 encodes "no contention", the +inf sentinel).
+	RequesterAgeMS int64 `json:"requester_age_ms,omitempty"`
+	ResponderAgeMS int64 `json:"responder_age_ms,omitempty"`
+	// Decision is the placement outcome at this node (accept/reject), with
+	// Promoted flagging the responder-side promotion leg.
+	Decision string `json:"decision,omitempty"`
+	// Stored reports whether this node kept a copy.
+	Stored bool `json:"stored"`
+	// Err is the request's terminal error, if it failed.
+	Err string `json:"err,omitempty"`
+	// DurUS is the whole request duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Spans are the stages in execution order.
+	Spans []Span `json:"spans"`
+
+	// spanBuf backs Spans for the typical request (1 span for a local
+	// hit, up to 4 for a remote hit), so opening spans costs no
+	// allocation beyond the Trace itself; retries regrow onto the heap.
+	spanBuf [4]Span
+}
+
+// AgeMS converts a piggybacked expiration age to the trace encoding:
+// milliseconds, with the no-contention (+inf) sentinel as -1.
+func AgeMS(age time.Duration) int64 {
+	if age == time.Duration(1<<63-1) {
+		return -1
+	}
+	return age.Milliseconds()
+}
+
+// OpenSpan appends an open span starting at the wall-clock instant start
+// and returns its index, or -1 on a nil trace. Close it with CloseSpan.
+// The indexed pair lets hot paths time a stage with a single closure and
+// a caller-supplied clock reading; StartSpan is the convenience form.
+func (t *Trace) OpenSpan(stage string, start time.Time) int {
+	if t == nil {
+		return -1
+	}
+	if t.Spans == nil {
+		t.Spans = t.spanBuf[:0]
+	}
+	t.Spans = append(t.Spans, Span{Stage: stage, StartUS: start.Sub(t.Start).Microseconds()})
+	return len(t.Spans) - 1
+}
+
+// CloseSpan seals the span at idx with its duration. Safe on a nil trace
+// and on out-of-range indexes (OpenSpan returns -1 for a nil trace).
+func (t *Trace) CloseSpan(idx int, dur time.Duration) {
+	if t == nil || idx < 0 || idx >= len(t.Spans) {
+		return
+	}
+	t.Spans[idx].DurUS = dur.Microseconds()
+}
+
+// StartSpan opens a stage span; close it with the returned func. Safe on a
+// nil trace.
+func (t *Trace) StartSpan(stage string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	idx := t.OpenSpan(stage, start)
+	return func() {
+		t.CloseSpan(idx, time.Since(start))
+	}
+}
+
+// Annotate adds an attribute to the most recently started span. Safe on a
+// nil trace.
+func (t *Trace) Annotate(k, v string) {
+	if t == nil || len(t.Spans) == 0 {
+		return
+	}
+	sp := &t.Spans[len(t.Spans)-1]
+	if sp.Attrs == nil {
+		sp.Attrs = make(AttrList, 0, 4)
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: k, Value: v})
+}
+
+// SpanErr records an error on the most recently started span. Safe on a
+// nil trace.
+func (t *Trace) SpanErr(err error) {
+	if t == nil || err == nil || len(t.Spans) == 0 {
+		return
+	}
+	t.Spans[len(t.Spans)-1].Err = err.Error()
+}
+
+// TraceRing is a fixed-capacity ring of completed traces. Publishing is
+// lock-cheap — one atomic counter increment plus one atomic pointer store —
+// so the request path never contends with scrapes; Snapshot reads the slots
+// without stopping writers (a concurrent publish may replace a slot
+// mid-snapshot, which is fine: every returned trace is complete).
+type TraceRing struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// DefaultTraceCapacity is the ring size ServeAdmin and proxyd default to.
+const DefaultTraceCapacity = 512
+
+// DefaultTraceSampling is the trace sampling proxyd defaults to: one
+// traced request in eight. Metrics cover every request regardless; see
+// SetTraceSampling.
+const DefaultTraceSampling = 8
+
+// NewTraceRing returns a ring holding the last n traces (n < 1 selects
+// DefaultTraceCapacity).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = DefaultTraceCapacity
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Publish stores a completed trace, overwriting the oldest when full. The
+// trace must not be mutated afterwards. Safe on a nil ring.
+func (r *TraceRing) Publish(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	idx := r.next.Add(1) - 1
+	r.slots[idx%uint64(len(r.slots))].Store(t)
+}
+
+// Len returns how many traces are currently held.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the held traces, oldest first. Safe on a nil ring.
+func (r *TraceRing) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]*Trace, 0, n-start)
+	for i := start; i < n; i++ {
+		if t := r.slots[i%size].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// WriteJSON dumps the ring as a JSON array, oldest first — the
+// /debug/trace payload.
+func (r *TraceRing) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	traces := r.Snapshot()
+	if traces == nil {
+		traces = []*Trace{}
+	}
+	return enc.Encode(traces)
+}
+
+// Telemetry bundles what a node needs to be observable: the metric
+// registry, the trace ring, and a request-ID sequence. A nil *Telemetry is
+// fully inert — every method returns a no-op value.
+type Telemetry struct {
+	Registry *Registry
+	Traces   *TraceRing
+
+	prefix string
+	reqSeq atomic.Uint64
+	sample atomic.Int64
+}
+
+// New builds a Telemetry with a fresh registry and a trace ring of
+// traceCap (<1 selects DefaultTraceCapacity). prefix seeds request IDs
+// (usually the node ID).
+func New(prefix string, traceCap int) *Telemetry {
+	return &Telemetry{
+		Registry: NewRegistry(),
+		Traces:   NewTraceRing(traceCap),
+		prefix:   prefix,
+	}
+}
+
+// NextRequestID returns a node-unique request ID ("<prefix>-000042").
+// Hand-rolled formatting: this runs once per request, and fmt.Sprintf
+// costs several times the rest of the trace-start path combined.
+func (t *Telemetry) NextRequestID() string {
+	if t == nil {
+		return ""
+	}
+	return t.formatID(t.reqSeq.Add(1))
+}
+
+func (t *Telemetry) formatID(n uint64) string {
+	b := make([]byte, 0, len(t.prefix)+8)
+	b = append(b, t.prefix...)
+	b = append(b, '-')
+	digits := 1
+	for v := n; v >= 10; v /= 10 {
+		digits++
+	}
+	for ; digits < 6; digits++ {
+		b = append(b, '0')
+	}
+	b = strconv.AppendUint(b, n, 10)
+	return string(b)
+}
+
+// SetTraceSampling keeps one trace per n requests (n <= 1 traces every
+// request, the default). Metrics are unaffected: sampling only bounds
+// the tracing cost — the per-request Trace allocation and span
+// bookkeeping — which dominates the telemetry overhead on a busy node.
+// Safe to change at runtime and on a nil Telemetry.
+func (t *Telemetry) SetTraceSampling(n int) {
+	if t == nil {
+		return
+	}
+	t.sample.Store(int64(n))
+}
+
+// StartTrace opens a request trace, or nil — inert — without telemetry
+// or when sampling skips this request. Every Trace method is nil-safe,
+// so callers never branch on the sampling decision.
+func (t *Telemetry) StartTrace(node, url string) *Trace {
+	if t == nil {
+		return nil
+	}
+	n := t.reqSeq.Add(1)
+	if s := t.sample.Load(); s > 1 && n%uint64(s) != 0 {
+		return nil
+	}
+	return &Trace{ID: t.formatID(n), Node: node, URL: url, Start: time.Now()}
+}
+
+// Finish seals tr (computing its duration) and publishes it. Safe on nil
+// telemetry and/or nil trace.
+func (t *Telemetry) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.DurUS = time.Since(tr.Start).Microseconds()
+	t.Traces.Publish(tr)
+}

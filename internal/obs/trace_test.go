@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndAttrs(t *testing.T) {
+	tel := New("n0", 8)
+	tr := tel.StartTrace("n0", "http://w/doc")
+	if tr.ID == "" || !strings.HasPrefix(tr.ID, "n0-") {
+		t.Fatalf("request id = %q", tr.ID)
+	}
+	end := tr.StartSpan(StageLocalLookup)
+	end()
+	end = tr.StartSpan(StagePlacement)
+	tr.Annotate("requester_age", "1.5s")
+	tr.Annotate("responder_age", "3s")
+	tr.SpanErr(errors.New("boom"))
+	end()
+	tel.Finish(tr)
+
+	got := tel.Traces.Snapshot()
+	if len(got) != 1 {
+		t.Fatalf("ring holds %d traces", len(got))
+	}
+	spans := got[0].Spans
+	if len(spans) != 2 || spans[0].Stage != StageLocalLookup || spans[1].Stage != StagePlacement {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[1].Attrs.Get("requester_age") != "1.5s" || spans[1].Attrs.Get("responder_age") != "3s" {
+		t.Fatalf("attrs = %+v", spans[1].Attrs)
+	}
+	if spans[1].Err != "boom" {
+		t.Fatalf("span err = %q", spans[1].Err)
+	}
+	if got[0].DurUS < 0 {
+		t.Fatalf("trace duration = %d", got[0].DurUS)
+	}
+}
+
+// TestNilTelemetryInert: a node built without telemetry must be able to
+// call every recording method on nil receivers.
+func TestNilTelemetryInert(t *testing.T) {
+	var tel *Telemetry
+	tr := tel.StartTrace("n", "u")
+	if tr != nil {
+		t.Fatal("nil telemetry returned a live trace")
+	}
+	tr.StartSpan("x")()
+	tr.Annotate("k", "v")
+	tr.SpanErr(errors.New("e"))
+	tel.Finish(tr)
+	if id := tel.NextRequestID(); id != "" {
+		t.Fatalf("nil telemetry request id = %q", id)
+	}
+	var ring *TraceRing
+	ring.Publish(&Trace{})
+	if ring.Snapshot() != nil || ring.Len() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		r.Publish(&Trace{ID: fmt.Sprintf("t%d", i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 || r.Len() != 4 {
+		t.Fatalf("len = %d/%d, want 4", len(got), r.Len())
+	}
+	// Oldest first: t6..t9 survive.
+	for i, tr := range got {
+		if want := fmt.Sprintf("t%d", 6+i); tr.ID != want {
+			t.Fatalf("slot %d = %s, want %s", i, tr.ID, want)
+		}
+	}
+}
+
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Publish(&Trace{ID: "a"})
+	r.Publish(&Trace{ID: "b"})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+func TestTraceRingConcurrentPublish(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Publish(&Trace{ID: fmt.Sprintf("w%d-%d", w, i)})
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Snapshot()); got != 64 {
+		t.Fatalf("ring holds %d, want 64", got)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewTraceRing(4)
+	r.Publish(&Trace{
+		ID: "x-000001", Node: "x", URL: "http://w/d", Outcome: "remote-hit",
+		RequesterAgeMS: 1500, ResponderAgeMS: 3000, Decision: DecisionReject,
+		Start: time.Now(),
+		Spans: []Span{{Stage: StageICPFanout, DurUS: 42}},
+	})
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Trace
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 1 || decoded[0].RequesterAgeMS != 1500 || decoded[0].ResponderAgeMS != 3000 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+
+	// An empty ring dumps [], not null.
+	sb.Reset()
+	if err := NewTraceRing(2).WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("empty dump = %q, want []", sb.String())
+	}
+}
+
+func TestAgeMS(t *testing.T) {
+	if got := AgeMS(2500 * time.Millisecond); got != 2500 {
+		t.Fatalf("AgeMS = %d", got)
+	}
+	if got := AgeMS(time.Duration(1<<63 - 1)); got != -1 {
+		t.Fatalf("no-contention sentinel = %d, want -1", got)
+	}
+}
+
+// TestTraceSampling: with 1-in-N sampling only every Nth request gets a
+// trace; the skipped requests get a nil (fully inert) trace, and metrics
+// are untouched by the sampling decision.
+func TestTraceSampling(t *testing.T) {
+	tel := New("s", 16)
+	tel.SetTraceSampling(4)
+	live := 0
+	for i := 0; i < 12; i++ {
+		tr := tel.StartTrace("s", "http://w/d")
+		tr.StartSpan(StageLocalLookup)() // must be safe on sampled-out (nil) traces
+		tel.Finish(tr)
+		if tr != nil {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Fatalf("sampled %d traces over 12 requests at 1:4, want 3", live)
+	}
+	if got := tel.Traces.Len(); got != 3 {
+		t.Fatalf("ring holds %d, want 3", got)
+	}
+
+	// n <= 1 restores tracing every request.
+	tel.SetTraceSampling(1)
+	if tr := tel.StartTrace("s", "http://w/d"); tr == nil {
+		t.Fatal("sampling 1 skipped a trace")
+	}
+}
+
+// TestAttrList covers the slice-backed span annotations: lookup and the
+// JSON object round trip.
+func TestAttrList(t *testing.T) {
+	l := AttrList{{Key: "a", Value: "1"}, {Key: "b", Value: `q"uo`}}
+	if l.Get("a") != "1" || l.Get("b") != `q"uo` || l.Get("missing") != "" {
+		t.Fatalf("Get over %+v", l)
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("attrs %s did not marshal as an object: %v", data, err)
+	}
+	if len(m) != 2 || m["a"] != "1" || m["b"] != `q"uo` {
+		t.Fatalf("round trip = %+v", m)
+	}
+	var back AttrList
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Get("b") != `q"uo` {
+		t.Fatalf("unmarshal = %+v", back)
+	}
+}

@@ -184,10 +184,9 @@ func TestDigestGroupWorkload(t *testing.T) {
 		}
 		c.Record(res.Outcome, res.Doc.Size)
 	}
-	if c.LocalHits+c.RemoteHits+c.Misses != c.Requests {
+	if s := c.Snapshot(); s.LocalHits+s.RemoteHits+s.Misses != s.Requests {
 		t.Fatal("conservation violated")
-	}
-	if c.RemoteHits == 0 {
+	} else if s.RemoteHits == 0 {
 		t.Fatal("digests produced no cooperative hits")
 	}
 	for _, p := range proxies {

@@ -51,7 +51,7 @@ func (c Config) withDefaults() Config {
 // ProxyReport is the per-cache slice of a Report.
 type ProxyReport struct {
 	ID       string
-	Counters metrics.Counters
+	Counters metrics.CountersSnapshot
 	// Evictions and ExpirationAge describe the cache's contention over
 	// the run (cumulative expiration age, the Table 1 quantity).
 	Evictions     int64
@@ -70,7 +70,7 @@ type Report struct {
 	Aggregate    int64
 
 	// Group aggregates every request in the run.
-	Group metrics.Counters
+	Group metrics.CountersSnapshot
 	// PerProxy holds one entry per client-facing cache plus the
 	// hierarchy parent (last) if present. The parent serves no clients
 	// directly, so its Counters stay zero, but its cache statistics
@@ -87,7 +87,7 @@ type Report struct {
 
 	// PerClass holds the per-URL-class counters when Config.ClassifyURL
 	// was set (nil otherwise).
-	PerClass map[string]*metrics.Counters
+	PerClass map[string]*metrics.CountersSnapshot
 
 	// Latency echoes the model used.
 	Latency metrics.LatencyModel
@@ -136,10 +136,10 @@ func Run(g *group.Group, records []trace.Record, cfg Config) (*Report, error) {
 		}
 		lat := cfg.Latency.Of(res.Outcome)
 		total.Record(res.Outcome, size)
-		total.SimLatency += lat
+		total.AddSimLatency(lat)
 		pc := perProxy[p.ID()]
 		pc.Record(res.Outcome, size)
-		pc.SimLatency += lat
+		pc.AddSimLatency(lat)
 		if perClass != nil {
 			class := cfg.ClassifyURL(rec.URL)
 			cc := perClass[class]
@@ -148,16 +148,22 @@ func Run(g *group.Group, records []trace.Record, cfg Config) (*Report, error) {
 				perClass[class] = cc
 			}
 			cc.Record(res.Outcome, size)
-			cc.SimLatency += lat
+			cc.AddSimLatency(lat)
 		}
 	}
 
-	rep := buildReport(g, total, perProxy, cfg)
-	rep.PerClass = perClass
+	rep := buildReport(g, total.Snapshot(), perProxy, cfg)
+	if perClass != nil {
+		rep.PerClass = make(map[string]*metrics.CountersSnapshot, len(perClass))
+		for class, cc := range perClass {
+			s := cc.Snapshot()
+			rep.PerClass[class] = &s
+		}
+	}
 	return rep, nil
 }
 
-func buildReport(g *group.Group, total metrics.Counters, perProxy map[string]*metrics.Counters, cfg Config) *Report {
+func buildReport(g *group.Group, total metrics.CountersSnapshot, perProxy map[string]*metrics.Counters, cfg Config) *Report {
 	gc := g.Config()
 	rep := &Report{
 		Scheme:                gc.Scheme.Name(),
@@ -166,7 +172,7 @@ func buildReport(g *group.Group, total metrics.Counters, perProxy map[string]*me
 		Aggregate:             gc.AggregateBytes,
 		Group:                 total,
 		AvgCacheExpirationAge: g.AvgCumulativeExpirationAge(),
-		EstimatedLatency:      cfg.Latency.EstimatedAverageLatency(&total),
+		EstimatedLatency:      cfg.Latency.EstimatedAverageLatency(total),
 		Replication:           g.Replication(),
 		Latency:               cfg.Latency,
 	}
@@ -180,7 +186,7 @@ func buildReport(g *group.Group, total metrics.Counters, perProxy map[string]*me
 			ICP:           p.ICP(),
 		}
 		if c, ok := perProxy[p.ID()]; ok {
-			pr.Counters = *c
+			pr.Counters = c.Snapshot()
 		}
 		rep.PerProxy = append(rep.PerProxy, pr)
 	}

@@ -172,7 +172,7 @@ func TestRunConservation(t *testing.T) {
 			t.Fatalf("%s: byte conservation violated", schemeName)
 		}
 		// Per-proxy counters sum to the group counters.
-		var sum metrics.Counters
+		var sum metrics.CountersSnapshot
 		for _, pr := range rep.PerProxy {
 			sum.Add(pr.Counters)
 		}
@@ -399,7 +399,7 @@ func TestRunPerClassCounters(t *testing.T) {
 		t.Fatalf("tail = %+v", tail)
 	}
 	// Class counters sum to the group counters.
-	var sum metrics.Counters
+	var sum metrics.CountersSnapshot
 	sum.Add(*hot)
 	sum.Add(*tail)
 	if sum.Requests != rep.Group.Requests || sum.BytesRequested != rep.Group.BytesRequested {
