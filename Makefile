@@ -33,8 +33,9 @@ bench:
 
 # Headless benchmark run: paper artifacts, a simulated group replay
 # (hit rate / byte hit rate / estimated latency), and the live-socket
-# node benchmarks with telemetry off and on. Writes BENCH_JSON.
-BENCH_JSON ?= BENCH_pr3.json
+# node benchmarks — telemetry off/on plus the parallel run on the
+# sharded store. Writes BENCH_JSON.
+BENCH_JSON ?= BENCH_pr4.json
 BENCH_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) $(BENCH_FLAGS)

@@ -1,10 +1,12 @@
 // Command benchjson runs the repo's benchmark suite headlessly — through
 // testing.Benchmark, no `go test` subprocess — and writes the results as
-// a machine-readable JSON artifact (BENCH_pr3.json by default). It covers
+// a machine-readable JSON artifact (BENCH_pr4.json by default). It covers
 // the paper-artifact benchmarks, a simulated group replay that reports
 // the paper's headline measures (hit rate, byte hit rate, estimated
-// average latency), and the live-socket node benchmarks with telemetry
-// off and on, from which it derives the observability overhead.
+// average latency), the live-socket node benchmarks with telemetry off
+// and on (from which it derives the observability overhead), and the
+// parallel node benchmark on the sharded store, from which it derives
+// the parallel speedup over the single-threaded baseline.
 package main
 
 import (
@@ -48,6 +50,7 @@ type artifact struct {
 	GoVersion   string  `json:"go_version"`
 	GOOS        string  `json:"goos"`
 	GOARCH      string  `json:"goarch"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	TraceScale  float64 `json:"trace_scale"`
 
 	Benchmarks []benchResult `json:"benchmarks"`
@@ -63,6 +66,14 @@ type artifact struct {
 	// TraceSampling is the 1-in-N trace sampling the telemetry run used
 	// (proxyd's default); metrics cover every request regardless.
 	TraceSampling int `json:"trace_sampling"`
+
+	// ParallelSpeedup is NodeRequest wall-clock ns/op divided by
+	// NodeRequestParallel wall-clock ns/op: how much faster the node
+	// serves requests when many goroutines drive it at once. With the
+	// request path ~95% CPU-bound, meaningful speedup (the 2× target)
+	// needs GOMAXPROCS >= 4; on fewer cores the figure only shows that
+	// concurrency costs nothing (~1.0).
+	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
 func runBench(name, benchtime string, fn func(*testing.B)) (benchResult, error) {
@@ -108,10 +119,12 @@ func cost(r benchResult) float64 {
 }
 
 func run() error {
-	out := flag.String("out", "BENCH_pr3.json", "output path for the JSON artifact")
+	out := flag.String("out", "BENCH_pr4.json", "output path for the JSON artifact")
 	nodeIters := flag.Int("node-iters", 20000, "iterations for the node request benchmarks")
 	nodeReps := flag.Int("node-reps", 5, "interleaved repetitions of the node benchmarks (min taken)")
 	artifacts := flag.Bool("artifacts", true, "include the paper-artifact benchmarks")
+	checkParallel := flag.Bool("check-parallel", false,
+		"exit nonzero if parallel throughput falls meaningfully below single-threaded (smoke check)")
 	flag.Parse()
 
 	var results []benchResult
@@ -144,7 +157,7 @@ func run() error {
 	// cancel, and the minimum is the repetition with the least
 	// interference.
 	nodeTime := fmt.Sprintf("%dx", *nodeIters)
-	var base, tel benchResult
+	var base, tel, par benchResult
 	for i := 0; i < *nodeReps; i++ {
 		rb, err := runBench("NodeRequest", nodeTime, benchkit.NodeRequest(false))
 		if err != nil {
@@ -154,20 +167,31 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		rp, err := runBench("NodeRequestParallel", nodeTime, benchkit.NodeRequestParallel(0, 8))
+		if err != nil {
+			return err
+		}
 		if i == 0 || cost(rb) < cost(base) {
 			base = rb
 		}
 		if i == 0 || cost(rt) < cost(tel) {
 			tel = rt
 		}
+		// The parallel figure is throughput, so compare wall clock: CPU
+		// per op necessarily rises with goroutine switching even as wall
+		// clock falls.
+		if i == 0 || rp.NsPerOp < par.NsPerOp {
+			par = rp
+		}
 	}
-	results = append(results, base, tel)
+	results = append(results, base, tel, par)
 
 	a := artifact{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		TraceScale:  benchkit.Scale,
 		Benchmarks:  results,
 	}
@@ -181,6 +205,23 @@ func run() error {
 		a.TelemetryOverheadPct = (cost(tel) - c) / c * 100
 		fmt.Printf("telemetry overhead: %+.2f%% of %s (budget <5%%)\n",
 			a.TelemetryOverheadPct, a.OverheadBasis)
+	}
+	if par.NsPerOp > 0 {
+		a.ParallelSpeedup = float64(base.NsPerOp) / float64(par.NsPerOp)
+		fmt.Printf("parallel speedup: %.2fx at GOMAXPROCS=%d (target >=2x needs >=4 cores)\n",
+			a.ParallelSpeedup, a.GOMAXPROCS)
+	}
+	// The smoke check guards against the concurrent path costing
+	// throughput outright: parallel must not be meaningfully slower than
+	// single-threaded on any host. The 2x multi-core target is asserted
+	// only where the cores exist to reach it.
+	if *checkParallel {
+		if a.ParallelSpeedup < 0.75 {
+			return fmt.Errorf("parallel regression: speedup %.2fx < 0.75x single-threaded", a.ParallelSpeedup)
+		}
+		if a.GOMAXPROCS >= 4 && a.ParallelSpeedup < 2 {
+			return fmt.Errorf("parallel speedup %.2fx < 2x at GOMAXPROCS=%d", a.ParallelSpeedup, a.GOMAXPROCS)
+		}
 	}
 
 	data, err := json.MarshalIndent(a, "", "  ")

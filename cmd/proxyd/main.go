@@ -54,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		schemeName = fs.String("scheme", "ea", `placement scheme: "adhoc", "ea" or "never"`)
 		location   = fs.String("location", "icp", `document location: "icp" or "digest"`)
 		capacity   = fs.String("capacity", "10MB", "cache capacity")
+		shards     = fs.Int("cache-shards", cache.DefaultShards,
+			"cache lock shards (rounded up to a power of two); 1 serialises the store")
 		peers      peerList
 		originMode = fs.Bool("origin-mode", false, "run as the group's origin server instead of a proxy")
 		demo       = fs.Bool("demo", false, "run a self-contained demo group and exit")
@@ -67,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		dataDir      = fs.String("data-dir", "", "directory for crash-safe cache persistence (snapshot + journal); empty runs in-memory only")
 		snapInterval = fs.Duration("snapshot-interval", netnode.DefaultSnapshotInterval, "how often to checkpoint the cache (needs -data-dir)")
+		journalBatch = fs.Int("journal-batch", 0,
+			"journal group-commit queue depth in frames; 0 uses the default (needs -data-dir)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "how long a SIGTERM/SIGINT drain waits for in-flight fetches before exiting")
 
 		adminAddr   = fs.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/trace and pprof; empty disables telemetry")
@@ -114,7 +118,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else if *location != "icp" {
 		return fmt.Errorf("unknown location mechanism %q", *location)
 	}
-	store, err := cache.New(cache.Config{
+	store, err := cache.NewSharded(cache.ShardedConfig{
+		Shards:           *shards,
 		Capacity:         capBytes,
 		ExpirationWindow: cache.DefaultExpirationWindow,
 	})
@@ -146,6 +151,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nodeCfg.DataDir = *dataDir
 		nodeCfg.SnapshotInterval = *snapInterval
 	}
+	// Passed through unconditionally so netnode rejects -journal-batch
+	// without -data-dir instead of ignoring it.
+	nodeCfg.JournalBatch = *journalBatch
 	node, err := netnode.New(nodeCfg)
 	if err != nil {
 		return err

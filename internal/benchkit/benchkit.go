@@ -8,8 +8,10 @@
 package benchkit
 
 import (
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -189,6 +191,113 @@ func NodeRequest(withTelemetry bool) func(*testing.B) {
 		snap := counters.Snapshot()
 		b.ReportMetric(snap.HitRate(), "hitrate")
 		b.ReportMetric(snap.RemoteHitRate(), "remotehitrate")
+		if cpuOK && b.N > 0 {
+			b.ReportMetric(float64(cpuEnd-cpuStart)/float64(b.N), "cpu_ns/op")
+		}
+	}
+}
+
+// NodeRequestParallel is the concurrent counterpart of NodeRequest: the
+// same two-node live-socket workload, but the requester runs on the
+// sharded store and b.RunParallel drives it from many goroutines at once
+// (parallelism multiplies GOMAXPROCS; 0 keeps the default). Workers share
+// one atomic lap counter so the URL mix — local hits, recurring remote
+// hits, first-lap origin fetches — matches the single-threaded benchmark.
+// The reported gomaxprocs metric records how many cores the run actually
+// had: parallel speedup over NodeRequest is only expected when it is > 1.
+func NodeRequestParallel(shards, parallelism int) func(*testing.B) {
+	return func(b *testing.B) {
+		origin, err := netnode.NewOriginServer("127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer origin.Close()
+
+		store, err := cache.NewSharded(cache.ShardedConfig{
+			Shards:            shards,
+			Capacity:          32 << 20,
+			ExpirationHorizon: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		requester, err := netnode.New(netnode.Config{
+			ID:         "bench-req",
+			ICPAddr:    "127.0.0.1:0",
+			HTTPAddr:   "127.0.0.1:0",
+			Store:      store,
+			Scheme:     core.EA{},
+			OriginAddr: origin.Addr(),
+			ICPTimeout: 500 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer requester.Close()
+		peerStore, err := cache.New(cache.Config{Capacity: 32 << 20, ExpirationHorizon: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peer, err := netnode.New(netnode.Config{
+			ID:         "bench-peer",
+			ICPAddr:    "127.0.0.1:0",
+			HTTPAddr:   "127.0.0.1:0",
+			Store:      peerStore,
+			Scheme:     core.EA{},
+			OriginAddr: origin.Addr(),
+			ICPTimeout: 500 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer peer.Close()
+		requester.SetPeers([]netnode.Peer{{ICP: peer.ICPAddr(), HTTP: peer.HTTPAddr()}})
+		peer.SetPeers([]netnode.Peer{{ICP: requester.ICPAddr(), HTTP: requester.HTTPAddr()}})
+
+		const docSize = 2048
+		urls := make([]string, 512)
+		for i := range urls {
+			urls[i] = "http://bench.example.edu/doc" + strconv.Itoa(i)
+		}
+		for _, u := range urls[:256] {
+			if _, err := requester.Request(u, docSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, u := range urls[256:384] {
+			if _, err := peer.Request(u, docSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		var (
+			counters metrics.Counters
+			lap      atomic.Uint64
+		)
+		if parallelism > 0 {
+			b.SetParallelism(parallelism)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		cpuStart, cpuOK := cpuTimeNS()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := lap.Add(1) - 1
+				res, err := requester.Request(urls[i%uint64(len(urls))], docSize)
+				if err != nil {
+					// b.Fatal must not be called off the main goroutine.
+					b.Error(err)
+					return
+				}
+				counters.Record(res.Outcome, res.Size)
+			}
+		})
+		cpuEnd, _ := cpuTimeNS()
+		b.StopTimer()
+		snap := counters.Snapshot()
+		b.ReportMetric(snap.HitRate(), "hitrate")
+		b.ReportMetric(snap.RemoteHitRate(), "remotehitrate")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		if cpuOK && b.N > 0 {
 			b.ReportMetric(float64(cpuEnd-cpuStart)/float64(b.N), "cpu_ns/op")
 		}

@@ -147,6 +147,21 @@ func (t *ExpAgeTracker) WindowedAt(now time.Time) time.Duration {
 	return t.ringSum / time.Duration(t.ringLen)
 }
 
+// WindowedStatsAt returns the sum (in seconds) and count of the victim
+// ages inside the configured window as of now — the mergeable form of
+// WindowedAt. A ShardedStore combines the per-shard (sum, count) pairs
+// into one group-level cache expiration age; count == 0 means this
+// tracker contributes no contention evidence.
+func (t *ExpAgeTracker) WindowedStatsAt(now time.Time) (sumSeconds float64, count int64) {
+	if t.window == WindowAll && t.horizon == 0 {
+		return t.totalSum, t.totalCount
+	}
+	if t.horizon > 0 {
+		t.prune(now)
+	}
+	return t.ringSum.Seconds(), int64(t.ringLen)
+}
+
 // Cumulative returns the all-time mean expiration age, or NoContention
 // before the first eviction.
 func (t *ExpAgeTracker) Cumulative() time.Duration {

@@ -255,6 +255,19 @@ func WriteResponse(w io.Writer, resp Response, body io.Reader) error {
 		if body == nil {
 			return fmt.Errorf("%w: missing body", ErrMalformed)
 		}
+		// A body that can write itself (io.WriterTo) skips io.CopyN's
+		// per-call copy buffer — the serve path hands in pooled-buffer
+		// bodies, so a cache hit allocates nothing here.
+		if wt, ok := body.(io.WriterTo); ok {
+			n, werr := wt.WriteTo(w)
+			if werr != nil {
+				return fmt.Errorf("hproto: write body: %w", werr)
+			}
+			if n != resp.ContentLength {
+				return fmt.Errorf("hproto: write body: wrote %d of %d bytes", n, resp.ContentLength)
+			}
+			return nil
+		}
 		if _, err := io.CopyN(w, body, resp.ContentLength); err != nil {
 			return fmt.Errorf("hproto: write body: %w", err)
 		}

@@ -1,8 +1,10 @@
 package icp
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -17,18 +19,36 @@ import (
 // first hit the client keeps draining replies for a short grace window so
 // every hit responder is collected — giving the caller fallback targets if
 // the first responder dies before the follow-up fetch.
+//
+// One UDP socket serves every query: it is bound lazily on the first
+// Query and lives until Close. A single reader goroutine parses replies
+// and routes them to the in-flight query by ICP request number, so
+// concurrent queries multiplex the socket instead of paying a socket
+// create/bind/close per cache miss.
 type Client struct {
 	reqNum atomic.Uint32
 
-	// Listen, when non-nil, replaces the per-query socket factory — e.g.
-	// to wrap the socket with a fault injector. Set it before the first
-	// Query; the returned conn is closed when the query resolves.
+	// Listen, when non-nil, replaces the socket factory — e.g. to wrap
+	// the socket with a fault injector. Set it before the first Query;
+	// the socket is bound once and closed by Close.
 	Listen func() (net.PacketConn, error)
+
+	mu      sync.Mutex
+	conn    net.PacketConn
+	pending map[uint32]chan reply
+	closed  bool
 }
 
-// NewClient returns a ready Client. It is safe for concurrent use; each
-// query uses its own ephemeral UDP socket.
-func NewClient() *Client { return &Client{} }
+// reply is one parsed, demultiplexed answer delivered to its query.
+type reply struct {
+	op   Opcode
+	url  string
+	from *net.UDPAddr
+}
+
+// NewClient returns a ready Client, safe for concurrent use. Callers that
+// are done querying should Close it to release the shared socket.
+func NewClient() *Client { return &Client{pending: make(map[uint32]chan reply)} }
 
 // hitGraceMin/Max bound the post-first-hit drain window: long enough to
 // catch replies already in flight from equally-near neighbours, short
@@ -37,6 +57,13 @@ const (
 	hitGraceMin = 2 * time.Millisecond
 	hitGraceMax = 20 * time.Millisecond
 )
+
+// readBufPool recycles reply read buffers across reader goroutines (a
+// client rebinding after faults, or many short-lived clients in tests).
+var readBufPool = sync.Pool{New: func() any {
+	b := make([]byte, maxLen)
+	return &b
+}}
 
 // Result is the outcome of one fan-out query.
 type Result struct {
@@ -65,16 +92,93 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-func (c *Client) listen() (net.PacketConn, error) {
+// bind returns the shared query socket, binding it and starting the
+// reader on first use.
+func (c *Client) bind() (net.PacketConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("icp: client closed")
+	}
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	var (
+		conn net.PacketConn
+		err  error
+	)
 	if c.Listen != nil {
-		return c.Listen()
+		conn, err = c.Listen()
+	} else {
+		conn, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			// Fall back to an unspecified local address (non-loopback
+			// peers).
+			conn, err = net.ListenUDP("udp", nil)
+		}
 	}
-	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
-		// Fall back to an unspecified local address (non-loopback peers).
-		return net.ListenUDP("udp", nil)
+		return nil, err
 	}
+	c.conn = conn
+	go c.readLoop(conn)
 	return conn, nil
+}
+
+// readLoop is the demultiplexer: it parses every datagram arriving on the
+// shared socket and hands it to the query whose request number it echoes.
+// Stray, stale, corrupted, and unclaimed datagrams are dropped, exactly
+// as a per-query socket would have ignored them. It exits on the first
+// read error — Close closing the socket, or a fatal socket fault.
+func (c *Client) readLoop(conn net.PacketConn) {
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	buf := *bp
+	for {
+		n, peer, err := conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		m, err := Parse(buf[:n])
+		if err != nil {
+			continue
+		}
+		udp := toUDPAddr(peer)
+		if udp == nil {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[m.ReqNum]
+		c.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		select {
+		case ch <- reply{op: m.Op, url: m.URL, from: udp}:
+		default:
+			// The query's buffer is full (duplicate floods); drop, as
+			// UDP would.
+		}
+	}
+}
+
+// Close releases the shared socket and fails any in-flight queries'
+// pending reads (they resolve via their timeout). Further Query calls
+// error. Close is idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
 
 // Query sends an ICP query for url to every neighbour and reports every
@@ -86,17 +190,30 @@ func (c *Client) Query(neighbours []*net.UDPAddr, url string, timeout time.Durat
 		return Result{Elapsed: time.Since(start)}, nil
 	}
 
-	conn, err := c.listen()
+	conn, err := c.bind()
 	if err != nil {
 		return Result{}, fmt.Errorf("icp: open query socket: %w", err)
 	}
-	defer conn.Close()
 
 	reqNum := c.reqNum.Add(1)
 	query, err := Query(reqNum, url).Marshal()
 	if err != nil {
 		return Result{}, err
 	}
+
+	// Register the demux slot before the first datagram can possibly
+	// answer. The channel holds one reply per neighbour plus slack for
+	// duplicates; overflow is dropped like any excess datagram.
+	ch := make(chan reply, 2*len(neighbours))
+	c.mu.Lock()
+	c.pending[reqNum] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, reqNum)
+		c.mu.Unlock()
+	}()
+
 	var res Result
 	sent := 0
 	for _, n := range neighbours {
@@ -114,48 +231,44 @@ func (c *Client) Query(neighbours []*net.UDPAddr, url string, timeout time.Durat
 	}
 
 	deadline := start.Add(timeout)
-	if err := conn.SetReadDeadline(deadline); err != nil {
-		return res, fmt.Errorf("icp: set deadline: %w", err)
-	}
-	buf := make([]byte, maxLen)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for res.Replies < sent {
-		n, peer, err := conn.ReadFrom(buf)
-		if err != nil {
+		select {
+		case r := <-ch:
+			res.Replies++
+			res.Answered = append(res.Answered, r.from)
+			if r.op == OpHit && r.url == url {
+				res.Responders = append(res.Responders, r.from)
+				if !res.Hit {
+					res.Hit = true
+					res.Responder = r.from
+					// Resolve now, but drain briefly for other hits
+					// already in flight: they are the retry targets if
+					// this responder dies before the follow-up fetch.
+					grace := time.Since(start)
+					if grace < hitGraceMin {
+						grace = hitGraceMin
+					}
+					if grace > hitGraceMax {
+						grace = hitGraceMax
+					}
+					if remaining := time.Until(deadline); grace > remaining {
+						grace = remaining
+					}
+					if !timer.Stop() {
+						<-timer.C
+					}
+					timer.Reset(grace)
+				}
+			}
+		case <-timer.C:
 			// Deadline: with no hit this is the timeout path (silent
 			// neighbours count as misses); with a hit it merely ends
 			// the post-hit grace drain.
 			res.TimedOut = !res.Hit
-			break
-		}
-		m, err := Parse(buf[:n])
-		if err != nil || m.ReqNum != reqNum {
-			continue // stray, stale, or corrupted datagram
-		}
-		res.Replies++
-		udp := toUDPAddr(peer)
-		if udp == nil {
-			continue
-		}
-		res.Answered = append(res.Answered, udp)
-		if m.Op == OpHit && m.URL == url {
-			res.Responders = append(res.Responders, udp)
-			if !res.Hit {
-				res.Hit = true
-				res.Responder = udp
-				// Resolve now, but drain briefly for other hits already
-				// in flight: they are the retry targets if this
-				// responder dies before the follow-up fetch.
-				grace := time.Since(start)
-				if grace < hitGraceMin {
-					grace = hitGraceMin
-				}
-				if grace > hitGraceMax {
-					grace = hitGraceMax
-				}
-				if gd := time.Now().Add(grace); gd.Before(deadline) {
-					_ = conn.SetReadDeadline(gd)
-				}
-			}
+			res.Elapsed = time.Since(start)
+			return res, nil
 		}
 	}
 	res.Elapsed = time.Since(start)

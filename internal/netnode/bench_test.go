@@ -18,3 +18,10 @@ func BenchmarkNodeRequest(b *testing.B) { benchkit.NodeRequest(false)(b) }
 // the admin registry all live. Compare ns/op against BenchmarkNodeRequest
 // to measure the telemetry tax (budget: <5%).
 func BenchmarkNodeRequestTelemetry(b *testing.B) { benchkit.NodeRequest(true)(b) }
+
+// BenchmarkNodeRequestParallel drives the same workload from many
+// goroutines at once against a requester on the sharded store (default
+// shard count, 8× parallelism per core). On multi-core hosts this is the
+// throughput benchmark for the concurrent hot path; the reported
+// gomaxprocs metric records how many cores the run had.
+func BenchmarkNodeRequestParallel(b *testing.B) { benchkit.NodeRequestParallel(0, 8)(b) }

@@ -55,7 +55,8 @@ func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duratio
 }
 
 // ownDigestBytes rebuilds the node's summary if stale and serialises it.
-// Caller must hold n.mu.
+// Caller must hold n.digestMu; the store counters it reads are
+// independently thread-safe.
 func (n *Node) ownDigestBytes() ([]byte, error) {
 	mutations := n.store.Insertions() + n.store.Evictions()
 	if n.digests.own.Stale(mutations) {
@@ -89,10 +90,10 @@ func (n *Node) digestCandidates(peers []Peer, url string) []Peer {
 // peerDigest returns a sufficiently fresh digest for p, fetching one if
 // needed, or nil when the peer cannot supply one.
 func (n *Node) peerDigest(p Peer) *digest.Filter {
-	n.mu.Lock()
+	n.digestMu.Lock()
 	pd := n.digests.peers[p.HTTP]
 	refresh := n.digests.refresh
-	n.mu.Unlock()
+	n.digestMu.Unlock()
 	if pd != nil && time.Since(pd.fetchedAt) < refresh {
 		return pd.filter
 	}
@@ -105,9 +106,9 @@ func (n *Node) peerDigest(p Peer) *digest.Filter {
 		return nil
 	}
 	n.health.ReportSuccess(p.HTTP)
-	n.mu.Lock()
+	n.digestMu.Lock()
 	n.digests.peers[p.HTTP] = &peerDigest{filter: f, fetchedAt: time.Now()}
-	n.mu.Unlock()
+	n.digestMu.Unlock()
 	return f
 }
 

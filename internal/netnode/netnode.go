@@ -17,6 +17,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eacache/internal/cache"
@@ -55,6 +56,30 @@ type Peer struct {
 	HTTP string
 }
 
+// Store is the cache behind a live node: the surface the request path,
+// the ICP responder, and the persistence layer need. It is implemented
+// by *cache.ShardedStore and by the single-threaded *cache.Store — the
+// node wraps the latter in a one-shard concurrency-safe adapter
+// (cache.SingleShard), so existing callers keep handing in a plain
+// Store and get identical cache behaviour.
+type Store interface {
+	Get(url string, now time.Time) (cache.Document, bool)
+	Peek(url string) (cache.Document, bool)
+	Touch(url string, now time.Time) bool
+	Contains(url string) bool
+	Put(doc cache.Document, now time.Time) ([]cache.Eviction, error)
+	ExpirationAge(now time.Time) time.Duration
+	Capacity() int64
+	Used() int64
+	Len() int
+	Evictions() int64
+	Insertions() int64
+	URLs() []string
+	SetEventSink(fn func(cache.Event))
+	RestoreEntry(doc cache.Document, enteredAt, lastHit time.Time, hits int64) error
+	RestoreTracker(st cache.TrackerState)
+}
+
 // Config configures a Node.
 type Config struct {
 	// ID names the node for logs.
@@ -63,8 +88,10 @@ type Config struct {
 	// free port).
 	ICPAddr  string
 	HTTPAddr string
-	// Store is the node's cache. Required.
-	Store *cache.Store
+	// Store is the node's cache: a *cache.ShardedStore for a node meant
+	// to serve concurrent traffic, or a plain *cache.Store (wrapped in a
+	// one-shard adapter internally). Required.
+	Store Store
 	// Scheme is the placement scheme. Required.
 	Scheme core.Scheme
 	// OriginAddr is the TCP address of an hproto origin server used to
@@ -111,6 +138,10 @@ type Config struct {
 	// journal rotation). Zero defaults to DefaultSnapshotInterval;
 	// negative is rejected. Requires DataDir.
 	SnapshotInterval time.Duration
+	// JournalBatch bounds the persistence layer's group-commit queue
+	// (persist.Config.BatchFrames). Zero uses the persist default;
+	// negative is rejected. Requires DataDir when set.
+	JournalBatch int
 	// Faults, when set, injects deterministic faults into every socket
 	// the node opens — the ICP query socket, outbound fetch dials, and
 	// accepted fetch conns — for chaos tests and manual chaos runs.
@@ -157,9 +188,13 @@ type Node struct {
 	om            *nodeObs
 	logger        *slog.Logger
 
-	mu    sync.Mutex // guards store and peers
-	store *cache.Store
-	peers []Peer
+	// The request path has no global lock: the sharded store serialises
+	// per shard, the peer set is an immutable snapshot swapped atomically
+	// by SetPeers, and the digest machinery has its own small mutex.
+	store *cache.ShardedStore
+	peers atomic.Pointer[[]Peer]
+
+	digestMu sync.Mutex // guards digests (own summary + fetched filters)
 
 	persister *persist.Persister
 	snapEvery time.Duration
@@ -216,6 +251,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.SnapshotInterval < 0 {
 		return nil, fmt.Errorf("netnode: negative SnapshotInterval %v", cfg.SnapshotInterval)
 	}
+	if cfg.JournalBatch < 0 {
+		return nil, fmt.Errorf("netnode: negative JournalBatch %d", cfg.JournalBatch)
+	}
+	if cfg.JournalBatch > 0 && cfg.DataDir == "" {
+		return nil, errors.New("netnode: JournalBatch requires DataDir")
+	}
 	if cfg.SnapshotInterval > 0 && cfg.DataDir == "" {
 		return nil, errors.New("netnode: SnapshotInterval requires DataDir")
 	}
@@ -224,6 +265,17 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.Location == 0 {
 		cfg.Location = proxy.LocateICP
+	}
+	// Adopt the caller's store behind the concurrency-safe sharded API; a
+	// plain Store becomes one shard behind one lock (identical behaviour).
+	var store *cache.ShardedStore
+	switch s := cfg.Store.(type) {
+	case *cache.ShardedStore:
+		store = s
+	case *cache.Store:
+		store = cache.SingleShard(s)
+	default:
+		return nil, fmt.Errorf("netnode: unsupported store type %T", cfg.Store)
 	}
 	n := &Node{
 		id:            cfg.ID,
@@ -237,7 +289,7 @@ func New(cfg Config) (*Node, error) {
 		location:      cfg.Location,
 		faults:        cfg.Faults,
 		logger:        cfg.Logger,
-		store:         cfg.Store,
+		store:         store,
 		icpClient:     icp.NewClient(),
 		closed:        make(chan struct{}),
 	}
@@ -264,8 +316,9 @@ func New(cfg Config) (*Node, error) {
 
 	if cfg.Faults != nil {
 		// Chaos mode: every socket the node opens goes through the
-		// injector — the per-query ICP socket here, fetch dials in
-		// Node.dial, and accepted fetch conns below.
+		// injector — the shared ICP query socket here (bound once, on
+		// the first query), fetch dials in Node.dial, and accepted
+		// fetch conns below.
 		n.icpClient.Listen = func() (net.PacketConn, error) {
 			c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 			if err != nil {
@@ -296,11 +349,15 @@ func New(cfg Config) (*Node, error) {
 	// the store through its event sink, so the replacement policies and
 	// the request path stay oblivious to it.
 	if cfg.DataDir != "" {
-		p, err := persist.Open(persist.Config{Dir: cfg.DataDir, Logger: stdLogger})
+		p, err := persist.Open(persist.Config{
+			Dir:         cfg.DataDir,
+			Logger:      stdLogger,
+			BatchFrames: cfg.JournalBatch,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("netnode: %w", err)
 		}
-		stats := persist.Restore(cfg.Store, p.RecoveredState())
+		stats := persist.Restore(n.store, p.RecoveredState())
 		if stats.Skipped > 0 {
 			n.warn("recovery skipped entries that no longer fit", nil, "skipped", stats.Skipped)
 		}
@@ -315,14 +372,14 @@ func New(cfg Config) (*Node, error) {
 	switch {
 	case n.persister != nil && n.om != nil:
 		p, om := n.persister, n.om
-		cfg.Store.SetEventSink(func(ev cache.Event) {
+		n.store.SetEventSink(func(ev cache.Event) {
 			p.Append(ev)
 			om.cacheEvent(ev)
 		})
 	case n.persister != nil:
-		cfg.Store.SetEventSink(n.persister.Append)
+		n.store.SetEventSink(n.persister.Append)
 	case n.om != nil:
-		cfg.Store.SetEventSink(n.om.cacheEvent)
+		n.store.SetEventSink(n.om.cacheEvent)
 	}
 
 	icpServer, err := icp.NewServer(cfg.ICPAddr, icp.HandlerFunc(n.handleICP), stdLogger)
@@ -373,7 +430,9 @@ func (n *Node) ICPAddr() *net.UDPAddr { return n.icpServer.Addr() }
 func (n *Node) HTTPAddr() string { return n.httpLn.Addr().String() }
 
 // SetPeers replaces the neighbour set and drops breaker state for peers
-// that left it.
+// that left it. The set is published as an immutable snapshot behind an
+// atomic pointer: the request path reads it with one atomic load and no
+// per-request copy, and never observes a half-updated set.
 func (n *Node) SetPeers(peers []Peer) {
 	keep := make(map[string]bool, len(peers))
 	for _, p := range peers {
@@ -381,9 +440,17 @@ func (n *Node) SetPeers(peers []Peer) {
 	}
 	n.health.Forget(keep)
 	n.om.registerPeerGauges(n, peers)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.peers = append([]Peer(nil), peers...)
+	snapshot := append([]Peer(nil), peers...)
+	n.peers.Store(&snapshot)
+}
+
+// peerList returns the current immutable peer snapshot. Callers must not
+// mutate it.
+func (n *Node) peerList() []Peer {
+	if p := n.peers.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Robustness returns the node's degradation counters: peer failures,
@@ -434,13 +501,12 @@ func (n *Node) shutdown(wait time.Duration) error {
 			if err := n.checkpoint(); err != nil {
 				n.warn("final snapshot failed", nil, "err", err)
 			}
-			n.mu.Lock()
 			n.store.SetEventSink(nil)
-			n.mu.Unlock()
 			if err := n.persister.Close(); err != nil {
 				n.warn("close persister failed", nil, "err", err)
 			}
 		}
+		_ = n.icpClient.Close()
 
 		if icpErr != nil {
 			n.closeErr = icpErr
@@ -478,15 +544,16 @@ func (n *Node) snapshotLoop() {
 }
 
 // checkpoint captures the store and rotates the journal at one consistent
-// instant (under the store lock), then writes the snapshot without
-// blocking the request path — events that land after the rotation go to
-// the new journal and replay on top of the snapshot.
+// instant (all shard locks held, so every event before the capture is in
+// the rotated-away journal and every later one in the new generation),
+// then writes the snapshot without blocking the request path.
 func (n *Node) checkpoint() error {
 	start := time.Now()
-	n.mu.Lock()
-	st := persist.CaptureState(n.store)
-	err := n.persister.Rotate()
-	n.mu.Unlock()
+	var st persist.State
+	err := n.store.Checkpoint(func(view cache.StoreView) error {
+		st = persist.CaptureState(view)
+		return n.persister.Rotate()
+	})
 	if err == nil {
 		err = n.persister.WriteSnapshot(st)
 	}
@@ -496,15 +563,11 @@ func (n *Node) checkpoint() error {
 
 // ExpirationAge returns the node's current contention signal.
 func (n *Node) ExpirationAge() time.Duration {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.store.ExpirationAge(time.Now())
 }
 
 // Contains reports whether the node caches url, for tests.
 func (n *Node) Contains(url string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.store.Contains(url)
 }
 
@@ -538,17 +601,16 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 func (n *Node) serveRequest(tr *obs.Trace, url string, sizeHint int64) (Result, error) {
 	now := time.Now()
 
-	// 1. Local cache.
+	// 1. Local cache. No global lock: the store serialises per shard and
+	// the peer snapshot is immutable, so concurrent requests for
+	// different documents never contend here.
 	lookup := n.startStage(tr, stLocalLookup)
-	n.mu.Lock()
 	if doc, ok := n.store.Get(url, now); ok {
-		n.mu.Unlock()
 		n.endStage(tr, lookup)
 		return Result{Outcome: metrics.LocalHit, Size: doc.Size}, nil
 	}
 	reqAge := n.store.ExpirationAge(time.Now())
-	peers := append([]Peer(nil), n.peers...)
-	n.mu.Unlock()
+	peers := n.peerList()
 	n.endStage(tr, lookup)
 
 	// 2. Locate the document in the group. The lock is NOT held across
@@ -836,8 +898,6 @@ func (n *Node) fetchUpstream(tr *obs.Trace, addr, url string, sizeHint int64, re
 }
 
 func (n *Node) putIfFits(doc cache.Document) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	_, err := n.store.Put(doc, time.Now())
 	return err == nil
 }
@@ -845,8 +905,6 @@ func (n *Node) putIfFits(doc cache.Document) bool {
 // handleICP answers neighbours' queries against the local cache without
 // touching replacement state.
 func (n *Node) handleICP(url string) icp.Opcode {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.store.Contains(url) {
 		return icp.OpHit
 	}
@@ -885,7 +943,9 @@ func (n *Node) serveConn(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(n.fetchTimeout))
 
-	req, err := hproto.ReadRequest(bufio.NewReader(conn))
+	br := getReader(conn)
+	req, err := hproto.ReadRequest(br)
+	putReader(br)
 	if err != nil {
 		n.warn("bad fetch request", nil, "err", err)
 		return
@@ -901,7 +961,6 @@ func (n *Node) serveConn(conn net.Conn) {
 		return
 	}
 
-	n.mu.Lock()
 	respAge := n.store.ExpirationAge(time.Now())
 	doc, ok := n.store.Peek(req.URL)
 	if ok {
@@ -912,7 +971,6 @@ func (n *Node) serveConn(conn net.Conn) {
 			n.om.decision(roleResponder, decisionReject)
 		}
 	}
-	n.mu.Unlock()
 
 	switch {
 	case ok:
@@ -1027,7 +1085,8 @@ func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Dur
 	}); err != nil {
 		return 0, 0, "", err
 	}
-	br := bufio.NewReader(conn)
+	br := getReader(conn)
+	defer putReader(br)
 	resp, err := hproto.ReadResponse(br)
 	if err != nil {
 		return 0, 0, "", err
@@ -1049,22 +1108,82 @@ func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Dur
 	return resp.ContentLength, resp.ResponderAge, source, nil
 }
 
-// zeroReader streams n zero bytes; cached bodies are synthetic in this
-// reproduction (the simulator tracks sizes, not payloads).
-func zeroReader(n int64) io.Reader {
-	return io.LimitReader(zeros{}, n)
+// Serve-path pools. Every accepted fetch conn needs a bufio.Reader for
+// the request line and a scratch buffer for the body; both are recycled
+// across connections so steady-state remote-hit serving allocates
+// nothing per request.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReader(nil) }}
+	// zeroBufPool holds pre-zeroed body chunks. Bodies are synthetic
+	// zeros in this reproduction, so writers send straight from the
+	// pooled chunk and never dirty it.
+	zeroBufPool = sync.Pool{New: func() any {
+		b := make([]byte, 32*1024)
+		return &b
+	}}
+)
+
+// getReader borrows a pooled bufio.Reader bound to r; return it with
+// putReader once the parse is done.
+func getReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
 }
 
-type zeros struct{}
+func putReader(br *bufio.Reader) {
+	br.Reset(nil) // drop the conn reference while pooled
+	readerPool.Put(br)
+}
 
-func (zeros) Read(p []byte) (int, error) {
+// zeroReader streams n zero bytes; cached bodies are synthetic in this
+// reproduction (the simulator tracks sizes, not payloads). It implements
+// io.WriterTo, so hproto.WriteResponse streams it from a pooled chunk
+// instead of allocating a copy buffer per response.
+func zeroReader(n int64) io.Reader {
+	return &zeroBody{remaining: n}
+}
+
+type zeroBody struct{ remaining int64 }
+
+func (z *zeroBody) Read(p []byte) (int, error) {
+	if z.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > z.remaining {
+		p = p[:z.remaining]
+	}
 	for i := range p {
 		p[i] = 0
 	}
+	z.remaining -= int64(len(p))
 	return len(p), nil
 }
 
-var _ io.Reader = zeros{}
+func (z *zeroBody) WriteTo(w io.Writer) (int64, error) {
+	bp := zeroBufPool.Get().(*[]byte)
+	defer zeroBufPool.Put(bp)
+	buf := *bp
+	var written int64
+	for z.remaining > 0 {
+		chunk := int64(len(buf))
+		if chunk > z.remaining {
+			chunk = z.remaining
+		}
+		nn, err := w.Write(buf[:chunk])
+		written += int64(nn)
+		z.remaining -= int64(nn)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+var (
+	_ io.Reader   = (*zeroBody)(nil)
+	_ io.WriterTo = (*zeroBody)(nil)
+)
 
 // OriginServer is an hproto origin that serves any URL with a body of the
 // hinted size (or 4KB), standing in for the web servers behind the group.
@@ -1140,7 +1259,9 @@ func (o *OriginServer) acceptLoop() {
 func (o *OriginServer) serveConn(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
-	req, err := hproto.ReadRequest(bufio.NewReader(conn))
+	br := getReader(conn)
+	req, err := hproto.ReadRequest(br)
+	putReader(br)
 	if err != nil {
 		return
 	}
@@ -1162,7 +1283,7 @@ func (o *OriginServer) serveConn(conn net.Conn) {
 // serveDigest answers a peer's digest fetch with this node's serialized
 // summary, or 404 when the node does not run digests.
 func (n *Node) serveDigest(conn net.Conn) {
-	n.mu.Lock()
+	n.digestMu.Lock()
 	var (
 		data []byte
 		err  error
@@ -1170,7 +1291,7 @@ func (n *Node) serveDigest(conn net.Conn) {
 	if n.digests != nil {
 		data, err = n.ownDigestBytes()
 	}
-	n.mu.Unlock()
+	n.digestMu.Unlock()
 	if n.digests == nil || err != nil {
 		if err != nil {
 			n.warn("marshal digest failed", nil, "err", err)

@@ -190,19 +190,13 @@ func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
 			return age.Seconds()
 		})
 	r.GaugeFunc("eac_cache_documents", "Resident documents.", nil, func() float64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
 		return float64(n.store.Len())
 	})
 	r.GaugeFunc("eac_cache_bytes", "Resident bytes.", nil, func() float64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
 		return float64(n.store.Used())
 	})
 	r.GaugeFunc("eac_cache_evictions", "Documents evicted by the replacement policy.",
 		nil, func() float64 {
-			n.mu.Lock()
-			defer n.mu.Unlock()
 			return float64(n.store.Evictions())
 		})
 	return o

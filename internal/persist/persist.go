@@ -47,7 +47,17 @@ type Config struct {
 	Dir string
 	// Logger receives recovery and degradation notices; nil discards.
 	Logger *log.Logger
+	// BatchFrames bounds the group-commit queue: at most this many frames
+	// wait for the flusher before further appenders block (backpressure).
+	// 0 means DefaultBatchFrames; 1 effectively disables coalescing.
+	BatchFrames int
 }
+
+// DefaultBatchFrames is the group-commit queue bound when
+// Config.BatchFrames is 0. It caps the frames coalesced into one write()
+// and therefore the memory parked in the queue (frames are at most
+// maxFramePayload+frameOverhead bytes, cache events far smaller).
+const DefaultBatchFrames = 256
 
 // Report describes what one Open recovered, for warm-restart logging and
 // tests.
@@ -76,6 +86,16 @@ type Report struct {
 // demand. Append/Rotate/WriteSnapshot are safe for concurrent use with
 // each other, but the caller must serialise Rotate against the capture of
 // the state it snapshots (see Checkpoint contract in internal/netnode).
+//
+// Appends are group-committed: an appender parks its frame in a bounded
+// queue and blocks until the background flusher has written it, so
+// concurrent appenders coalesce into one write() syscall per batch while
+// the durability contract is unchanged — when Append returns, the frame
+// is physically in the journal file (a recovery that reads the file at
+// that instant replays it). A lone appender degenerates to exactly the
+// old one-write-per-event behaviour. Sync policy is also unchanged:
+// fsync happens at Rotate/Close, not per batch, so crash semantics
+// (torn-tail truncation, replay-on-snapshot) are identical.
 type Persister struct {
 	dir    string
 	logger *log.Logger
@@ -84,6 +104,19 @@ type Persister struct {
 	journal *os.File
 	gen     uint64
 	closed  bool
+
+	// Group commit (all guarded by mu; the conds share it).
+	batchCap int
+	pending  [][]byte // frames queued for the flusher
+	spare    [][]byte // recycled backing array for pending
+	seqIn    uint64   // frames enqueued so far
+	seqDone  uint64   // frames physically written so far
+	// flushCond wakes the flusher when frames arrive or the persister
+	// closes; doneCond wakes appenders (and drain barriers) when seqDone
+	// advances or the queue drains.
+	flushCond     *sync.Cond
+	doneCond      *sync.Cond
+	flusherExited chan struct{}
 
 	recovered State
 	report    Report
@@ -101,7 +134,21 @@ func Open(cfg Config) (*Persister, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	p := &Persister{dir: cfg.Dir, logger: cfg.Logger}
+	if cfg.BatchFrames < 0 {
+		return nil, fmt.Errorf("persist: negative batch bound %d", cfg.BatchFrames)
+	}
+	batchCap := cfg.BatchFrames
+	if batchCap == 0 {
+		batchCap = DefaultBatchFrames
+	}
+	p := &Persister{
+		dir:           cfg.Dir,
+		logger:        cfg.Logger,
+		batchCap:      batchCap,
+		flusherExited: make(chan struct{}),
+	}
+	p.flushCond = sync.NewCond(&p.mu)
+	p.doneCond = sync.NewCond(&p.mu)
 
 	// 1. Snapshot, if any.
 	var base State
@@ -198,6 +245,7 @@ func Open(cfg Config) (*Persister, error) {
 			}
 		}
 	}
+	go p.flusher()
 	return p, nil
 }
 
@@ -208,9 +256,12 @@ func (p *Persister) RecoveredState() State { return p.recovered }
 // Report returns what Open recovered and discarded.
 func (p *Persister) Report() Report { return p.report }
 
-// Append journals one cache event. It never fails the caller's request
-// path: an I/O error degrades durability and is logged, the cache keeps
-// serving.
+// Append journals one cache event via group commit: the frame joins the
+// pending batch and Append blocks until the flusher has written it, so
+// the frame is in the journal file when Append returns (recovery-visible
+// immediately, exactly like the old direct write). It never fails the
+// caller's request path: an I/O error degrades durability and is logged,
+// the cache keeps serving.
 func (p *Persister) Append(ev cache.Event) {
 	frame, err := MarshalEvent(ev)
 	if err != nil {
@@ -219,20 +270,85 @@ func (p *Persister) Append(ev cache.Event) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Backpressure: a full queue means the flusher is behind; wait for it
+	// to drain rather than growing the batch without bound.
+	for len(p.pending) >= p.batchCap && !p.closed {
+		p.doneCond.Wait()
+	}
 	if p.closed || p.journal == nil {
 		return
 	}
-	if _, err := p.journal.Write(frame); err != nil {
-		p.logf("persist: journal append: %v", err)
+	p.pending = append(p.pending, frame)
+	p.seqIn++
+	seq := p.seqIn
+	p.flushCond.Signal()
+	// Wait for the flusher to cover our frame. While it writes batch k,
+	// later appenders park here forming batch k+1 — the coalescing.
+	for p.seqDone < seq && !p.closed {
+		p.doneCond.Wait()
+	}
+}
+
+// flusher is the single background goroutine that drains the pending
+// queue: it swaps the whole batch out under the lock, concatenates the
+// frames, and issues ONE write() for the batch. It exits when the
+// persister closes with the queue empty (Close drains first).
+func (p *Persister) flusher() {
+	defer close(p.flusherExited)
+	var buf []byte
+	p.mu.Lock()
+	for {
+		for len(p.pending) == 0 && !p.closed {
+			p.flushCond.Wait()
+		}
+		if len(p.pending) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		batch := p.pending
+		p.pending = p.spare[:0]
+		target := p.journal
+		p.mu.Unlock()
+
+		buf = buf[:0]
+		for _, frame := range batch {
+			buf = append(buf, frame...)
+		}
+		if target != nil {
+			if _, err := target.Write(buf); err != nil {
+				p.logf("persist: journal append (%d frames): %v", len(batch), err)
+			}
+		}
+
+		p.mu.Lock()
+		// Frames are on disk (or dropped with a logged error — durability
+		// degraded, same contract as before): release the appenders.
+		p.seqDone += uint64(len(batch))
+		p.spare = batch[:0]
+		p.doneCond.Broadcast()
+	}
+}
+
+// drainLocked blocks until every enqueued frame has been written (or the
+// persister closes). Caller holds p.mu. This is the group-commit barrier:
+// after it returns, the journal file contains a consistent prefix ending
+// at the current rotation/close point.
+func (p *Persister) drainLocked() {
+	for p.seqDone < p.seqIn && !p.closed {
+		p.doneCond.Wait()
 	}
 }
 
 // Rotate switches appends to the next journal generation. The caller must
 // hold the lock that serialises cache mutations while calling it, so the
 // state it is about to snapshot aligns exactly with the rotation point.
+// Rotate first drains the group-commit queue, so every event appended
+// before the capture lands in the old generation and the new journal
+// starts empty at exactly the snapshot's state.
 func (p *Persister) Rotate() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.drainLocked()
 	if p.closed {
 		return errors.New("persist: closed")
 	}
@@ -292,22 +408,30 @@ func (p *Persister) WriteSnapshot(st State) error {
 	return nil
 }
 
-// Close syncs and closes the journal. It does not snapshot; callers that
-// want a final checkpoint (graceful drain) do Rotate + WriteSnapshot
-// first. Close is idempotent.
+// Close drains the group-commit queue, then syncs and closes the
+// journal. It does not snapshot; callers that want a final checkpoint
+// (graceful drain) do Rotate + WriteSnapshot first. Close is idempotent.
 func (p *Persister) Close() error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil
 	}
+	p.drainLocked()
 	p.closed = true
-	if p.journal == nil {
+	journal := p.journal
+	p.journal = nil
+	// Wake everyone: the flusher exits (queue is empty and closed is
+	// set), blocked appenders give up.
+	p.flushCond.Signal()
+	p.doneCond.Broadcast()
+	p.mu.Unlock()
+	<-p.flusherExited
+	if journal == nil {
 		return nil
 	}
-	syncErr := p.journal.Sync()
-	closeErr := p.journal.Close()
-	p.journal = nil
+	syncErr := journal.Sync()
+	closeErr := journal.Close()
 	if syncErr != nil {
 		return syncErr
 	}

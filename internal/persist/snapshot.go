@@ -158,9 +158,11 @@ func DecodeSnapshot(data []byte) (State, error) {
 	return st, nil
 }
 
-// CaptureState images a live store into a State. The caller must hold
-// whatever lock serialises access to the store.
-func CaptureState(store *cache.Store) State {
+// CaptureState images a live store into a State. It accepts any
+// cache.StoreView: a *cache.Store (the caller holds whatever lock
+// serialises access to it) or the consistent all-shards-locked view a
+// *cache.ShardedStore passes to its Checkpoint callback.
+func CaptureState(store cache.StoreView) State {
 	entries := store.Entries()
 	sort.Slice(entries, func(i, j int) bool {
 		if !entries[i].LastHit.Equal(entries[j].LastHit) {
@@ -195,13 +197,21 @@ type RestoreStats struct {
 	Skipped int
 }
 
+// RestoreTarget is the write side of recovery: what Restore needs from a
+// store to load a recovered State. Implemented by *cache.Store and
+// *cache.ShardedStore.
+type RestoreTarget interface {
+	RestoreEntry(doc cache.Document, enteredAt, lastHit time.Time, hits int64) error
+	RestoreTracker(st cache.TrackerState)
+}
+
 // Restore loads a recovered State into an empty store: entries in
 // ascending last-hit order (so the LRU list rebuilds in recency order,
 // and heap policies re-key from the restored metadata) and the
 // expiration-age tracker. Entries that do not fit are skipped and
 // counted, never fatal — a node that recovers less than everything is
 // still better than one that rejoins cold.
-func Restore(store *cache.Store, st State) RestoreStats {
+func Restore(store RestoreTarget, st State) RestoreStats {
 	entries := append([]EntryState(nil), st.Entries...)
 	sort.SliceStable(entries, func(i, j int) bool {
 		return entries[i].LastHit.Before(entries[j].LastHit)
