@@ -4,9 +4,17 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-short test-race chaos bench bench-json fuzz
+.PHONY: check fmt build vet test test-short test-race parity chaos bench bench-json fuzz
 
-check: vet build test-race
+check: fmt vet build test-race
+
+# Formatting gate: fails (and lists the offenders) if any tracked Go
+# file is not gofmt-clean.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -24,9 +32,15 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
+# The sim↔live decision-equivalence gate: replays one generated trace
+# through the simulator and through a live socket group and demands
+# identical hit mix, placement decisions, and final resident sets.
+parity:
+	$(GO) test -race -v -run TestSimLiveParity ./internal/parity/
+
 # Just the chaos suite: the live 4-node group under injected faults.
 chaos:
-	$(GO) test -race -v -run 'TestBreaker|TestRemoteHitFetchFailure|TestPeerCrash|TestUDPLoss|TestStalledOrigin|TestChaosFlagged|TestDemoWithChaos' ./internal/netnode/ ./cmd/proxyd/
+	$(GO) test -race -v -run 'TestBreaker|TestRemoteHitFetchFailure|TestPeerCrash|TestUDPLoss|TestStalledOrigin|TestChaosFlagged|TestChaosHash|TestDemoWithChaos' ./internal/netnode/ ./cmd/proxyd/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

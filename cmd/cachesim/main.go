@@ -21,6 +21,7 @@ import (
 	"eacache/internal/core"
 	"eacache/internal/group"
 	"eacache/internal/proxy"
+	"eacache/internal/resolve"
 	"eacache/internal/sim"
 	"eacache/internal/trace"
 )
@@ -45,7 +46,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		arch       = fs.String("arch", "distributed", `architecture: "distributed" or "hierarchical"`)
 		window     = fs.Int("window", cache.WindowAll, "expiration-age window in evictions (0 = cumulative)")
 		horizon    = fs.Duration("horizon", 0, "expiration-age time horizon (0 = group default)")
-		location   = fs.String("location", "icp", `document location: "icp" or "digest"`)
+		location   = fs.String("location", "icp", `document location: "icp", "digest" or "hash"`)
 		ttl        = fs.Bool("ttl", false, "stamp era-mix freshness lifetimes on documents (coherence)")
 		warmup     = fs.Float64("warmup", 0, "fraction of the trace replayed uncounted to warm the caches")
 		popularity = fs.Bool("popularity", false, "print the trace's popularity analysis")
@@ -77,11 +78,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	} else if *arch != "distributed" {
 		return fmt.Errorf("unknown architecture %q", *arch)
 	}
-	loc := proxy.LocateICP
-	if *location == "digest" {
-		loc = proxy.LocateDigest
-	} else if *location != "icp" {
-		return fmt.Errorf("unknown location mechanism %q", *location)
+	loc, err := resolve.ParseLocation(*location)
+	if err != nil {
+		return err
 	}
 	var origin proxy.Origin = proxy.SizeHintOrigin{}
 	if *ttl {

@@ -33,7 +33,7 @@ import (
 	"eacache/internal/metrics"
 	"eacache/internal/netnode"
 	"eacache/internal/obs"
-	"eacache/internal/proxy"
+	"eacache/internal/resolve"
 )
 
 func main() {
@@ -52,7 +52,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		originAddr = fs.String("origin", "", "origin server address for miss resolution")
 		parentAddr = fs.String("parent", "", "hierarchical parent's fetch (TCP) address; misses resolve through it")
 		schemeName = fs.String("scheme", "ea", `placement scheme: "adhoc", "ea" or "never"`)
-		location   = fs.String("location", "icp", `document location: "icp" or "digest"`)
+		locate     = fs.String("locate", "icp", `document location mechanism: "icp", "digest" or "hash"`)
+		location   = fs.String("location", "", `deprecated alias for -locate`)
+		digestFlag = fs.Bool("digest", false, `deprecated alias for -locate=digest`)
+		hashName   = fs.String("hash-name", "", "this node's hash-ring member name under -locate=hash (default: the bound fetch address)")
 		capacity   = fs.String("capacity", "10MB", "cache capacity")
 		shards     = fs.Int("cache-shards", cache.DefaultShards,
 			"cache lock shards (rounded up to a power of two); 1 serialises the store")
@@ -77,15 +80,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceCap    = fs.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent request traces /debug/trace retains (needs -admin-addr)")
 		traceSample = fs.Int("trace-sample", obs.DefaultTraceSampling, "trace one request in N; 1 traces every request, metrics always cover all (needs -admin-addr)")
 	)
-	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr> (repeatable)")
+	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr>[/<hash-name>] (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 
+	loc, err := locationFromFlags(fs, stderr, *locate, *location, *digestFlag)
+	if err != nil {
+		return err
+	}
+
 	if *demo {
-		return runDemo(stdout, logger, *demoNodes, *demoReqs, *schemeName, *chaosSpec)
+		return runDemo(stdout, logger, *demoNodes, *demoReqs, *schemeName, loc, *chaosSpec)
 	}
 
 	injector, err := newInjector(*chaosSpec)
@@ -112,12 +120,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", *schemeName)
 	}
-	loc := proxy.LocateICP
-	if *location == "digest" {
-		loc = proxy.LocateDigest
-	} else if *location != "icp" {
-		return fmt.Errorf("unknown location mechanism %q", *location)
-	}
 	store, err := cache.NewSharded(cache.ShardedConfig{
 		Shards:           *shards,
 		Capacity:         capBytes,
@@ -140,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		OriginAddr:    *originAddr,
 		ParentAddr:    *parentAddr,
 		Location:      loc,
+		HashName:      *hashName,
 		DialTimeout:   *dialTimeout,
 		FetchTimeout:  *fetchTimeout,
 		FetchAttempts: *fetchAttempts,
@@ -209,6 +212,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// locationFromFlags resolves the document-location mechanism from the
+// canonical -locate flag and its two deprecated spellings, warning once
+// per deprecated flag actually used. An explicit -locate wins over the
+// aliases; the aliases must not contradict each other.
+func locationFromFlags(fs *flag.FlagSet, stderr io.Writer, locate, location string, digest bool) (resolve.Location, error) {
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if location != "" {
+		fmt.Fprintln(stderr, "proxyd: -location is deprecated; use -locate")
+	}
+	if digest {
+		fmt.Fprintln(stderr, "proxyd: -digest is deprecated; use -locate=digest")
+	}
+	if !explicit["locate"] {
+		if location != "" {
+			locate = location
+		} else if digest {
+			locate = "digest"
+		}
+	}
+	loc, err := resolve.ParseLocation(locate)
+	if err != nil {
+		return 0, err
+	}
+	if location != "" && location != loc.String() {
+		return 0, fmt.Errorf("conflicting flags: -locate=%s vs -location=%s", loc, location)
+	}
+	if digest && loc != resolve.LocateDigest {
+		return 0, fmt.Errorf("conflicting flags: -locate=%s vs -digest", loc)
+	}
+	return loc, nil
+}
+
 // newInjector builds a fault injector from a -chaos spec, or nil when the
 // spec is empty (no chaos, no wrapper overhead).
 func newInjector(spec string) (*faults.Injector, error) {
@@ -224,9 +261,12 @@ func newInjector(spec string) (*faults.Injector, error) {
 
 // runDemo builds an origin plus an n-node cooperative group on loopback,
 // replays a Zipf workload through it, and prints what happened on the
-// wire. A non-empty chaosSpec injects deterministic faults into every
-// node's sockets and reports how the group degraded.
-func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName, chaosSpec string) error {
+// wire. loc selects the document-location mechanism (under hash routing
+// the demo also reports the group-wide replication factor, which must
+// stay at one copy per document). A non-empty chaosSpec injects
+// deterministic faults into every node's sockets and reports how the
+// group degraded.
+func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName string, loc resolve.Location, chaosSpec string) error {
 	scheme, ok := core.New(schemeName)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", schemeName)
@@ -263,6 +303,8 @@ func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName,
 			Store:      store,
 			Scheme:     scheme,
 			OriginAddr: origin.Addr(),
+			Location:   loc,
+			HashName:   fmt.Sprintf("node-%d", i),
 			Faults:     injector,
 			Logger:     logger,
 		})
@@ -277,12 +319,17 @@ func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName,
 			if i == j {
 				continue
 			}
-			ps = append(ps, netnode.Peer{ICP: other.ICPAddr(), HTTP: other.HTTPAddr()})
+			ps = append(ps, netnode.Peer{
+				ICP:  other.ICPAddr(),
+				HTTP: other.HTTPAddr(),
+				Name: other.ID(),
+			})
 		}
 		nd.SetPeers(ps)
 	}
 
-	fmt.Fprintf(stdout, "demo group: %d nodes, scheme=%s, origin=%s\n", n, scheme.Name(), origin.Addr())
+	fmt.Fprintf(stdout, "demo group: %d nodes, scheme=%s, locate=%s, origin=%s\n",
+		n, scheme.Name(), loc, origin.Addr())
 
 	rng := dist.NewRNG(42)
 	zipf, err := dist.NewZipf(200, 0.8)
@@ -291,9 +338,11 @@ func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName,
 	}
 	var counters metrics.Counters
 	var failed int
+	urls := make(map[string]bool)
 	for i := 0; i < requests; i++ {
 		node := nodes[rng.Intn(len(nodes))]
 		url := fmt.Sprintf("http://demo.example.edu/doc%03d.html", zipf.Rank(rng))
+		urls[url] = true
 		res, err := node.Request(url, 2048+int64(rng.Intn(4096)))
 		if err != nil {
 			// Under injected faults a request can legitimately fail (e.g.
@@ -320,6 +369,35 @@ func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName,
 	}
 	fmt.Fprintf(stdout, "estimated mean latency (paper model): %s\n",
 		metrics.PaperLatencies.EstimatedAverageLatency(snap))
+
+	// Group-wide replication: hash routing must leave at most one copy of
+	// each document anywhere in the group; the other mechanisms replicate
+	// as the placement scheme decides.
+	var unique, totalCopies, maxCopies int
+	for url := range urls {
+		copies := 0
+		for _, nd := range nodes {
+			if nd.Contains(url) {
+				copies++
+			}
+		}
+		if copies > 0 {
+			unique++
+			totalCopies += copies
+			if copies > maxCopies {
+				maxCopies = copies
+			}
+		}
+	}
+	meanCopies := 0.0
+	if unique > 0 {
+		meanCopies = float64(totalCopies) / float64(unique)
+	}
+	fmt.Fprintf(stdout, "replication: %d unique documents resident, %.2f copies/doc, max %d\n",
+		unique, meanCopies, maxCopies)
+	if loc == resolve.LocateHash && maxCopies > 1 {
+		return fmt.Errorf("hash routing violated single-copy placement: max %d copies of one document", maxCopies)
+	}
 	if injector != nil {
 		var rb metrics.RobustnessSnapshot
 		for _, nd := range nodes {
@@ -345,20 +423,27 @@ func (p *peerList) String() string {
 	parts := make([]string, len(p.peers))
 	for i, peer := range p.peers {
 		parts[i] = fmt.Sprintf("%s/%s", peer.ICP, peer.HTTP)
+		if peer.Name != "" {
+			parts[i] += "/" + peer.Name
+		}
 	}
 	return strings.Join(parts, ",")
 }
 
 func (p *peerList) Set(v string) error {
-	icpPart, httpPart, found := strings.Cut(v, "/")
+	icpPart, rest, found := strings.Cut(v, "/")
 	if !found {
-		return fmt.Errorf("peer %q: want <icp-addr>/<http-addr>", v)
+		return fmt.Errorf("peer %q: want <icp-addr>/<http-addr>[/<hash-name>]", v)
+	}
+	httpPart, name, _ := strings.Cut(rest, "/")
+	if httpPart == "" {
+		return fmt.Errorf("peer %q: empty fetch address", v)
 	}
 	udp, err := net.ResolveUDPAddr("udp", icpPart)
 	if err != nil {
 		return fmt.Errorf("peer %q: %w", v, err)
 	}
-	p.peers = append(p.peers, netnode.Peer{ICP: udp, HTTP: httpPart})
+	p.peers = append(p.peers, netnode.Peer{ICP: udp, HTTP: httpPart, Name: name})
 	return nil
 }
 

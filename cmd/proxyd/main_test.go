@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"io"
 	"log/slog"
 	"strings"
 	"testing"
+
+	"eacache/internal/resolve"
 )
 
 func TestParseBytesLocal(t *testing.T) {
@@ -60,7 +63,7 @@ func TestPeerListFlag(t *testing.T) {
 func TestDemoEndToEnd(t *testing.T) {
 	var out bytes.Buffer
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := runDemo(&out, logger, 3, 200, "ea", ""); err != nil {
+	if err := runDemo(&out, logger, 3, 200, "ea", resolve.LocateICP, ""); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -73,7 +76,7 @@ func TestDemoEndToEnd(t *testing.T) {
 
 func TestDemoRejectsBadScheme(t *testing.T) {
 	var out bytes.Buffer
-	if err := runDemo(&out, slog.New(slog.NewTextHandler(io.Discard, nil)), 2, 10, "bogus", ""); err == nil {
+	if err := runDemo(&out, slog.New(slog.NewTextHandler(io.Discard, nil)), 2, 10, "bogus", resolve.LocateICP, ""); err == nil {
 		t.Fatal("bad scheme accepted")
 	}
 }
@@ -84,7 +87,7 @@ func TestDemoWithChaos(t *testing.T) {
 	}
 	var out bytes.Buffer
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := runDemo(&out, logger, 3, 60, "ea", "seed=1,udp-drop=0.3"); err != nil {
+	if err := runDemo(&out, logger, 3, 60, "ea", resolve.LocateICP, "seed=1,udp-drop=0.3"); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -97,7 +100,71 @@ func TestDemoWithChaos(t *testing.T) {
 
 func TestDemoRejectsBadChaosSpec(t *testing.T) {
 	var out bytes.Buffer
-	if err := runDemo(&out, slog.New(slog.NewTextHandler(io.Discard, nil)), 2, 10, "ea", "udp-drop=2"); err == nil {
+	if err := runDemo(&out, slog.New(slog.NewTextHandler(io.Discard, nil)), 2, 10, "ea", resolve.LocateICP, "udp-drop=2"); err == nil {
 		t.Fatal("bad chaos spec accepted")
+	}
+}
+
+// TestDemoHashMode runs the 4-node hash-routed demo end-to-end: every
+// request must resolve over the wire and the group must hold at most one
+// copy of each document (runDemo returns an error otherwise).
+func TestDemoHashMode(t *testing.T) {
+	var out bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := runDemo(&out, logger, 4, 300, "ea", resolve.LocateHash, ""); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"demo group: 4 nodes", "locate=hash", "replayed 300 requests", ", max 1\n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("hash demo output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLocationFromFlags(t *testing.T) {
+	parse := func(t *testing.T, args ...string) (resolve.Location, string, error) {
+		t.Helper()
+		fs := flag.NewFlagSet("proxyd", flag.ContinueOnError)
+		locate := fs.String("locate", "icp", "")
+		location := fs.String("location", "", "")
+		digest := fs.Bool("digest", false, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		var warnings bytes.Buffer
+		loc, err := locationFromFlags(fs, &warnings, *locate, *location, *digest)
+		return loc, warnings.String(), err
+	}
+
+	loc, warns, err := parse(t)
+	if err != nil || loc != resolve.LocateICP || warns != "" {
+		t.Fatalf("default: loc=%v warns=%q err=%v", loc, warns, err)
+	}
+	loc, _, err = parse(t, "-locate=hash")
+	if err != nil || loc != resolve.LocateHash {
+		t.Fatalf("-locate=hash: loc=%v err=%v", loc, err)
+	}
+	loc, warns, err = parse(t, "-digest")
+	if err != nil || loc != resolve.LocateDigest || !strings.Contains(warns, "deprecated") {
+		t.Fatalf("-digest: loc=%v warns=%q err=%v", loc, warns, err)
+	}
+	loc, warns, err = parse(t, "-location=digest")
+	if err != nil || loc != resolve.LocateDigest || !strings.Contains(warns, "deprecated") {
+		t.Fatalf("-location=digest: loc=%v warns=%q err=%v", loc, warns, err)
+	}
+	// Redundant spellings agree: allowed.
+	if loc, _, err = parse(t, "-locate=digest", "-digest"); err != nil || loc != resolve.LocateDigest {
+		t.Fatalf("agreeing flags: loc=%v err=%v", loc, err)
+	}
+	// Contradictions are rejected.
+	if _, _, err = parse(t, "-locate=hash", "-digest"); err == nil {
+		t.Fatal("-locate=hash -digest accepted")
+	}
+	if _, _, err = parse(t, "-locate=icp", "-location=digest"); err == nil {
+		t.Fatal("-locate=icp -location=digest accepted")
+	}
+	if _, _, err = parse(t, "-locate=carp"); err == nil {
+		t.Fatal("unknown mechanism accepted")
 	}
 }

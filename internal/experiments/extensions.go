@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"eacache/internal/cache"
-	"eacache/internal/chash"
 	"eacache/internal/core"
 	"eacache/internal/dist"
 	"eacache/internal/group"
@@ -113,67 +111,47 @@ func (s *Suite) Partitioned() (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(sim.FormatBytes(size),
-			pct(adhoc.Group.HitRate()), pct(ea.Group.HitRate()), pct(part.HitRate()),
-			pct(adhoc.Group.LocalHitRate()), pct(ea.Group.LocalHitRate()), pct(part.LocalHitRate()))
+			pct(adhoc.Group.HitRate()), pct(ea.Group.HitRate()), pct(part.Group.HitRate()),
+			pct(adhoc.Group.LocalHitRate()), pct(ea.Group.LocalHitRate()), pct(part.Group.LocalHitRate()))
 	}
 	return t, nil
 }
 
 // runPartitioned replays the suite's trace through a consistent-hash
-// partitioned group: each request goes to its client's edge cache first,
-// then to the URL's home cache; only the home cache ever stores a copy.
-func (s *Suite) runPartitioned(aggregate int64) (*metrics.Counters, error) {
-	caches := s.cfg.Caches
-	perCache := aggregate / int64(caches)
-	stores := make(map[string]*cache.Store, caches)
-	names := make([]string, 0, caches)
-	for i := 0; i < caches; i++ {
-		name := fmt.Sprintf("cache-%d", i)
-		st, err := cache.New(cache.Config{Capacity: perCache})
-		if err != nil {
-			return nil, err
-		}
-		stores[name] = st
-		names = append(names, name)
+// partitioned group built on the shared hash Locator (proxy.LocateHash):
+// each request goes to its client's edge cache first, which routes it to
+// the URL's home cache over the group's chash ring; only the home cache
+// ever stores a copy. Because the ring members are the same "cache-N"
+// proxy IDs a live netnode group would use as hash names, sim
+// experiments and the live node provably route URLs to the same homes.
+func (s *Suite) runPartitioned(aggregate int64) (*sim.Report, error) {
+	key := runKey{
+		scheme:    "ea/hash",
+		caches:    s.cfg.Caches,
+		aggregate: aggregate,
+		arch:      group.Distributed,
+		policy:    "lru",
 	}
-	ring, err := chash.New(0, names...)
-	if err != nil {
-		return nil, err
+	if rep, ok := s.runs[key]; ok {
+		return rep, nil
 	}
-	edge, err := group.New(group.Config{
-		Caches:         caches,
-		AggregateBytes: aggregate,
-		Scheme:         core.AdHoc{},
+	g, err := group.New(group.Config{
+		Caches:            s.cfg.Caches,
+		AggregateBytes:    aggregate,
+		Scheme:            core.EA{},
+		ExpirationWindow:  s.cfg.ExpirationWindow,
+		ExpirationHorizon: s.cfg.ExpirationHorizon,
+		Location:          proxy.LocateHash,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	var c metrics.Counters
-	for _, r := range s.records {
-		home := ring.Owner(r.URL)
-		st := stores[home]
-		// The client's edge proxy forwards to the home cache; a hit is
-		// local when the client happens to sit behind the home cache.
-		edgeID := edge.Route(r.Client).ID()
-		if _, ok := st.Get(r.URL, r.Time); ok {
-			if edgeID == home {
-				c.Record(metrics.LocalHit, r.Size)
-				c.AddSimLatency(s.cfg.Latency.LocalHit)
-			} else {
-				c.Record(metrics.RemoteHit, r.Size)
-				c.AddSimLatency(s.cfg.Latency.RemoteHit)
-			}
-			continue
-		}
-		c.Record(metrics.Miss, r.Size)
-		c.AddSimLatency(s.cfg.Latency.Miss)
-		if _, err := st.Put(cache.Document{URL: r.URL, Size: r.Size}, r.Time); err != nil &&
-			!errors.Is(err, cache.ErrTooLarge) {
-			return nil, err
-		}
+	rep, err := sim.Run(g, s.records, sim.Config{Latency: s.cfg.Latency})
+	if err != nil {
+		return nil, err
 	}
-	return &c, nil
+	s.runs[key] = rep
+	return rep, nil
 }
 
 // Coherence measures the freshness tax: the same workload replayed with an

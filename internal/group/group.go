@@ -77,9 +77,10 @@ type Config struct {
 	// Origin resolves group-wide misses. Defaults to
 	// proxy.SizeHintOrigin.
 	Origin proxy.Origin
-	// Location selects the document-location mechanism (ICP queries or
-	// Summary-Cache digests). Defaults to proxy.LocateICP, the paper's
-	// setting.
+	// Location selects the document-location mechanism (ICP queries,
+	// Summary-Cache digests, or consistent-hash home routing). Defaults
+	// to proxy.LocateICP, the paper's setting. LocateHash requires the
+	// Distributed architecture.
 	Location proxy.Location
 	// Digest tunes the summaries when Location is proxy.LocateDigest.
 	Digest proxy.DigestConfig
@@ -112,6 +113,11 @@ func New(cfg Config) (*Group, error) {
 	}
 	if cfg.Architecture == 0 {
 		cfg.Architecture = Distributed
+	}
+	if cfg.Architecture == Hierarchical && cfg.Location == proxy.LocateHash {
+		// Hash routing partitions the URL space across the leaves; a
+		// hierarchical parent would reintroduce a second copy holder.
+		return nil, fmt.Errorf("group: hash location is incompatible with the hierarchical architecture")
 	}
 	if cfg.Origin == nil {
 		cfg.Origin = proxy.SizeHintOrigin{}

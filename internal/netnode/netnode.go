@@ -15,7 +15,6 @@ import (
 	"log"
 	"log/slog"
 	"net"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +29,7 @@ import (
 	"eacache/internal/obs"
 	"eacache/internal/persist"
 	"eacache/internal/proxy"
+	"eacache/internal/resolve"
 )
 
 // DefaultICPTimeout bounds how long a node waits for ICP replies before
@@ -54,6 +54,10 @@ type Peer struct {
 	ICP *net.UDPAddr
 	// HTTP is the neighbour's TCP fetch address.
 	HTTP string
+	// Name is the neighbour's hash-ring member name under LocateHash
+	// (its Config.HashName); empty defaults to HTTP. Sim experiments
+	// route URLs to the same homes when the names match the proxy IDs.
+	Name string
 }
 
 // Store is the cache behind a live node: the surface the request path,
@@ -105,10 +109,16 @@ type Config struct {
 	// ICPTimeout bounds the query fan-out wait. Defaults to
 	// DefaultICPTimeout.
 	ICPTimeout time.Duration
-	// Location selects ICP queries (default) or Summary-Cache digests
-	// fetched from peers over the fetch protocol (see DigestURL).
-	Location proxy.Location
-	// Digest tunes the summaries when Location is proxy.LocateDigest.
+	// Location selects ICP queries (default), Summary-Cache digests
+	// fetched from peers over the fetch protocol (see DigestURL), or
+	// consistent-hash home routing (resolve.LocateHash, incompatible
+	// with ParentAddr).
+	Location resolve.Location
+	// HashName is this node's hash-ring member name under LocateHash;
+	// empty defaults to the bound HTTP address. Must match what peers
+	// put in Peer.Name for this node.
+	HashName string
+	// Digest tunes the summaries when Location is resolve.LocateDigest.
 	Digest proxy.DigestConfig
 	// DigestRefresh bounds how long a fetched peer digest is trusted.
 	// Defaults to DefaultDigestRefresh.
@@ -155,6 +165,11 @@ type Config struct {
 	// Logger receives structured operational logs (request-path warnings
 	// carry a request_id when Obs is set); nil discards them.
 	Logger *slog.Logger
+	// Now, when set, supplies the clock for cache-visible timestamps
+	// (lookups, placement, expiration ages) — the sim↔live parity test
+	// injects a trace-driven clock here. Socket deadlines and latency
+	// metrics always use the real clock. Nil means time.Now.
+	Now func() time.Time
 }
 
 // Result describes how one request was served by a live node.
@@ -167,6 +182,9 @@ type Result struct {
 	Responder string
 	// Stored reports whether this node kept a copy.
 	Stored bool
+	// Promoted reports whether the responder refreshed its copy instead
+	// (the scheme's responder-side rule, echoed back by the engine).
+	Promoted bool
 }
 
 // Node is a live cooperative cache node.
@@ -179,7 +197,10 @@ type Node struct {
 	dialTimeout   time.Duration
 	fetchTimeout  time.Duration
 	fetchAttempts int
-	location      proxy.Location
+	location      resolve.Location
+	hashName      string
+	nowFn         func() time.Time
+	engine        *resolve.Engine
 	digests       *digestState
 	health        *health.Tracker
 	robust        metrics.Robustness
@@ -193,6 +214,9 @@ type Node struct {
 	// by SetPeers, and the digest machinery has its own small mutex.
 	store *cache.ShardedStore
 	peers atomic.Pointer[[]Peer]
+	// hash is the consistent-hash locator under LocateHash, rebuilt by
+	// SetPeers and swapped atomically like the peer snapshot.
+	hash atomic.Pointer[resolve.HashLocator]
 
 	digestMu sync.Mutex // guards digests (own summary + fetched filters)
 
@@ -264,7 +288,15 @@ func New(cfg Config) (*Node, error) {
 		cfg.SnapshotInterval = DefaultSnapshotInterval
 	}
 	if cfg.Location == 0 {
-		cfg.Location = proxy.LocateICP
+		cfg.Location = resolve.LocateICP
+	}
+	if cfg.Location == resolve.LocateHash && cfg.ParentAddr != "" {
+		// Hash routing partitions the URL space across the group; a
+		// hierarchical parent would reintroduce a second copy holder.
+		return nil, errors.New("netnode: hash location is incompatible with a parent")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	// Adopt the caller's store behind the concurrency-safe sharded API; a
 	// plain Store becomes one shard behind one lock (identical behaviour).
@@ -287,6 +319,7 @@ func New(cfg Config) (*Node, error) {
 		fetchTimeout:  cfg.FetchTimeout,
 		fetchAttempts: cfg.FetchAttempts,
 		location:      cfg.Location,
+		nowFn:         cfg.Now,
 		faults:        cfg.Faults,
 		logger:        cfg.Logger,
 		store:         store,
@@ -329,7 +362,7 @@ func New(cfg Config) (*Node, error) {
 			return cfg.Faults.WrapPacketConn(c), nil
 		}
 	}
-	if cfg.Location == proxy.LocateDigest {
+	if cfg.Location == resolve.LocateDigest {
 		ds, err := newDigestState(cfg.Digest, cfg.Store.Capacity(), cfg.DigestRefresh)
 		if err != nil {
 			return nil, fmt.Errorf("netnode: %w", err)
@@ -400,6 +433,24 @@ func New(cfg Config) (*Node, error) {
 	}
 	n.httpLn = ln
 
+	n.hashName = cfg.HashName
+	if n.hashName == "" {
+		n.hashName = ln.Addr().String()
+	}
+	// The engine owns the request lifecycle; the node supplies its
+	// store, transport, locators, and telemetry through the adapters in
+	// resolve.go. A broken parent degrades to the origin when one is
+	// known — the live node's availability posture.
+	n.engine = &resolve.Engine{
+		ID:              "netnode " + n.id,
+		Store:           nodeStore{n},
+		Scheme:          n.scheme,
+		Locator:         nodeLocator{n},
+		Transport:       nodeTransport{n},
+		Hooks:           nodeHooks{n},
+		DegradeToOrigin: true,
+	}
+
 	n.wg.Add(1)
 	go n.acceptLoop()
 	if n.persister != nil && n.snapEvery > 0 {
@@ -442,6 +493,9 @@ func (n *Node) SetPeers(peers []Peer) {
 	n.om.registerPeerGauges(n, peers)
 	snapshot := append([]Peer(nil), peers...)
 	n.peers.Store(&snapshot)
+	if n.location == resolve.LocateHash {
+		n.rebuildHashRing(snapshot)
+	}
 }
 
 // peerList returns the current immutable peer snapshot. Callers must not
@@ -561,15 +615,24 @@ func (n *Node) checkpoint() error {
 	return err
 }
 
+// now is the node's cache-visible clock (Config.Now; time.Now unless a
+// parity harness injected one). Socket deadlines and latency metrics
+// read time.Now directly.
+func (n *Node) now() time.Time { return n.nowFn() }
+
 // ExpirationAge returns the node's current contention signal.
 func (n *Node) ExpirationAge() time.Duration {
-	return n.store.ExpirationAge(time.Now())
+	return n.store.ExpirationAge(n.now())
 }
 
 // Contains reports whether the node caches url, for tests.
 func (n *Node) Contains(url string) bool {
 	return n.store.Contains(url)
 }
+
+// Len returns how many documents the node currently caches, for tests
+// and the parity harness.
+func (n *Node) Len() int { return n.store.Len() }
 
 // Request serves a client request end-to-end over the real protocols:
 // local lookup, ICP fan-out, remote or origin fetch, placement decision.
@@ -596,190 +659,25 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 	return res, err
 }
 
-// serveRequest is the request lifecycle proper; tr may be nil (telemetry
-// off) — every trace entry point is nil-safe.
+// serveRequest is the request lifecycle proper, delegated to the shared
+// resolution engine (internal/resolve) — the same decision code the
+// simulator runs. tr may be nil (telemetry off); it rides through the
+// engine as the opaque request context, and every trace entry point is
+// nil-safe. No global lock anywhere on the path: the store serialises
+// per shard, the peer and hash-ring snapshots are immutable and swapped
+// atomically, and the engine itself is stateless per request.
 func (n *Node) serveRequest(tr *obs.Trace, url string, sizeHint int64) (Result, error) {
-	now := time.Now()
-
-	// 1. Local cache. No global lock: the store serialises per shard and
-	// the peer snapshot is immutable, so concurrent requests for
-	// different documents never contend here.
-	lookup := n.startStage(tr, stLocalLookup)
-	if doc, ok := n.store.Get(url, now); ok {
-		n.endStage(tr, lookup)
-		return Result{Outcome: metrics.LocalHit, Size: doc.Size}, nil
-	}
-	reqAge := n.store.ExpirationAge(time.Now())
-	peers := n.peerList()
-	n.endStage(tr, lookup)
-
-	// 2. Locate the document in the group. The lock is NOT held across
-	// network operations so concurrent nodes can answer each other. Peers
-	// whose breaker is open are excluded up front, so a dead neighbour
-	// stops costing the full ICP timeout on every miss; a failed remote
-	// fetch is retried against the next copy holder and then degrades to
-	// the parent/origin path instead of failing the request.
-	if n.location == proxy.LocateDigest {
-		if hit, ok := n.locateViaDigests(tr, peers, url, sizeHint, reqAge); ok {
-			return hit, nil
-		}
-	} else if hit, ok := n.locateViaICP(tr, peers, url, sizeHint, reqAge); ok {
-		return hit, nil
-	}
-
-	// 3. Group-wide miss: resolve through the parent when configured
-	// (hierarchical architecture, §3.3), otherwise straight from the
-	// origin. A broken parent degrades to the origin when one is known.
-	if n.parentAddr != "" {
-		parent := n.startStage(tr, stParentFetch)
-		tr.Annotate("parent", n.parentAddr)
-		size, parentAge, source, err := n.fetchUpstream(tr, n.parentAddr, url, sizeHint, reqAge, true)
-		tr.SpanErr(err)
-		n.endStage(tr, parent)
-		if err == nil {
-			res := Result{Outcome: metrics.Miss, Size: size}
-			if source == hproto.SourceCache {
-				// Some cache up the hierarchy held it: a group hit.
-				res.Outcome = metrics.RemoteHit
-				res.Responder = n.parentAddr
-				store := n.scheme.OnRemoteHit(reqAge, parentAge).StoreAtRequester
-				n.placementSpan(tr, roleRequester, reqAge, parentAge, decisionOf(store))
-				if store {
-					res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
-				}
-				return res, nil
-			}
-			store := n.scheme.OnMissViaParent(reqAge, parentAge)
-			n.placementSpan(tr, roleRequester, reqAge, parentAge, decisionOf(store))
-			if store {
-				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
-			}
-			return res, nil
-		}
-		if n.originAddr == "" {
-			return Result{}, fmt.Errorf("netnode %s: parent resolve: %w", n.id, err)
-		}
-		n.warn("parent resolve failed, degrading to origin", tr, "url", url, "err", err)
-		n.robust.Fallback()
-	}
-
-	if n.originAddr == "" {
-		return Result{}, fmt.Errorf("netnode %s: miss for %s and no origin", n.id, url)
-	}
-	origin := n.startStage(tr, stOriginFetch)
-	size, _, _, err := n.fetchUpstream(tr, n.originAddr, url, sizeHint, reqAge, false)
-	tr.SpanErr(err)
-	n.endStage(tr, origin)
+	res, err := n.engine.Resolve(tr, url, sizeHint, n.now())
 	if err != nil {
-		return Result{}, fmt.Errorf("netnode %s: origin fetch: %w", n.id, err)
+		return Result{}, err
 	}
-	res := Result{Outcome: metrics.Miss, Size: size}
-	store := n.scheme.OnOriginFetch(reqAge)
-	n.placementSpan(tr, roleRequester, reqAge, cache.NoContention, decisionOf(store))
-	if store {
-		res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
-	}
-	return res, nil
-}
-
-// locateViaICP runs the health-gated ICP fan-out and tries every hit
-// responder in arrival order. It reports (hit, true) on a completed remote
-// hit and (zero, false) when the request must take the miss path.
-func (n *Node) locateViaICP(tr *obs.Trace, peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
-	active := peers[:0:0]
-	for _, p := range peers {
-		if n.health.Allow(p.HTTP) {
-			active = append(active, p)
-		}
-	}
-	if len(active) == 0 {
-		return Result{}, false
-	}
-	addrs := make([]*net.UDPAddr, len(active))
-	for i, p := range active {
-		addrs[i] = p.ICP
-	}
-	fanout := n.startStage(tr, stICPFanout)
-	res, err := n.icpClient.Query(addrs, url, n.icpTimeout)
-	if err != nil {
-		tr.SpanErr(err)
-		n.endStage(tr, fanout)
-		n.warn("icp query failed", tr, "err", err)
-		return Result{}, false
-	}
-	tr.Annotate("queried", strconv.Itoa(len(active)))
-	tr.Annotate("replies", strconv.Itoa(len(res.Answered)))
-	tr.Annotate("hits", strconv.Itoa(len(res.Responders)))
-	if res.TimedOut {
-		tr.Annotate("timed_out", "true")
-	}
-	n.endStage(tr, fanout)
-	n.recordFanout(active, res)
-
-	failed := false
-	for i, responder := range res.Responders {
-		if i > 0 {
-			n.robust.Retry()
-		}
-		hit, outcome := n.fetchRemote(tr, active, responder, url, sizeHint, reqAge)
-		switch outcome {
-		case fetchOK:
-			return hit, true
-		case fetchFailed:
-			failed = true
-		}
-		// fetchGone: the responder answered but no longer holds the
-		// document — not a fault, just a race with its eviction.
-	}
-	if failed {
-		// Every copy holder broke mid-exchange: degrade to the miss path
-		// rather than failing the request.
-		n.robust.Fallback()
-	}
-	return Result{}, false
-}
-
-// locateViaDigests consults the (health-gated) peer digests and tries each
-// advertising candidate in turn.
-func (n *Node) locateViaDigests(tr *obs.Trace, peers []Peer, url string, sizeHint int64, reqAge time.Duration) (Result, bool) {
-	scan := n.startStage(tr, stDigestScan)
-	candidates := n.digestCandidates(peers, url)
-	tr.Annotate("candidates", strconv.Itoa(len(candidates)))
-	n.endStage(tr, scan)
-
-	failed := false
-	for _, p := range candidates {
-		fetch := n.startStage(tr, stRemoteFetch)
-		tr.Annotate("responder", p.HTTP)
-		size, respAge, _, err := n.fetchFrom(p.HTTP, url, sizeHint, reqAge, false)
-		tr.SpanErr(err)
-		n.endStage(tr, fetch)
-		switch {
-		case err == nil:
-			n.health.ReportSuccess(p.HTTP)
-			res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: p.HTTP}
-			store := n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester
-			n.placementSpan(tr, roleRequester, reqAge, respAge, decisionOf(store))
-			if store {
-				res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
-			}
-			return res, true
-		case errors.Is(err, errNotFound):
-			// A stale or colliding digest advertised a document the
-			// peer no longer has: the peer is alive, try the next one.
-			n.health.ReportSuccess(p.HTTP)
-			n.warn("digest false hit", tr, "peer", p.HTTP, "url", url)
-		default:
-			n.health.ReportFailure(p.HTTP)
-			n.robust.PeerFailure()
-			failed = true
-			n.warn("digest fetch failed", tr, "peer", p.HTTP, "err", err)
-		}
-	}
-	if failed {
-		n.robust.Fallback()
-	}
-	return Result{}, false
+	return Result{
+		Outcome:   res.Outcome,
+		Size:      res.Doc.Size,
+		Responder: res.Responder,
+		Stored:    res.Stored,
+		Promoted:  res.Promoted,
+	}, nil
 }
 
 // recordFanout feeds the fan-out's per-peer evidence to the breaker: every
@@ -819,60 +717,6 @@ func (n *Node) recordFanout(active []Peer, res icp.Result) {
 	n.om.observeFanout(len(res.Answered), silent, len(res.SendFailed))
 }
 
-// fetchOutcome classifies one remote-hit fetch attempt.
-type fetchOutcome int
-
-const (
-	// fetchOK: the document was transferred.
-	fetchOK fetchOutcome = iota
-	// fetchGone: the responder answered but no longer holds the document
-	// (eviction race, stray ICP reply) — the peer is healthy.
-	fetchGone
-	// fetchFailed: the transport broke (dial error, reset, stall,
-	// truncated body) — evidence against the peer.
-	fetchFailed
-)
-
-// fetchRemote transfers the document from the ICP responder, applies the
-// requester-side placement rule, and feeds the outcome to the breaker.
-func (n *Node) fetchRemote(tr *obs.Trace, peers []Peer, responder *net.UDPAddr, url string, sizeHint int64, reqAge time.Duration) (Result, fetchOutcome) {
-	httpAddr := ""
-	for _, p := range peers {
-		if p.ICP.IP.Equal(responder.IP) && p.ICP.Port == responder.Port {
-			httpAddr = p.HTTP
-			break
-		}
-	}
-	if httpAddr == "" {
-		n.warn("icp hit from unknown peer", tr, "responder", responder.String())
-		return Result{}, fetchGone
-	}
-	fetch := n.startStage(tr, stRemoteFetch)
-	tr.Annotate("responder", httpAddr)
-	size, respAge, _, err := n.fetchFrom(httpAddr, url, sizeHint, reqAge, false)
-	tr.SpanErr(err)
-	n.endStage(tr, fetch)
-	switch {
-	case errors.Is(err, errNotFound):
-		// The responder evicted it between reply and fetch.
-		n.health.ReportSuccess(httpAddr)
-		return Result{}, fetchGone
-	case err != nil:
-		n.warn("remote fetch failed", tr, "peer", httpAddr, "err", err)
-		n.health.ReportFailure(httpAddr)
-		n.robust.PeerFailure()
-		return Result{}, fetchFailed
-	}
-	n.health.ReportSuccess(httpAddr)
-	res := Result{Outcome: metrics.RemoteHit, Size: size, Responder: httpAddr}
-	store := n.scheme.OnRemoteHit(reqAge, respAge).StoreAtRequester
-	n.placementSpan(tr, roleRequester, reqAge, respAge, decisionOf(store))
-	if store {
-		res.Stored = n.putIfFits(cache.Document{URL: url, Size: size})
-	}
-	return res, fetchOK
-}
-
 // fetchUpstream fetches from the parent or origin with the configured
 // retry budget. Transport errors are retried; a NotFound answer is final
 // (repeating the question will not change it).
@@ -898,7 +742,7 @@ func (n *Node) fetchUpstream(tr *obs.Trace, addr, url string, sizeHint int64, re
 }
 
 func (n *Node) putIfFits(doc cache.Document) bool {
-	_, err := n.store.Put(doc, time.Now())
+	_, err := n.store.Put(doc, n.now())
 	return err == nil
 }
 
@@ -961,14 +805,25 @@ func (n *Node) serveConn(conn net.Conn) {
 		return
 	}
 
-	respAge := n.store.ExpirationAge(time.Now())
-	doc, ok := n.store.Peek(req.URL)
-	if ok {
-		if n.scheme.OnRemoteHit(req.RequesterAge, respAge).PromoteAtResponder {
-			n.store.Touch(req.URL, time.Now())
-			n.om.decision(roleResponder, decisionPromote)
-		} else {
-			n.om.decision(roleResponder, decisionReject)
+	respAge := n.store.ExpirationAge(n.now())
+	var (
+		doc cache.Document
+		ok  bool
+	)
+	if n.location == resolve.LocateHash {
+		// Hash routing: this node is the URL's home and owns the
+		// group's only copy — serving it is a real hit for the home's
+		// replacement state, not a negotiable promotion.
+		doc, ok = n.store.Get(req.URL, n.now())
+	} else {
+		doc, ok = n.store.Peek(req.URL)
+		if ok {
+			if n.scheme.OnRemoteHit(req.RequesterAge, respAge).PromoteAtResponder {
+				n.store.Touch(req.URL, n.now())
+				n.om.decision(roleResponder, decisionPromote)
+			} else {
+				n.om.decision(roleResponder, decisionReject)
+			}
 		}
 	}
 
@@ -1023,6 +878,11 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 		}, nil)
 	}
 	keep := n.scheme.OnParentResolve(myAge, req.RequesterAge)
+	if n.location == resolve.LocateHash {
+		// The home node keeps every document it resolves: the group's
+		// only copy must land here.
+		keep = true
+	}
 	n.om.decision(roleParent, decisionOf(keep))
 	if keep {
 		n.putIfFits(cache.Document{URL: req.URL, Size: size})

@@ -13,39 +13,28 @@ import (
 	"time"
 
 	"eacache/internal/cache"
+	"eacache/internal/chash"
 	"eacache/internal/core"
 	"eacache/internal/digest"
-	"eacache/internal/metrics"
+	"eacache/internal/resolve"
 )
 
-// Location selects the document-location mechanism a proxy uses to find a
-// document in its neighbours' caches.
-type Location int
+// Location is the shared document-location mechanism enum, aliased from
+// internal/resolve so sim configurations, live-node configurations, and
+// the proxyd -locate flag all speak one type.
+type Location = resolve.Location
 
-// Location mechanisms.
+// Location mechanisms, re-exported for existing call sites.
 const (
 	// LocateICP queries every neighbour with an ICP message on each
-	// local miss — exact answers, O(neighbours) messages per miss. This
-	// is the paper's setting.
-	LocateICP Location = iota + 1
+	// local miss (the paper's setting).
+	LocateICP = resolve.LocateICP
 	// LocateDigest consults the neighbours' advertised Bloom-filter
-	// summaries (Summary Cache) — no per-miss messages, but summaries go
-	// stale between rebuilds: false hits cost a wasted fetch attempt,
-	// stale entries cost missed remote hits.
-	LocateDigest
+	// summaries (Summary Cache).
+	LocateDigest = resolve.LocateDigest
+	// LocateHash routes every URL to its consistent-hash home node.
+	LocateHash = resolve.LocateHash
 )
-
-// String implements fmt.Stringer.
-func (l Location) String() string {
-	switch l {
-	case LocateICP:
-		return "icp"
-	case LocateDigest:
-		return "digest"
-	default:
-		return fmt.Sprintf("location(%d)", int(l))
-	}
-}
 
 // DigestConfig tunes the Summary-Cache digests when LocateDigest is used.
 type DigestConfig struct {
@@ -191,20 +180,9 @@ type Config struct {
 	Tracer Tracer
 }
 
-// Result describes how one client request was served.
-type Result struct {
-	// Outcome classifies the request (local hit, remote hit, miss).
-	Outcome metrics.Outcome
-	// Doc is the served document.
-	Doc cache.Document
-	// Responder is the ID of the group cache that supplied a remote hit,
-	// or "" for local hits and misses.
-	Responder string
-	// Stored reports whether this proxy kept a local copy.
-	Stored bool
-	// Promoted reports whether a responder refreshed its copy instead.
-	Promoted bool
-}
+// Result describes how one client request was served. It is the
+// engine's result type verbatim — the proxy adds nothing to it.
+type Result = resolve.Result
 
 // ICPStats counts the protocol traffic a proxy generated and served.
 type ICPStats struct {
@@ -243,6 +221,12 @@ type Proxy struct {
 	siblings []*Proxy
 	parent   *Proxy
 
+	// engine is the shared resolution engine; Request delegates to it.
+	engine *resolve.Engine
+	// hash is the consistent-hash locator, built by SetSiblings when
+	// location is LocateHash.
+	hash *resolve.HashLocator
+
 	icp ICPStats
 }
 
@@ -276,6 +260,17 @@ func New(cfg Config) (*Proxy, error) {
 		}
 		p.summary = summary
 	}
+	p.engine = &resolve.Engine{
+		ID:        fmt.Sprintf("proxy %s", cfg.ID),
+		Store:     simStore{p},
+		Scheme:    cfg.Scheme,
+		Locator:   simLocator{p},
+		Transport: simTransport{p},
+		Hooks:     simHooks{p},
+		// A parent failure in the simulator is a configuration bug that
+		// must surface, not a condition to degrade around.
+		DegradeToOrigin: false,
+	}
 	return p, nil
 }
 
@@ -301,6 +296,35 @@ func (p *Proxy) SetSiblings(siblings ...*Proxy) error {
 		}
 	}
 	p.siblings = append([]*Proxy(nil), siblings...)
+	if p.location == LocateHash {
+		// Build the group's hash ring over proxy IDs. The live node
+		// builds its ring over the same member names (netnode HashName),
+		// so sim and live route URLs to identical homes.
+		members := make([]string, 0, len(p.siblings)+1)
+		byID := make(map[string]*Proxy, len(p.siblings))
+		members = append(members, p.id)
+		for _, s := range p.siblings {
+			members = append(members, s.id)
+			byID[s.id] = s
+		}
+		ring, err := chash.New(0, members...)
+		if err != nil {
+			return fmt.Errorf("proxy %s: hash ring: %w", p.id, err)
+		}
+		p.hash = &resolve.HashLocator{
+			Ring: ring,
+			Self: p.id,
+			Candidate: func(member string) (resolve.Candidate, bool) {
+				s, ok := byID[member]
+				if !ok {
+					return resolve.Candidate{}, false
+				}
+				// The synchronous simulator has no peer failures; every
+				// ring member is always reachable.
+				return resolve.Candidate{ID: s.id, Ref: s}, true
+			},
+		}
+	}
 	return nil
 }
 
@@ -310,6 +334,11 @@ func (p *Proxy) SetParent(parent *Proxy) error {
 	if parent == p {
 		return fmt.Errorf("proxy %s: cannot be its own parent", p.id)
 	}
+	if parent != nil && p.location == LocateHash {
+		// Hash routing partitions the URL space across the group; a
+		// hierarchical parent would reintroduce a second copy holder.
+		return fmt.Errorf("proxy %s: hash location is incompatible with a hierarchical parent", p.id)
+	}
 	p.parent = parent
 	return nil
 }
@@ -318,126 +347,20 @@ func (p *Proxy) SetParent(parent *Proxy) error {
 func (p *Proxy) Parent() *Proxy { return p.parent }
 
 // Request serves one client request arriving at this proxy at simulated
-// time now, running the full cooperative protocol:
+// time now, delegating the canonical lifecycle to the shared resolution
+// engine (internal/resolve):
 //
 //  1. local lookup — a hit is served immediately (local hit);
-//  2. ICP query to every sibling and the parent — the first positive
-//     replier becomes the responder, the document is transferred with both
-//     expiration ages piggybacked, and the placement scheme decides whether
-//     the requester stores a copy and whether the responder promotes its
-//     own (remote hit);
+//  2. group location — an ICP query to every sibling and the parent, a
+//     consultation of the neighbours' advertised digests, or the URL's
+//     consistent-hash home, per the configured Location — then the
+//     document transfer with both expiration ages piggybacked and the
+//     placement scheme's store/promote decisions (remote hit);
 //  3. otherwise the miss is resolved from the origin — directly in the
 //     distributed architecture, or through the parent in the hierarchical
 //     one, with the scheme deciding placement at each hop (miss).
 func (p *Proxy) Request(url string, sizeHint int64, now time.Time) (Result, error) {
-	if url == "" {
-		return Result{}, errors.New("proxy: empty URL")
-	}
-
-	// 1. Local cache. A stale copy must not be served: it stays resident
-	// (to be overwritten by the re-fetch) but the request proceeds as a
-	// miss, without refreshing the stale entry's replacement state.
-	if doc, ok := p.store.Peek(url); ok {
-		if doc.FreshAt(now) {
-			p.store.Get(url, now)
-			p.trace(Event{Time: now, Kind: EventLocalHit, Proxy: p.id, URL: url})
-			return Result{Outcome: metrics.LocalHit, Doc: doc}, nil
-		}
-		p.trace(Event{Time: now, Kind: EventStaleLocal, Proxy: p.id, URL: url})
-	}
-
-	// 2. Locate the document in the group (ICP fan-out, or the
-	// neighbours' advertised digests) and fetch from the first candidate
-	// that actually has it.
-	for _, responder := range p.locate(url, now) {
-		reqAge := p.store.ExpirationAge(now)
-		doc, respAge, ok := responder.serveRemote(url, reqAge, now)
-		if !ok {
-			// Only a stale or colliding digest can advertise a
-			// document the responder does not hold; ICP answers are
-			// exact in the synchronous simulator.
-			p.icp.DigestFalseHits++
-			continue
-		}
-		res := Result{
-			Outcome:   metrics.RemoteHit,
-			Doc:       doc,
-			Responder: responder.id,
-		}
-		decision := p.scheme.OnRemoteHit(reqAge, respAge)
-		if decision.StoreAtRequester {
-			res.Stored = p.putIfFits(doc, now)
-		}
-		res.Promoted = decision.PromoteAtResponder
-		p.trace(Event{
-			Time: now, Kind: EventRemoteFetch, Proxy: p.id, URL: url,
-			Peer: responder.id, RequesterAge: reqAge, ResponderAge: respAge,
-			Stored: res.Stored, Promoted: res.Promoted,
-		})
-		return res, nil
-	}
-
-	// 3. Group-wide miss.
-	reqAge := p.store.ExpirationAge(now)
-	if p.parent != nil {
-		doc, parentAge, fromGroup, err := p.parent.resolveMiss(url, sizeHint, reqAge, now)
-		if err != nil {
-			return Result{}, err
-		}
-		outcome := metrics.Miss
-		if fromGroup {
-			outcome = metrics.RemoteHit
-		}
-		res := Result{Outcome: outcome, Doc: doc, Responder: p.parent.id}
-		if !fromGroup {
-			res.Responder = ""
-		}
-		// The child applies the requester-side rule against the age the
-		// parent piggybacked on the response (§3.3). When the document
-		// was already cached somewhere up the hierarchy this is the
-		// remote-hit rule; when the parent had to go to the origin it is
-		// the miss rule, which guarantees the fresh copy lands
-		// somewhere.
-		if fromGroup {
-			if p.scheme.OnRemoteHit(reqAge, parentAge).StoreAtRequester {
-				res.Stored = p.putIfFits(doc, now)
-			}
-		} else if p.scheme.OnMissViaParent(reqAge, parentAge) {
-			res.Stored = p.putIfFits(doc, now)
-		}
-		p.trace(Event{
-			Time: now, Kind: EventRemoteFetch, Proxy: p.id, URL: url,
-			Peer: p.parent.id, RequesterAge: reqAge, ResponderAge: parentAge,
-			Stored: res.Stored,
-		})
-		return res, nil
-	}
-
-	doc, err := p.fetchOrigin(url, sizeHint, now)
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{Outcome: metrics.Miss, Doc: doc}
-	if p.scheme.OnOriginFetch(reqAge) {
-		res.Stored = p.putIfFits(doc, now)
-	}
-	p.trace(Event{
-		Time: now, Kind: EventOriginFetch, Proxy: p.id, URL: url,
-		RequesterAge: reqAge, Stored: res.Stored,
-	})
-	return res, nil
-}
-
-// locate returns the neighbours believed to hold url (fresh), in
-// preference order.
-func (p *Proxy) locate(url string, now time.Time) []*Proxy {
-	if p.location == LocateDigest {
-		return p.digestLocate(url)
-	}
-	if hit := p.icpLocate(url, now); hit != nil {
-		return []*Proxy{hit}
-	}
-	return nil
+	return p.engine.Resolve(nil, url, sizeHint, now)
 }
 
 // icpLocate runs the ICP exchange: one query per neighbour, first positive
@@ -526,6 +449,28 @@ func (p *Proxy) serveRemote(url string, requesterAge time.Duration, now time.Tim
 	}
 	p.icp.RemoteServed++
 	return doc, responderAge, true
+}
+
+// resolveAsHome is the responder side of hash routing: this proxy is
+// the URL's home node (or acting home) and owns the group's only copy.
+// It serves from its cache — a real hit for the home's replacement
+// state, so the copy is refreshed — or resolves the miss from the
+// origin and keeps the fetched copy. fromCache distinguishes a group
+// hit from a miss served through the home.
+func (p *Proxy) resolveAsHome(url string, sizeHint int64, _ time.Duration, now time.Time) (cache.Document, time.Duration, bool, error) {
+	age := p.store.ExpirationAge(now)
+	if doc, ok := p.store.Peek(url); ok && doc.FreshAt(now) {
+		p.store.Get(url, now)
+		p.icp.RemoteServed++
+		return doc, age, true, nil
+	}
+	doc, err := p.fetchOrigin(url, sizeHint, now)
+	if err != nil {
+		return cache.Document{}, age, false, err
+	}
+	p.putIfFits(doc, now)
+	p.icp.RemoteServed++
+	return doc, age, false, nil
 }
 
 // resolveMiss is the hierarchical parent's miss path (§3.3): obtain the

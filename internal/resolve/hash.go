@@ -1,0 +1,57 @@
+package resolve
+
+import (
+	"time"
+
+	"eacache/internal/chash"
+)
+
+// HashLocator routes every URL to its consistent-hash home node over a
+// chash.Ring, walking the ring's ownership chain past members the
+// Candidate callback rejects (unknown addresses, breaker-open peers).
+// Both stacks build one — the simulator over proxy IDs, the live node
+// over peer names — so sim experiments and live nodes provably route
+// URLs to the same homes when the member names match.
+//
+// The chain semantics: the first alive owner before this node is the
+// candidate (home, or acting home while the real one is dead); reaching
+// this node itself with no candidate found means this node IS the
+// (acting) home and must keep the copy it fetches. Requests served by a
+// remote home are never stored locally (PlacementNever) — the group
+// holds at most one copy of each document.
+type HashLocator struct {
+	// Ring is the group's membership ring. Required.
+	Ring *chash.Ring
+	// Self is this node's own ring member name. Required.
+	Self string
+	// Candidate maps a ring member name to a fetchable Candidate;
+	// returning false skips the member (not dialable, breaker open).
+	// Self is never passed to it.
+	Candidate func(member string) (Candidate, bool)
+}
+
+var _ Locator = (*HashLocator)(nil)
+
+// Locate implements Locator.
+func (h *HashLocator) Locate(_ any, url string, _ time.Time) Located {
+	if h == nil || h.Ring == nil || h.Ring.Len() == 0 {
+		// No ring: this node is home for everything.
+		return Located{Placement: PlacementAlways}
+	}
+	var cands []Candidate
+	for _, member := range h.Ring.Owners(url, h.Ring.Len()) {
+		if member == h.Self {
+			if len(cands) == 0 {
+				// Every owner before us is dead (or we are the home):
+				// act as the home node and keep what we fetch.
+				return Located{Placement: PlacementAlways}
+			}
+			// A live remote owner precedes us; it ends the chain.
+			break
+		}
+		if c, ok := h.Candidate(member); ok {
+			cands = append(cands, c)
+		}
+	}
+	return Located{Candidates: cands, Resolve: true, Placement: PlacementNever}
+}
