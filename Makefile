@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-short test-race parity chaos bench bench-json fuzz
+.PHONY: check fmt build vet test test-short test-race parity chaos bench bench-json load-json load-smoke fuzz
 
 check: fmt vet build test-race
 
@@ -40,7 +40,7 @@ parity:
 
 # Just the chaos suite: the live 4-node group under injected faults.
 chaos:
-	$(GO) test -race -v -run 'TestBreaker|TestRemoteHitFetchFailure|TestPeerCrash|TestUDPLoss|TestStalledOrigin|TestChaosFlagged|TestChaosHash|TestDemoWithChaos' ./internal/netnode/ ./cmd/proxyd/
+	$(GO) test -race -v -run 'TestBreaker|TestRemoteHitFetchFailure|TestPeerCrash|TestUDPLoss|TestStalledOrigin|TestChaosFlagged|TestChaosHash|TestChaosHerd|TestDemoWithChaos' ./internal/netnode/ ./cmd/proxyd/
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -53,6 +53,19 @@ BENCH_JSON ?= BENCH_pr4.json
 BENCH_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) $(BENCH_FLAGS)
+
+# Open-loop load harness (cmd/loadgen) against a live 2-node group over
+# real sockets. load-json ramps to saturation and writes the tail-latency
+# artifact (p50/p99/p999, saturation RPS, shed/coalesce rates);
+# load-smoke is the CI gate — a few seconds at low RPS must finish with
+# zero sheds and zero errors, or the overload layer is misfiring at
+# unsaturated load.
+LOAD_JSON ?= BENCH_pr6.json
+load-json:
+	$(GO) run ./cmd/loadgen -nodes 2 -rps 300 -duration 5s -saturate -out $(LOAD_JSON)
+
+load-smoke:
+	$(GO) run ./cmd/loadgen -nodes 2 -rps 50 -duration 3s -check -out $(LOAD_JSON)
 
 # Fuzz the decoders that face untrusted bytes: journal/snapshot recovery
 # and the wire parsers. Short per-target budget by default; raise with

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenSmoke runs a short unsaturated step against a live 2-node
+// group and checks the artifact carries the tail percentiles and the
+// saturation figure, with -check proving no shed/error at low load.
+func TestLoadgenSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rps", "80", "-duration", "500ms", "-docs", "50",
+		"-out", out, "-check",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("loadgen run: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if art.Nodes != 2 || len(art.Steps) != 1 {
+		t.Fatalf("artifact shape: nodes=%d steps=%d", art.Nodes, len(art.Steps))
+	}
+	if art.P50MS <= 0 || art.P99MS < art.P50MS || art.P999MS < art.P99MS {
+		t.Fatalf("percentiles not ordered: p50=%v p99=%v p999=%v", art.P50MS, art.P99MS, art.P999MS)
+	}
+	if art.SaturationRPS <= 0 {
+		t.Fatalf("saturation rps = %v", art.SaturationRPS)
+	}
+	if st := art.Steps[0]; st.Errors != 0 || st.ShedByNode != 0 {
+		t.Fatalf("unsaturated smoke saw errors=%d shed=%d", st.Errors, st.ShedByNode)
+	}
+	if !strings.Contains(buf.String(), "p99=") {
+		t.Fatalf("summary output missing p99:\n%s", buf.String())
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-rps", "0"}, "-rps must be positive"},
+		{[]string{"-nodes", "0"}, "-nodes must be positive"},
+		{[]string{"-duration", "-1s"}, "-duration must be positive"},
+		{[]string{"-docs", "0"}, "-docs must be positive"},
+		{[]string{"-scheme", "bogus"}, "unknown scheme"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) err = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -68,7 +68,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dialTimeout   = fs.Duration("dial-timeout", netnode.DefaultDialTimeout, "TCP dial timeout for peer/parent/origin fetches")
 		fetchTimeout  = fs.Duration("fetch-timeout", netnode.DefaultFetchTimeout, "whole-exchange timeout for inter-proxy fetches")
 		fetchAttempts = fs.Int("fetch-attempts", netnode.DefaultFetchAttempts, "attempts per parent/origin fetch before the request fails")
-		chaosSpec     = fs.String("chaos", "", `inject deterministic faults into every socket, e.g. "seed=42,udp-drop=0.3,tcp-stall=0.05" (see internal/faults)`)
+
+		originConc   = fs.Int("origin-concurrency", netnode.DefaultOriginConcurrency, "max simultaneous parent/origin fetches")
+		maxInflight  = fs.Int("max-inflight", 1024, "max concurrent requests before the front door sheds; 0 disables shedding")
+		shedQueueLag = fs.Duration("shed-queue-wait", netnode.DefaultShedQueueWait, "how long an over-limit request may queue before it is shed (needs -max-inflight > 0)")
+		chaosSpec    = fs.String("chaos", "", `inject deterministic faults into every socket, e.g. "seed=42,udp-drop=0.3,tcp-stall=0.05" (see internal/faults)`)
 
 		dataDir      = fs.String("data-dir", "", "directory for crash-safe cache persistence (snapshot + journal); empty runs in-memory only")
 		snapInterval = fs.Duration("snapshot-interval", netnode.DefaultSnapshotInterval, "how often to checkpoint the cache (needs -data-dir)")
@@ -83,6 +87,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr>[/<hash-name>] (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The overload bounds must be sane whatever mode runs; reject the
+	// nonsensical values up front with the flag name in the error.
+	if *originConc <= 0 {
+		return fmt.Errorf("-origin-concurrency must be positive, got %d", *originConc)
+	}
+	if *maxInflight < 0 {
+		return fmt.Errorf("-max-inflight must be positive, or 0 to disable shedding, got %d", *maxInflight)
+	}
+	if *shedQueueLag <= 0 {
+		return fmt.Errorf("-shed-queue-wait must be positive, got %v", *shedQueueLag)
 	}
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
@@ -146,9 +162,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DialTimeout:   *dialTimeout,
 		FetchTimeout:  *fetchTimeout,
 		FetchAttempts: *fetchAttempts,
-		Faults:        injector,
-		Obs:           tel,
-		Logger:        logger,
+
+		OriginConcurrency: *originConc,
+		MaxInflight:       *maxInflight,
+
+		Faults: injector,
+		Obs:    tel,
+		Logger: logger,
+	}
+	if *maxInflight > 0 {
+		// netnode rejects a wait bound with shedding off; only pass it
+		// through when it applies.
+		nodeCfg.ShedQueueWait = *shedQueueLag
 	}
 	if *dataDir != "" {
 		nodeCfg.DataDir = *dataDir

@@ -122,6 +122,27 @@ func TestDemoHashMode(t *testing.T) {
 	}
 }
 
+// TestOverloadFlagValidation: the overload-bound flags reject zero and
+// negative values up front, naming the flag, before any socket binds.
+func TestOverloadFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-origin-concurrency=0"}, "-origin-concurrency must be positive"},
+		{[]string{"-origin-concurrency=-3"}, "-origin-concurrency must be positive"},
+		{[]string{"-max-inflight=-1"}, "-max-inflight must be positive"},
+		{[]string{"-shed-queue-wait=0s"}, "-shed-queue-wait must be positive"},
+		{[]string{"-shed-queue-wait=-50ms"}, "-shed-queue-wait must be positive"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) err = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}
+
 func TestLocationFromFlags(t *testing.T) {
 	parse := func(t *testing.T, args ...string) (resolve.Location, string, error) {
 		t.Helper()

@@ -95,19 +95,24 @@ func (c *Counters) Add(s CountersSnapshot) {
 
 // Snapshot returns a plain-value copy of the counters. Each field is read
 // atomically; a snapshot taken mid-Record may be off by the in-flight
-// request, which is the usual (and harmless) scrape semantics.
+// request, which is the usual (and harmless) scrape semantics. The split
+// counters are loaded before the totals: Record increments the total
+// first, so a concurrent snapshot can observe a request not yet
+// attributed to an outcome but never an outcome split exceeding the
+// total — scrapers may rely on LocalHits+RemoteHits+Misses <= Requests.
 func (c *Counters) Snapshot() CountersSnapshot {
-	return CountersSnapshot{
-		Requests:       c.requests.Load(),
-		LocalHits:      c.localHits.Load(),
-		RemoteHits:     c.remoteHits.Load(),
-		Misses:         c.misses.Load(),
-		BytesRequested: c.bytesRequested.Load(),
-		BytesLocal:     c.bytesLocal.Load(),
-		BytesRemote:    c.bytesRemote.Load(),
-		BytesMissed:    c.bytesMissed.Load(),
-		SimLatency:     time.Duration(c.simLatency.Load()),
+	s := CountersSnapshot{
+		LocalHits:   c.localHits.Load(),
+		RemoteHits:  c.remoteHits.Load(),
+		Misses:      c.misses.Load(),
+		BytesLocal:  c.bytesLocal.Load(),
+		BytesRemote: c.bytesRemote.Load(),
+		BytesMissed: c.bytesMissed.Load(),
+		SimLatency:  time.Duration(c.simLatency.Load()),
 	}
+	s.Requests = c.requests.Load()
+	s.BytesRequested = c.bytesRequested.Load()
+	return s
 }
 
 // Rate helpers delegating to a point-in-time snapshot, so existing callers

@@ -122,9 +122,12 @@ func TestCountersConcurrentRecordScrape(t *testing.T) {
 					return
 				default:
 				}
+				// Mid-Record snapshots may lag attribution (the total
+				// is incremented before the outcome counter), but the
+				// split must never exceed the total.
 				snap := c.Snapshot()
-				if snap.LocalHits+snap.RemoteHits+snap.Misses != snap.Requests {
-					t.Error("snapshot outcome split does not sum to requests")
+				if snap.LocalHits+snap.RemoteHits+snap.Misses > snap.Requests {
+					t.Error("snapshot outcome split exceeds requests")
 					return
 				}
 				_ = c.HitRate()

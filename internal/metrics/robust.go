@@ -13,6 +13,12 @@ type Robustness struct {
 	breakerOpens  atomic.Int64
 	breakerCloses atomic.Int64
 	wireClamps    atomic.Int64
+
+	coalescedFollowers atomic.Int64
+	leaderElections    atomic.Int64
+	leaderRetries      atomic.Int64
+	sheds              atomic.Int64
+	originWaits        atomic.Int64
 }
 
 // PeerFailure records one failed exchange with a peer: an ICP silence on a
@@ -38,6 +44,28 @@ func (r *Robustness) BreakerClose() { r.breakerCloses.Add(1) }
 // — a peer whose wire output cannot be taken at face value.
 func (r *Robustness) WireClamp() { r.wireClamps.Add(1) }
 
+// Coalesced records a request served as a single-flight follower: a
+// concurrent miss for the same URL led the fetch and this request shared
+// its result instead of going upstream itself.
+func (r *Robustness) Coalesced() { r.coalescedFollowers.Add(1) }
+
+// LeaderElection records a request elected to lead a single-flight
+// epoch — the one resolution sent upstream however many requesters are
+// coalesced behind it.
+func (r *Robustness) LeaderElection() { r.leaderElections.Add(1) }
+
+// LeaderRetry records a leader election that replaced a failed leader: a
+// follower's one bounded retry after the epoch it waited on errored.
+func (r *Robustness) LeaderRetry() { r.leaderRetries.Add(1) }
+
+// Shed records a request refused at the front door because the node was
+// over its in-flight bound and the queue-wait budget elapsed.
+func (r *Robustness) Shed() { r.sheds.Add(1) }
+
+// OriginWait records an upstream fetch that found the origin/parent
+// concurrency semaphore full and had to queue for a slot.
+func (r *Robustness) OriginWait() { r.originWaits.Add(1) }
+
 // RobustnessSnapshot is a consistent-enough copy of the counters for
 // reporting and tests.
 type RobustnessSnapshot struct {
@@ -47,6 +75,12 @@ type RobustnessSnapshot struct {
 	BreakerOpens  int64
 	BreakerCloses int64
 	WireClamps    int64
+
+	CoalescedFollowers int64
+	LeaderElections    int64
+	LeaderRetries      int64
+	Sheds              int64
+	OriginWaits        int64
 }
 
 // Snapshot returns the current counter values.
@@ -58,5 +92,11 @@ func (r *Robustness) Snapshot() RobustnessSnapshot {
 		BreakerOpens:  r.breakerOpens.Load(),
 		BreakerCloses: r.breakerCloses.Load(),
 		WireClamps:    r.wireClamps.Load(),
+
+		CoalescedFollowers: r.coalescedFollowers.Load(),
+		LeaderElections:    r.leaderElections.Load(),
+		LeaderRetries:      r.leaderRetries.Load(),
+		Sheds:              r.sheds.Load(),
+		OriginWaits:        r.originWaits.Load(),
 	}
 }

@@ -13,9 +13,18 @@ func TestRobustnessCounters(t *testing.T) {
 	r.Fallback()
 	r.BreakerOpen()
 	r.BreakerClose()
+	r.Coalesced()
+	r.Coalesced()
+	r.Coalesced()
+	r.LeaderElection()
+	r.LeaderElection()
+	r.LeaderRetry()
+	r.Shed()
+	r.OriginWait()
 	got := r.Snapshot()
 	want := RobustnessSnapshot{
 		PeerFailures: 2, Retries: 1, Fallbacks: 1, BreakerOpens: 1, BreakerCloses: 1,
+		CoalescedFollowers: 3, LeaderElections: 2, LeaderRetries: 1, Sheds: 1, OriginWaits: 1,
 	}
 	if got != want {
 		t.Fatalf("snapshot = %+v, want %+v", got, want)

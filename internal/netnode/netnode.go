@@ -44,6 +44,21 @@ const (
 	DefaultFetchAttempts = 2
 )
 
+// Overload-protection defaults (Config fields of the same names).
+const (
+	// DefaultOriginConcurrency bounds simultaneous parent/origin fetches.
+	DefaultOriginConcurrency = 64
+	// DefaultShedQueueWait is how long an over-limit request may queue at
+	// the front door before it is shed (only when MaxInflight is set).
+	DefaultShedQueueWait = 100 * time.Millisecond
+)
+
+// ErrOverloaded is returned by Request when the node is over its
+// MaxInflight bound and the ShedQueueWait budget elapsed without a slot
+// freeing up — a fast refusal instead of a collapse. Callers should test
+// with errors.Is.
+var ErrOverloaded = errors.New("netnode: overloaded, request shed")
+
 // DefaultSnapshotInterval is how often a persistent node checkpoints when
 // Config.SnapshotInterval is left zero.
 const DefaultSnapshotInterval = 30 * time.Second
@@ -135,6 +150,19 @@ type Config struct {
 	// before the request fails (transport errors only; a 404 is final).
 	// Defaults to DefaultFetchAttempts; negative is rejected.
 	FetchAttempts int
+	// OriginConcurrency bounds how many parent/origin fetches may run at
+	// once, so a slow upstream cannot absorb every goroutine. Acquiring a
+	// slot is budgeted by FetchTimeout. Zero defaults to
+	// DefaultOriginConcurrency; negative is rejected.
+	OriginConcurrency int
+	// MaxInflight bounds concurrent Request calls; beyond it the front
+	// door sheds (ErrOverloaded) after at most ShedQueueWait. Zero
+	// disables shedding; negative is rejected.
+	MaxInflight int
+	// ShedQueueWait is how long an over-MaxInflight request may wait for
+	// a slot before being shed. Zero defaults to DefaultShedQueueWait;
+	// negative is rejected. Requires MaxInflight when set.
+	ShedQueueWait time.Duration
 	// Health tunes the per-peer circuit breaker (thresholds, probe
 	// backoff). The zero value uses the health package defaults.
 	Health health.Config
@@ -185,6 +213,9 @@ type Result struct {
 	// Promoted reports whether the responder refreshed its copy instead
 	// (the scheme's responder-side rule, echoed back by the engine).
 	Promoted bool
+	// Coalesced reports that this request rode a concurrent resolution of
+	// the same URL as a single-flight follower instead of fetching itself.
+	Coalesced bool
 }
 
 // Node is a live cooperative cache node.
@@ -208,6 +239,14 @@ type Node struct {
 	obs           *obs.Telemetry
 	om            *nodeObs
 	logger        *slog.Logger
+
+	// Overload protection: originSem bounds concurrent parent/origin
+	// fetches; inflight (nil when shedding is off) bounds concurrent
+	// Request calls, shedding after shedWait. Both are plain buffered
+	// channels used as counting semaphores.
+	originSem chan struct{}
+	inflight  chan struct{}
+	shedWait  time.Duration
 
 	// The request path has no global lock: the sharded store serialises
 	// per shard, the peer set is an immutable snapshot swapped atomically
@@ -272,6 +311,24 @@ func New(cfg Config) (*Node, error) {
 	if cfg.FetchAttempts == 0 {
 		cfg.FetchAttempts = DefaultFetchAttempts
 	}
+	if cfg.OriginConcurrency < 0 {
+		return nil, fmt.Errorf("netnode: negative OriginConcurrency %d", cfg.OriginConcurrency)
+	}
+	if cfg.OriginConcurrency == 0 {
+		cfg.OriginConcurrency = DefaultOriginConcurrency
+	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("netnode: negative MaxInflight %d", cfg.MaxInflight)
+	}
+	if cfg.ShedQueueWait < 0 {
+		return nil, fmt.Errorf("netnode: negative ShedQueueWait %v", cfg.ShedQueueWait)
+	}
+	if cfg.ShedQueueWait > 0 && cfg.MaxInflight == 0 {
+		return nil, errors.New("netnode: ShedQueueWait requires MaxInflight")
+	}
+	if cfg.MaxInflight > 0 && cfg.ShedQueueWait == 0 {
+		cfg.ShedQueueWait = DefaultShedQueueWait
+	}
 	if cfg.SnapshotInterval < 0 {
 		return nil, fmt.Errorf("netnode: negative SnapshotInterval %v", cfg.SnapshotInterval)
 	}
@@ -323,8 +380,13 @@ func New(cfg Config) (*Node, error) {
 		faults:        cfg.Faults,
 		logger:        cfg.Logger,
 		store:         store,
+		originSem:     make(chan struct{}, cfg.OriginConcurrency),
+		shedWait:      cfg.ShedQueueWait,
 		icpClient:     icp.NewClient(),
 		closed:        make(chan struct{}),
+	}
+	if cfg.MaxInflight > 0 {
+		n.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	n.obs = cfg.Obs
 	n.om = newNodeObs(n, cfg.Obs)
@@ -440,7 +502,21 @@ func New(cfg Config) (*Node, error) {
 	// The engine owns the request lifecycle; the node supplies its
 	// store, transport, locators, and telemetry through the adapters in
 	// resolve.go. A broken parent degrades to the origin when one is
-	// known — the live node's availability posture.
+	// known — the live node's availability posture. Concurrent misses for
+	// one URL are coalesced single-flight; the callbacks feed the
+	// robustness counters and telemetry.
+	co := resolve.NewCoalescer()
+	co.OnFollower = func(string) {
+		n.robust.Coalesced()
+		n.om.coalesced()
+	}
+	co.OnElect = func(_ string, retry bool) {
+		n.robust.LeaderElection()
+		if retry {
+			n.robust.LeaderRetry()
+		}
+		n.om.leaderElection(retry)
+	}
 	n.engine = &resolve.Engine{
 		ID:              "netnode " + n.id,
 		Store:           nodeStore{n},
@@ -448,6 +524,7 @@ func New(cfg Config) (*Node, error) {
 		Locator:         nodeLocator{n},
 		Transport:       nodeTransport{n},
 		Hooks:           nodeHooks{n},
+		Coalescer:       co,
 		DegradeToOrigin: true,
 	}
 
@@ -640,6 +717,14 @@ func (n *Node) Len() int { return n.store.Len() }
 // with the EA decision's two expiration ages on the placement span) and the
 // outcome/latency metrics.
 func (n *Node) Request(url string, sizeHint int64) (Result, error) {
+	// Front-door overload gate: refuse fast, before any of the trace or
+	// metrics machinery spends work on a request the node cannot absorb.
+	if n.inflight != nil {
+		if err := n.admit(); err != nil {
+			return Result{}, err
+		}
+		defer func() { <-n.inflight }()
+	}
 	start := time.Now()
 	tr := n.obs.StartTrace(n.id, url)
 	res, err := n.serveRequest(tr, url, sizeHint)
@@ -677,8 +762,57 @@ func (n *Node) serveRequest(tr *obs.Trace, url string, sizeHint int64) (Result, 
 		Responder: res.Responder,
 		Stored:    res.Stored,
 		Promoted:  res.Promoted,
+		Coalesced: res.Coalesced,
 	}, nil
 }
+
+// admit takes an in-flight slot, waiting at most shedWait for one before
+// shedding the request. Only called when MaxInflight is configured.
+func (n *Node) admit() error {
+	select {
+	case n.inflight <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(n.shedWait)
+	defer timer.Stop()
+	select {
+	case n.inflight <- struct{}{}:
+		return nil
+	case <-timer.C:
+		n.robust.Shed()
+		n.om.shed()
+		return fmt.Errorf("%w (%d in flight, waited %v)", ErrOverloaded, cap(n.inflight), n.shedWait)
+	}
+}
+
+// acquireUpstream takes an origin-semaphore slot, so at most
+// OriginConcurrency parent/origin fetches run at once. A contended
+// acquire is counted and bounded by the request's remaining fetch budget
+// (FetchTimeout) — a saturated upstream fails the request instead of
+// parking goroutines forever.
+func (n *Node) acquireUpstream(tr *obs.Trace) error {
+	select {
+	case n.originSem <- struct{}{}:
+		return nil
+	default:
+	}
+	n.robust.OriginWait()
+	start := time.Now()
+	timer := time.NewTimer(n.fetchTimeout)
+	defer timer.Stop()
+	select {
+	case n.originSem <- struct{}{}:
+		n.om.observeUpstreamWait(time.Since(start))
+		return nil
+	case <-timer.C:
+		err := fmt.Errorf("netnode %s: upstream concurrency limit %d saturated for %v", n.id, cap(n.originSem), n.fetchTimeout)
+		n.warn("upstream semaphore saturated", tr, "limit", cap(n.originSem), "waited", n.fetchTimeout)
+		return err
+	}
+}
+
+func (n *Node) releaseUpstream() { <-n.originSem }
 
 // recordFanout feeds the fan-out's per-peer evidence to the breaker: every
 // reply (hit or miss) is a success, an unsendable datagram is a failure,
@@ -718,9 +852,14 @@ func (n *Node) recordFanout(active []Peer, res icp.Result) {
 }
 
 // fetchUpstream fetches from the parent or origin with the configured
-// retry budget. Transport errors are retried; a NotFound answer is final
-// (repeating the question will not change it).
+// retry budget, under the origin-concurrency semaphore. Transport errors
+// are retried; a NotFound answer is final (repeating the question will
+// not change it).
 func (n *Node) fetchUpstream(tr *obs.Trace, addr, url string, sizeHint int64, reqAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
+	if err := n.acquireUpstream(tr); err != nil {
+		return 0, 0, "", err
+	}
+	defer n.releaseUpstream()
 	var lastErr error
 	for attempt := 0; attempt < n.fetchAttempts; attempt++ {
 		if attempt > 0 {

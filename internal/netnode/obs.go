@@ -113,6 +113,13 @@ type nodeObs struct {
 	checkpoints   *obs.Counter
 	checkpointErr *obs.Counter
 	checkpointDur *obs.Histogram
+
+	coalescedFollowers *obs.Counter   // eac_coalesced_followers_total
+	leaderInitial      *obs.Counter   // eac_coalesce_leader_elections_total{kind="initial"}
+	leaderRetry        *obs.Counter   // eac_coalesce_leader_elections_total{kind="retry"}
+	sheds              *obs.Counter   // eac_requests_shed_total
+	upstreamWaits      *obs.Counter   // eac_origin_sem_waits_total
+	upstreamWaitDur    *obs.Histogram // eac_origin_sem_wait_seconds
 }
 
 // newNodeObs registers the node's metric families and returns the cached
@@ -179,6 +186,33 @@ func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
 		"Checkpoints that failed.", nil)
 	o.checkpointDur = r.Histogram("eac_checkpoint_duration_seconds",
 		"Checkpoint (capture + rotate + snapshot write) duration.", nil, nil)
+
+	o.coalescedFollowers = r.Counter("eac_coalesced_followers_total",
+		"Requests served as single-flight followers of a concurrent miss for the same URL.", nil)
+	o.leaderInitial = r.Counter("eac_coalesce_leader_elections_total",
+		"Single-flight leader elections, by kind (initial epoch vs post-failure retry).",
+		obs.Labels{"kind": "initial"})
+	o.leaderRetry = r.Counter("eac_coalesce_leader_elections_total",
+		"Single-flight leader elections, by kind (initial epoch vs post-failure retry).",
+		obs.Labels{"kind": "retry"})
+	o.sheds = r.Counter("eac_requests_shed_total",
+		"Requests refused at the front door because the in-flight bound and queue-wait budget were exceeded.", nil)
+	o.upstreamWaits = r.Counter("eac_origin_sem_waits_total",
+		"Upstream fetches that found the origin-concurrency semaphore full and queued.", nil)
+	o.upstreamWaitDur = r.Histogram("eac_origin_sem_wait_seconds",
+		"Time contended upstream fetches waited for an origin-semaphore slot.", nil, nil)
+
+	r.GaugeFunc("eac_inflight_requests",
+		"Requests currently inside the front door (0 when shedding is disabled).",
+		nil, func() float64 {
+			if n.inflight == nil {
+				return 0
+			}
+			return float64(len(n.inflight))
+		})
+	r.GaugeFunc("eac_origin_sem_inuse",
+		"Origin-semaphore slots currently held by upstream fetches.",
+		nil, func() float64 { return float64(len(n.originSem)) })
 
 	r.GaugeFunc("eac_cache_expiration_age_seconds",
 		"Current cache expiration age, the EA scheme's contention signal (+Inf = no contention yet).",
@@ -278,6 +312,43 @@ func (o *nodeObs) cacheEvent(ev cache.Event) {
 			c.Inc()
 		}
 	}
+}
+
+// coalesced counts one request served as a single-flight follower.
+func (o *nodeObs) coalesced() {
+	if o == nil {
+		return
+	}
+	o.coalescedFollowers.Inc()
+}
+
+// leaderElection counts one single-flight leader election.
+func (o *nodeObs) leaderElection(retry bool) {
+	if o == nil {
+		return
+	}
+	if retry {
+		o.leaderRetry.Inc()
+	} else {
+		o.leaderInitial.Inc()
+	}
+}
+
+// shed counts one request refused at the front door.
+func (o *nodeObs) shed() {
+	if o == nil {
+		return
+	}
+	o.sheds.Inc()
+}
+
+// observeUpstreamWait records one contended origin-semaphore acquire.
+func (o *nodeObs) observeUpstreamWait(dur time.Duration) {
+	if o == nil {
+		return
+	}
+	o.upstreamWaits.Inc()
+	o.upstreamWaitDur.ObserveDuration(dur)
 }
 
 // observeCheckpoint records one checkpoint attempt.

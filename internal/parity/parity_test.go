@@ -191,6 +191,16 @@ func TestSimLiveParityICPEA(t *testing.T) {
 	if simT != liveT {
 		t.Errorf("decision divergence over %d requests:\n  sim  %+v\n  live %+v", len(records), simT, liveT)
 	}
+	// Single-flight coalescing is on by default in both stacks; for this
+	// serialized replay it must be a strict no-op — no request may have
+	// been served as a follower, shed, or queued behind the origin
+	// semaphore, or the overload layer changed serialized behaviour.
+	for i, nd := range nodes {
+		rb := nd.Robustness()
+		if rb.CoalescedFollowers != 0 || rb.LeaderRetries != 0 || rb.Sheds != 0 || rb.OriginWaits != 0 {
+			t.Errorf("cache-%d: overload layer fired on serialized traffic: %+v", i, rb)
+		}
+	}
 	if simT.Remote == 0 {
 		t.Error("workload produced no remote hits; parity over the cooperative path untested")
 	}

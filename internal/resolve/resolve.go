@@ -191,6 +191,11 @@ type Result struct {
 	// Promoted reports whether the responder refreshed its copy
 	// instead (the scheme's responder-side rule).
 	Promoted bool
+	// Coalesced reports that this request was served as a single-flight
+	// follower: a concurrent resolution of the same URL led the fetch
+	// and this request shared its body and placement decision (the
+	// Stored/Promoted fields are the leader's).
+	Coalesced bool
 }
 
 // Engine runs the canonical request lifecycle. Configure one per node;
@@ -208,6 +213,11 @@ type Engine struct {
 	Transport Transport
 	// Hooks observes decision points; nil observes nothing.
 	Hooks Hooks
+	// Coalescer, when set, collapses concurrent misses for one URL into
+	// a single leader resolution (single-flight, see coalesce.go). Nil
+	// disables coalescing; serialized request streams behave
+	// identically either way, which the sim↔live parity gate checks.
+	Coalescer *Coalescer
 	// DegradeToOrigin sends a failed parent resolution to the origin
 	// (when one is reachable) instead of failing the request — the live
 	// node's availability posture. The simulator keeps false: a parent
@@ -233,6 +243,19 @@ func (e *Engine) Resolve(rctx any, url string, sizeHint int64, now time.Time) (R
 		return Result{Outcome: metrics.LocalHit, Doc: doc}, nil
 	}
 
+	// Everything below the local lookup is the miss path, and under a
+	// Coalescer it runs single-flight: one leader per URL, followers
+	// share the leader's result.
+	if e.Coalescer != nil {
+		return e.resolveCoalesced(rctx, hooks, url, sizeHint, now)
+	}
+	return e.resolveMissPath(rctx, hooks, url, sizeHint, now)
+}
+
+// resolveMissPath is the lifecycle below a local miss: group location
+// and remote fetch with the scheme's (or the Placement override's)
+// store/promote decisions, then the parent/origin miss path.
+func (e *Engine) resolveMissPath(rctx any, hooks Hooks, url string, sizeHint int64, now time.Time) (Result, error) {
 	// The requester's expiration age rides on every remote exchange
 	// from here on. It is a pure read; nothing below mutates the local
 	// store before the placement decision.
