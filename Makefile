@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-short test-race parity chaos bench bench-json load-json load-smoke fuzz
+.PHONY: check fmt build vet test test-short test-race parity chaos churn-smoke bench bench-json load-json load-smoke fuzz
 
 check: fmt vet build test-race
 
@@ -40,7 +40,17 @@ parity:
 
 # Just the chaos suite: the live 4-node group under injected faults.
 chaos:
-	$(GO) test -race -v -run 'TestBreaker|TestRemoteHitFetchFailure|TestPeerCrash|TestUDPLoss|TestStalledOrigin|TestChaosFlagged|TestChaosHash|TestChaosHerd|TestDemoWithChaos' ./internal/netnode/ ./cmd/proxyd/
+	$(GO) test -race -v -run 'TestBreaker|TestRemoteHitFetchFailure|TestPeerCrash|TestUDPLoss|TestStalledOrigin|TestChaosFlagged|TestChaosHash|TestChaosHerd|TestChaosChurn|TestDemoWithChaos' ./internal/netnode/ ./cmd/proxyd/
+
+# Membership churn gate: kill, ejection, runtime join, revival and
+# readmission under continuous traffic, race-enabled. -short runs the
+# same transitions over a smaller catalogue (the CI smoke); the verbose
+# log carries the per-step migration accounting and is kept as the
+# artifact.
+CHURN_LOG ?= churn-smoke.log
+churn-smoke:
+	@$(GO) test -race -short -v -run TestChaosChurn ./internal/netnode/ > $(CHURN_LOG) 2>&1; \
+	status=$$?; cat $(CHURN_LOG); exit $$status
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -21,6 +21,8 @@
 //	loadgen -nodes 2 -rps 200 -duration 5s -out BENCH_pr6.json
 //	loadgen -saturate -rps 500 -duration 3s
 //	loadgen -rps 50 -duration 2s -check   # CI smoke: any shed/error fails
+//	loadgen -locate hash -churn -check    # membership cycle under load;
+//	                                      # transition-window errors fail
 package main
 
 import (
@@ -66,6 +68,7 @@ type config struct {
 	saturate   bool
 	maxSteps   int
 	check      bool
+	churn      bool
 	out        string
 }
 
@@ -88,6 +91,7 @@ func run(args []string, stdout io.Writer) error {
 		saturate   = fs.Bool("saturate", false, "ramp RPS (doubling per step) until the group stops keeping up")
 		maxSteps   = fs.Int("max-steps", 6, "step cap for -saturate")
 		check      = fs.Bool("check", false, "exit non-zero on any shed or failed request (CI smoke at unsaturated load)")
+		churn      = fs.Bool("churn", false, "run a join->drain->leave membership cycle inside each step; errors completing inside a transition window are reported separately and fail -check")
 		out        = fs.String("out", "BENCH_pr6.json", "output JSON artifact path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -118,7 +122,7 @@ func run(args []string, stdout io.Writer) error {
 		docs: *docs, zipfAlpha: *zipfAlpha, meanSize: *meanSize, seed: *seed,
 		scheme: scheme, location: loc, capacity: *capacity,
 		originConc: *originConc, inflight: *inflight,
-		saturate: *saturate, maxSteps: *maxSteps, check: *check, out: *out,
+		saturate: *saturate, maxSteps: *maxSteps, check: *check, churn: *churn, out: *out,
 	}
 	return runLoad(cfg, stdout)
 }
@@ -131,6 +135,30 @@ type group struct {
 	nodes  []*netnode.Node
 }
 
+// startNode builds one store-backed cache node for the group; the
+// caller wires its peer set.
+func startNode(cfg config, id string, originAddr string) (*netnode.Node, error) {
+	store, err := cache.NewSharded(cache.ShardedConfig{
+		Capacity:         cfg.capacity,
+		ExpirationWindow: cache.DefaultExpirationWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return netnode.New(netnode.Config{
+		ID:                id,
+		ICPAddr:           "127.0.0.1:0",
+		HTTPAddr:          "127.0.0.1:0",
+		Store:             store,
+		Scheme:            cfg.scheme,
+		OriginAddr:        originAddr,
+		Location:          cfg.location,
+		HashName:          id,
+		OriginConcurrency: cfg.originConc,
+		MaxInflight:       cfg.inflight,
+	})
+}
+
 func startGroup(cfg config) (*group, error) {
 	origin, err := netnode.NewOriginServer("127.0.0.1:0", nil)
 	if err != nil {
@@ -138,27 +166,7 @@ func startGroup(cfg config) (*group, error) {
 	}
 	g := &group{origin: origin}
 	for i := 0; i < cfg.nodes; i++ {
-		store, err := cache.NewSharded(cache.ShardedConfig{
-			Capacity:         cfg.capacity,
-			ExpirationWindow: cache.DefaultExpirationWindow,
-		})
-		if err != nil {
-			g.close()
-			return nil, err
-		}
-		nodeCfg := netnode.Config{
-			ID:                fmt.Sprintf("load-%d", i),
-			ICPAddr:           "127.0.0.1:0",
-			HTTPAddr:          "127.0.0.1:0",
-			Store:             store,
-			Scheme:            cfg.scheme,
-			OriginAddr:        origin.Addr(),
-			Location:          cfg.location,
-			HashName:          fmt.Sprintf("load-%d", i),
-			OriginConcurrency: cfg.originConc,
-			MaxInflight:       cfg.inflight,
-		}
-		node, err := netnode.New(nodeCfg)
+		node, err := startNode(cfg, fmt.Sprintf("load-%d", i), origin.Addr())
 		if err != nil {
 			g.close()
 			return nil, err
@@ -197,6 +205,68 @@ func (g *group) robustTotals() (sheds, coalesced int64) {
 	return sheds, coalesced
 }
 
+// transition is the wall-clock window of one membership operation.
+// Requests completing inside [From, To+churnSettle) are attributed to
+// the transition, so a -check failure can say whether the errors came
+// from churn or from plain overload.
+type transition struct {
+	What     string
+	From, To time.Time
+}
+
+// churnSettle pads the end of each transition window: a request routed
+// under the old peer view can fail shortly after the swap completes.
+const churnSettle = 200 * time.Millisecond
+
+func inTransition(t time.Time, windows []transition) bool {
+	for _, w := range windows {
+		if !t.Before(w.From) && t.Before(w.To.Add(churnSettle)) {
+			return true
+		}
+	}
+	return false
+}
+
+// churnCycle runs one join->drain->leave cycle against the live group
+// while a load step is in flight: a spare node joins at one third of
+// the step, serves as a member for a third, then drains its copies and
+// leaves. The returned windows bracket the two membership swaps.
+func churnCycle(g *group, cfg config, stepDur time.Duration) ([]transition, error) {
+	time.Sleep(stepDur / 3)
+	joiner, err := startNode(cfg, "load-joiner", g.origin.Addr())
+	if err != nil {
+		return nil, fmt.Errorf("churn: start joiner: %w", err)
+	}
+	defer joiner.Close()
+
+	var peers []netnode.Peer
+	for _, nd := range g.nodes {
+		peers = append(peers, netnode.Peer{ICP: nd.ICPAddr(), HTTP: nd.HTTPAddr(), Name: nd.ID()})
+	}
+	join := transition{What: "join", From: time.Now()}
+	joiner.SetPeers(peers)
+	self := netnode.Peer{ICP: joiner.ICPAddr(), HTTP: joiner.HTTPAddr(), Name: joiner.ID()}
+	for _, nd := range g.nodes {
+		if err := nd.AddPeer(self); err != nil {
+			return nil, fmt.Errorf("churn: join %s: %w", nd.ID(), err)
+		}
+	}
+	join.To = time.Now()
+
+	time.Sleep(stepDur / 3)
+	leave := transition{What: "drain+leave", From: time.Now()}
+	if rep := joiner.DrainHandoff(); rep.Failed > 0 {
+		return nil, fmt.Errorf("churn: drain left %d failed transfers: %+v", rep.Failed, rep)
+	}
+	for _, nd := range g.nodes {
+		if err := nd.RemovePeer(joiner.ID()); err != nil {
+			return nil, fmt.Errorf("churn: leave %s: %w", nd.ID(), err)
+		}
+	}
+	leave.To = time.Now()
+	return []transition{join, leave}, nil
+}
+
 // stepResult is one constant-rate load step.
 type stepResult struct {
 	TargetRPS   float64 `json:"target_rps"`
@@ -204,11 +274,18 @@ type stepResult struct {
 	Requests    int     `json:"requests"`
 	Completed   int     `json:"completed"`
 	Errors      int     `json:"errors"`
-	ShedByNode  int64   `json:"shed"`
-	Coalesced   int64   `json:"coalesced_followers"`
-	LocalHits   int     `json:"local_hits"`
-	RemoteHits  int     `json:"remote_hits"`
-	Misses      int     `json:"misses"`
+
+	// Transitions counts membership operations run inside this step
+	// (-churn), TransitionErrors the request errors completing inside
+	// one of their windows. Both stay zero without -churn.
+	Transitions      int `json:"transitions,omitempty"`
+	TransitionErrors int `json:"transition_errors,omitempty"`
+
+	ShedByNode int64 `json:"shed"`
+	Coalesced  int64 `json:"coalesced_followers"`
+	LocalHits  int   `json:"local_hits"`
+	RemoteHits int   `json:"remote_hits"`
+	Misses     int   `json:"misses"`
 
 	P50MS  float64 `json:"p50_ms"`
 	P99MS  float64 `json:"p99_ms"`
@@ -230,6 +307,7 @@ type artifact struct {
 	ZipfAlpha float64 `json:"zipf_alpha"`
 	Seed      uint64  `json:"seed"`
 	DurationS float64 `json:"step_duration_s"`
+	Churn     bool    `json:"churn,omitempty"`
 
 	Steps []stepResult `json:"steps"`
 
@@ -242,6 +320,9 @@ type artifact struct {
 	SaturationRPS float64 `json:"saturation_rps"`
 	ShedRate      float64 `json:"shed_rate"`
 	CoalesceRate  float64 `json:"coalesce_rate"`
+
+	// TransitionErrors totals the per-step counts (-churn only).
+	TransitionErrors int `json:"transition_errors,omitempty"`
 }
 
 func runLoad(cfg config, stdout io.Writer) error {
@@ -260,12 +341,19 @@ func runLoad(cfg config, stdout io.Writer) error {
 	var steps []stepResult
 	target := cfg.rps
 	for len(steps) < cfg.maxSteps {
-		st := runStep(g, cfg, zipf, rng, target)
+		st, err := runStep(g, cfg, zipf, rng, target)
+		if err != nil {
+			return err
+		}
 		steps = append(steps, st)
 		fmt.Fprintf(stdout,
 			"step %d: target %.0f rps, achieved %.1f rps, p50=%.2fms p99=%.2fms p999=%.2fms, errors=%d shed=%d coalesced=%d\n",
 			len(steps), st.TargetRPS, st.AchievedRPS, st.P50MS, st.P99MS, st.P999MS,
 			st.Errors, st.ShedByNode, st.Coalesced)
+		if cfg.churn {
+			fmt.Fprintf(stdout, "step %d churn: %d transitions, %d errors inside transition windows\n",
+				len(steps), st.Transitions, st.TransitionErrors)
+		}
 		if !cfg.saturate {
 			break
 		}
@@ -289,11 +377,12 @@ func runLoad(cfg config, stdout io.Writer) error {
 		ZipfAlpha:   cfg.zipfAlpha,
 		Seed:        cfg.seed,
 		DurationS:   cfg.duration.Seconds(),
+		Churn:       cfg.churn,
 		Steps:       steps,
 	}
 	base := steps[0]
 	art.P50MS, art.P99MS, art.P999MS = base.P50MS, base.P99MS, base.P999MS
-	var totalReq, totalErr int
+	var totalReq, totalErr, totalTransErr int
 	var totalShed, totalCoal int64
 	for _, st := range steps {
 		if st.AchievedRPS > art.SaturationRPS {
@@ -301,9 +390,11 @@ func runLoad(cfg config, stdout io.Writer) error {
 		}
 		totalReq += st.Requests
 		totalErr += st.Errors
+		totalTransErr += st.TransitionErrors
 		totalShed += st.ShedByNode
 		totalCoal += st.Coalesced
 	}
+	art.TransitionErrors = totalTransErr
 	if totalReq > 0 {
 		art.ShedRate = float64(totalShed) / float64(totalReq)
 		art.CoalesceRate = float64(totalCoal) / float64(totalReq)
@@ -322,13 +413,19 @@ func runLoad(cfg config, stdout io.Writer) error {
 		art.SaturationRPS, art.ShedRate, art.CoalesceRate, cfg.out)
 
 	if cfg.check && (totalErr > 0 || totalShed > 0) {
+		if totalTransErr > 0 {
+			return fmt.Errorf("check failed: %d request errors completed inside membership transition windows (%d errors, %d sheds overall)",
+				totalTransErr, totalErr, totalShed)
+		}
 		return fmt.Errorf("check failed at unsaturated load: %d request errors, %d sheds", totalErr, totalShed)
 	}
 	return nil
 }
 
 // runStep fires one constant-rate open-loop step and collects the tail.
-func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS float64) stepResult {
+// With -churn it also runs a membership cycle concurrently and counts
+// the errors that complete inside the transition windows.
+func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS float64) (stepResult, error) {
 	interarrival, err := dist.NewExponential(1 / targetRPS)
 	if err != nil {
 		panic(err) // targetRPS validated positive
@@ -362,12 +459,29 @@ func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS flo
 
 	type sample struct {
 		latency time.Duration
+		done    time.Time
 		outcome metrics.Outcome
 		err     error
 	}
 	samples := make([]sample, len(schedule))
 	var wg sync.WaitGroup
 	start := time.Now()
+
+	// The churn cycle runs concurrently with the open-loop dispatcher so
+	// membership swaps land in the middle of live traffic.
+	var (
+		churnWG  sync.WaitGroup
+		windows  []transition
+		churnErr error
+	)
+	if cfg.churn {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			windows, churnErr = churnCycle(g, cfg, cfg.duration)
+		}()
+	}
+
 	for i, a := range schedule {
 		// Open loop: sleep to the scheduled instant, fire, never wait for
 		// the previous request. Latency is charged from the scheduled
@@ -380,17 +494,24 @@ func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS flo
 			defer wg.Done()
 			sched := start.Add(a.at)
 			res, err := g.nodes[a.node].Request(a.url, a.size)
-			samples[i] = sample{latency: time.Since(sched), outcome: res.Outcome, err: err}
+			samples[i] = sample{latency: time.Since(sched), done: time.Now(), outcome: res.Outcome, err: err}
 		}(i, a)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	churnWG.Wait()
+	if churnErr != nil {
+		return stepResult{}, churnErr
+	}
 
-	st := stepResult{TargetRPS: targetRPS, Requests: len(schedule)}
+	st := stepResult{TargetRPS: targetRPS, Requests: len(schedule), Transitions: len(windows)}
 	latencies := make([]time.Duration, 0, len(samples))
 	for _, s := range samples {
 		if s.err != nil {
 			st.Errors++
+			if inTransition(s.done, windows) {
+				st.TransitionErrors++
+			}
 			if errors.Is(s.err, netnode.ErrOverloaded) {
 				// Shed requests are counted from the node side below; the
 				// client just sees the fast refusal.
@@ -423,7 +544,7 @@ func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS flo
 	if n := len(latencies); n > 0 {
 		st.MaxMS = float64(latencies[n-1]) / float64(time.Millisecond)
 	}
-	return st
+	return st, nil
 }
 
 // percentileMS returns the q-th percentile of sorted latencies in

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestLoadgenSmoke runs a short unsaturated step against a live 2-node
@@ -45,6 +46,74 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "p99=") {
 		t.Fatalf("summary output missing p99:\n%s", buf.String())
+	}
+}
+
+// TestLoadgenChurnSmoke drives a join->drain->leave cycle through a
+// live hash-mode step and checks the transition accounting: both swaps
+// recorded, and -check stays green because no request failed inside (or
+// outside) a transition window.
+func TestLoadgenChurnSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_churn.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rps", "100", "-duration", "900ms", "-docs", "60",
+		"-locate", "hash", "-churn", "-check", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("churn run: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if !art.Churn {
+		t.Fatal("artifact does not record churn mode")
+	}
+	st := art.Steps[0]
+	if st.Transitions != 2 {
+		t.Fatalf("transitions = %d, want 2 (join and drain+leave)", st.Transitions)
+	}
+	if st.TransitionErrors != 0 || art.TransitionErrors != 0 {
+		t.Fatalf("transition errors: step=%d total=%d", st.TransitionErrors, art.TransitionErrors)
+	}
+	if !strings.Contains(buf.String(), "2 transitions") {
+		t.Fatalf("summary output missing churn line:\n%s", buf.String())
+	}
+}
+
+// TestInTransition pins the window classification -check relies on:
+// completion inside [From, To+settle) counts, before or after does not.
+func TestInTransition(t *testing.T) {
+	base := time.Now()
+	windows := []transition{
+		{What: "join", From: base, To: base.Add(50 * time.Millisecond)},
+		{What: "leave", From: base.Add(time.Second), To: base.Add(1100 * time.Millisecond)},
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		want bool
+	}{
+		{-time.Millisecond, false},
+		{0, true},
+		{30 * time.Millisecond, true},
+		{50*time.Millisecond + churnSettle - time.Millisecond, true},
+		{50*time.Millisecond + churnSettle, false},
+		{999 * time.Millisecond, false},
+		{1050 * time.Millisecond, true},
+		{1100*time.Millisecond + churnSettle, false},
+	} {
+		if got := inTransition(base.Add(tc.at), windows); got != tc.want {
+			t.Errorf("inTransition(base+%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	if inTransition(base, nil) {
+		t.Error("no windows should classify nothing")
 	}
 }
 

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -80,7 +83,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			"journal group-commit queue depth in frames; 0 uses the default (needs -data-dir)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "how long a SIGTERM/SIGINT drain waits for in-flight fetches before exiting")
 
-		adminAddr   = fs.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/trace and pprof; empty disables telemetry")
+		ejectAfter   = fs.Duration("eject-after", 10*time.Second, "eject a peer whose breaker stays dead this long from the locator set until a probe readmits it; 0 disables ejection")
+		readmitProbe = fs.Duration("readmit-probe", netnode.DefaultReadmitProbe, "spacing of readmission probes to ejected peers (needs -eject-after > 0)")
+		migrateConc  = fs.Int("migrate-concurrency", netnode.DefaultMigrateConcurrency, "parallel document transfers during rebalance and drain handoff")
+		migrateRate  = fs.Int("migrate-rate", 0, "max document transfers per second during rebalance/drain; 0 is unpaced")
+		joinWarmup   = fs.Duration("join-warmup", 0, "under -locate=hash, relay without storing for this long after boot so the group converges on this node's arrival; 0 disables")
+
+		adminAddr   = fs.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/trace, pprof and the /admin/peers membership API; empty disables telemetry")
 		traceCap    = fs.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent request traces /debug/trace retains (needs -admin-addr)")
 		traceSample = fs.Int("trace-sample", obs.DefaultTraceSampling, "trace one request in N; 1 traces every request, metrics always cover all (needs -admin-addr)")
 	)
@@ -99,6 +108,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *shedQueueLag <= 0 {
 		return fmt.Errorf("-shed-queue-wait must be positive, got %v", *shedQueueLag)
+	}
+	if *ejectAfter < 0 {
+		return fmt.Errorf("-eject-after must be positive, or 0 to disable ejection, got %v", *ejectAfter)
+	}
+	if *readmitProbe <= 0 {
+		return fmt.Errorf("-readmit-probe must be positive, got %v", *readmitProbe)
+	}
+	if *migrateConc <= 0 {
+		return fmt.Errorf("-migrate-concurrency must be positive, got %d", *migrateConc)
+	}
+	if *migrateRate < 0 {
+		return fmt.Errorf("-migrate-rate must be positive, or 0 for unpaced, got %d", *migrateRate)
+	}
+	if *joinWarmup < 0 {
+		return fmt.Errorf("-join-warmup must be positive, or 0 to disable, got %v", *joinWarmup)
 	}
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
@@ -166,9 +190,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		OriginConcurrency: *originConc,
 		MaxInflight:       *maxInflight,
 
+		MigrateConcurrency: *migrateConc,
+		MigrateRate:        *migrateRate,
+		JoinWarmup:         *joinWarmup,
+
 		Faults: injector,
 		Obs:    tel,
 		Logger: logger,
+	}
+	if *ejectAfter > 0 {
+		// netnode rejects a probe interval with ejection off; only pass it
+		// through when it applies.
+		nodeCfg.EjectAfter = *ejectAfter
+		nodeCfg.ReadmitProbe = *readmitProbe
 	}
 	if *maxInflight > 0 {
 		// netnode rejects a wait bound with shedding off; only pass it
@@ -188,6 +222,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer node.Close() // idempotent; the drain below already released everything
 	node.SetPeers(peers.peers)
+	publishPeerVars(node)
 
 	if tel != nil {
 		admin, err := obs.ServeAdmin(obs.AdminConfig{
@@ -199,12 +234,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 				"icp":     node.ICPAddr().String(),
 				"http":    node.HTTPAddr(),
 			},
+			Routes: node.AdminRoutes(),
 		})
 		if err != nil {
 			return err
 		}
 		defer admin.Close()
-		fmt.Fprintf(stdout, "admin surface on http://%s (/metrics /healthz /debug/trace /debug/pprof)\n", admin.Addr())
+		fmt.Fprintf(stdout, "admin surface on http://%s (/metrics /healthz /debug/trace /debug/pprof /admin/peers)\n", admin.Addr())
 	}
 
 	fmt.Fprintf(stdout, "proxy up: icp=%s http=%s scheme=%s capacity=%s peers=%d\n",
@@ -439,6 +475,35 @@ func runDemo(stdout io.Writer, logger *slog.Logger, n, requests int, schemeName 
 	return nil
 }
 
+// Peer-health expvar. expvar registration is process-global and panics
+// on re-registration, so the variable is published exactly once and
+// reads through an atomic holder that each run swaps its node into —
+// tests can call run repeatedly in one process.
+var (
+	peerVarsOnce sync.Once
+	peerVarsNode atomic.Pointer[netnode.Node]
+)
+
+// publishPeerVars exposes the node's membership table — per-peer breaker
+// state, last transition time, ejection status, epoch, drain state — as
+// the "eacache_peers" expvar on /debug/vars.
+func publishPeerVars(n *netnode.Node) {
+	peerVarsNode.Store(n)
+	peerVarsOnce.Do(func() {
+		expvar.Publish("eacache_peers", expvar.Func(func() any {
+			n := peerVarsNode.Load()
+			if n == nil {
+				return nil
+			}
+			return map[string]any{
+				"epoch":    n.Epoch(),
+				"draining": n.Draining(),
+				"members":  n.Members(),
+			}
+		}))
+	})
+}
+
 // peerList parses repeated -peer <icp>/<http> flags.
 type peerList struct {
 	peers []netnode.Peer
@@ -467,6 +532,17 @@ func (p *peerList) Set(v string) error {
 	udp, err := net.ResolveUDPAddr("udp", icpPart)
 	if err != nil {
 		return fmt.Errorf("peer %q: %w", v, err)
+	}
+	// A doubled neighbour would be fanned out to twice and counted as two
+	// ring members; catch the operator typo at flag parse, by name.
+	for _, prev := range p.peers {
+		if prev.HTTP == httpPart {
+			return fmt.Errorf("peer %q: duplicate fetch address %s (already given as -peer %s/%s)",
+				v, httpPart, prev.ICP, prev.HTTP)
+		}
+		if name != "" && prev.Name == name {
+			return fmt.Errorf("peer %q: duplicate hash name %q (already given to %s)", v, name, prev.HTTP)
+		}
 	}
 	p.peers = append(p.peers, netnode.Peer{ICP: udp, HTTP: httpPart, Name: name})
 	return nil

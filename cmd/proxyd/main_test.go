@@ -189,3 +189,50 @@ func TestLocationFromFlags(t *testing.T) {
 		t.Fatal("unknown mechanism accepted")
 	}
 }
+
+// TestPeerListRejectsDuplicates: the same neighbour given twice — by
+// fetch address or by hash name — is an operator typo caught at flag
+// parse, before any socket binds.
+func TestPeerListRejectsDuplicates(t *testing.T) {
+	var p peerList
+	if err := p.Set("127.0.0.1:3130/127.0.0.1:8081/n0"); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Set("127.0.0.1:3131/127.0.0.1:8081/n1")
+	if err == nil || !strings.Contains(err.Error(), "duplicate fetch address") {
+		t.Fatalf("duplicate fetch address: %v", err)
+	}
+	err = p.Set("127.0.0.1:3131/127.0.0.1:8082/n0")
+	if err == nil || !strings.Contains(err.Error(), "duplicate hash name") {
+		t.Fatalf("duplicate hash name: %v", err)
+	}
+	// A distinct peer still parses after the rejections.
+	if err := p.Set("127.0.0.1:3131/127.0.0.1:8082/n1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.peers) != 2 {
+		t.Fatalf("peers = %d", len(p.peers))
+	}
+}
+
+// TestMembershipFlagValidation: the elastic-membership flags reject
+// nonsense values up front, naming the flag.
+func TestMembershipFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-eject-after=-1s"}, "-eject-after must be positive"},
+		{[]string{"-readmit-probe=0s"}, "-readmit-probe must be positive"},
+		{[]string{"-readmit-probe=-1s"}, "-readmit-probe must be positive"},
+		{[]string{"-migrate-concurrency=0"}, "-migrate-concurrency must be positive"},
+		{[]string{"-migrate-rate=-5"}, "-migrate-rate must be positive"},
+		{[]string{"-join-warmup=-1s"}, "-join-warmup must be positive"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) err = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -88,6 +88,62 @@ func (r *Ring) Remove(node string) error {
 // Len returns the number of real nodes.
 func (r *Ring) Len() int { return len(r.nodes) }
 
+// Members returns the real node names in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether node is a member of the ring.
+func (r *Ring) Contains(node string) bool {
+	_, ok := r.nodes[node]
+	return ok
+}
+
+// Fingerprint hashes the sorted member set: two rings fingerprint equal
+// iff they route over the same members. Elastic membership piggybacks it
+// on resolve requests so a responder can tell a requester that failed
+// over around dead owners (same membership view — act as home) from one
+// that simply has not learned the current membership yet (keeping a copy
+// for it would duplicate the real owner's).
+func (r *Ring) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, n := range r.Members() {
+		_, _ = h.Write([]byte(n))
+		_, _ = h.Write([]byte{0})
+	}
+	return mix64(h.Sum64())
+}
+
+// OwnerChange records one key whose primary owner differs between two
+// rings — the unit of work a rebalance must move.
+type OwnerChange struct {
+	Key  string
+	From string // owner under the old ring ("" when it was empty)
+	To   string // owner under the new ring ("" when it is empty)
+}
+
+// OwnerChanges returns, for the given keys, every ownership transfer
+// implied by moving from the old ring to the new one, in input order.
+// Keys whose owner is unchanged are omitted. Consistent hashing promises
+// the returned set is small: adding or removing one of N nodes moves only
+// ~1/N of the key space, and never reassigns a key between two surviving
+// nodes — the property the rebalance tests pin down.
+func OwnerChanges(old, new *Ring, keys []string) []OwnerChange {
+	var out []OwnerChange
+	for _, k := range keys {
+		from, to := old.Owner(k), new.Owner(k)
+		if from != to {
+			out = append(out, OwnerChange{Key: k, From: from, To: to})
+		}
+	}
+	return out
+}
+
 // Owner returns the node responsible for key ("" when the ring is empty).
 func (r *Ring) Owner(key string) string {
 	if len(r.points) == 0 {

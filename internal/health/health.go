@@ -107,6 +107,7 @@ func (c Config) withDefaults() Config {
 type peerState struct {
 	state     State
 	failures  int           // consecutive failures
+	since     time.Time     // when state was last entered (zero: never transitioned)
 	probeWait time.Duration // current backoff interval while dead
 	nextProbe time.Time     // earliest next probe while dead
 }
@@ -179,6 +180,9 @@ func (t *Tracker) ReportSuccess(peer string) {
 	ps.failures = 0
 	ps.probeWait = 0
 	ps.nextProbe = time.Time{}
+	if from != Healthy {
+		ps.since = t.cfg.Now()
+	}
 	t.mu.Unlock()
 	t.notify(peer, from, Healthy)
 }
@@ -202,6 +206,9 @@ func (t *Tracker) ReportFailure(peer string) {
 		ps.state = Suspect
 	}
 	to := ps.state
+	if from != to {
+		ps.since = t.cfg.Now()
+	}
 	t.mu.Unlock()
 	t.notify(peer, from, to)
 }
@@ -230,11 +237,22 @@ func (t *Tracker) Snapshot() []PeerStatus {
 	t.mu.Lock()
 	out := make([]PeerStatus, 0, len(t.peers))
 	for p, ps := range t.peers {
-		out = append(out, PeerStatus{Peer: p, State: ps.state, Failures: ps.failures})
+		out = append(out, PeerStatus{Peer: p, State: ps.state, Failures: ps.failures, Since: ps.since})
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out
+}
+
+// Status returns one peer's breaker status. An untracked peer is healthy
+// with a zero Since.
+func (t *Tracker) Status(peer string) PeerStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.peers[peer]; ok {
+		return PeerStatus{Peer: peer, State: ps.state, Failures: ps.failures, Since: ps.since}
+	}
+	return PeerStatus{Peer: peer, State: Healthy}
 }
 
 // PeerStatus is one Snapshot row.
@@ -242,4 +260,8 @@ type PeerStatus struct {
 	Peer     string
 	State    State
 	Failures int
+	// Since is when the peer entered its current state (zero for a peer
+	// that has never transitioned — healthy since first sight). The
+	// membership layer's ejection grace window is measured from it.
+	Since time.Time
 }

@@ -167,3 +167,65 @@ func TestConcurrentReports(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestStatusTracksStateSince(t *testing.T) {
+	clk := newClock()
+	tr := NewTracker(Config{SuspectAfter: 1, DeadAfter: 2, Now: clk.Now})
+
+	// Untracked: healthy, never transitioned.
+	st := tr.Status("p")
+	if st.State != Healthy || !st.Since.IsZero() || st.Failures != 0 {
+		t.Fatalf("untracked status = %+v", st)
+	}
+
+	tr.ReportFailure("p")
+	suspectAt := clk.Now()
+	st = tr.Status("p")
+	if st.State != Suspect || !st.Since.Equal(suspectAt) || st.Failures != 1 {
+		t.Fatalf("after one failure: %+v", st)
+	}
+
+	// A repeat failure in the same state must NOT reset Since — the
+	// ejection grace window is measured from the first entry into Dead.
+	clk.Advance(time.Second)
+	tr.ReportFailure("p")
+	deadAt := clk.Now()
+	clk.Advance(time.Second)
+	tr.ReportFailure("p")
+	st = tr.Status("p")
+	if st.State != Dead {
+		t.Fatalf("state = %v, want dead", st.State)
+	}
+	if !st.Since.Equal(deadAt) {
+		t.Fatalf("Since = %v, want first death at %v", st.Since, deadAt)
+	}
+	if st.Failures != 3 {
+		t.Fatalf("failures = %d", st.Failures)
+	}
+
+	// Recovery stamps the healthy transition time.
+	clk.Advance(time.Minute)
+	tr.ReportSuccess("p")
+	st = tr.Status("p")
+	if st.State != Healthy || !st.Since.Equal(clk.Now()) || st.Failures != 0 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+}
+
+func TestSnapshotMatchesStatus(t *testing.T) {
+	clk := newClock()
+	tr := NewTracker(Config{SuspectAfter: 1, DeadAfter: 2, Now: clk.Now})
+	tr.ReportFailure("b")
+	tr.ReportFailure("b")
+	tr.ReportSuccess("a")
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Peer != "a" || snap[1].Peer != "b" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for _, row := range snap {
+		if got := tr.Status(row.Peer); got != row {
+			t.Fatalf("Status(%q) = %+v, snapshot row %+v", row.Peer, got, row)
+		}
+	}
+}

@@ -17,6 +17,10 @@
 //	Content-Length: <bytes>
 //
 //	<body>
+//
+// A PUT request line marks a migration handoff (Request.Push): the sender
+// offers the document, X-Size-Hint is the exact body length that follows,
+// and the response's status says whether the receiver kept the copy.
 package hproto
 
 import (
@@ -48,6 +52,13 @@ const (
 	// responder's cache or was resolved from the origin, so a child can
 	// classify the outcome (remote hit vs miss) like the paper does.
 	SourceHeader = "X-Source"
+
+	// RingHeader carries the requester's topology fingerprint (hex) on a
+	// hash-routed resolve request, so the responder can tell "every owner
+	// before me is down" (views agree: act as home, keep the copy) from
+	// "the requester has not heard about the real owner yet" (views
+	// differ: relay without keeping, or a second copy would be minted).
+	RingHeader = "X-Ring"
 
 	// SourceCache and SourceOrigin are the SourceHeader values.
 	SourceCache  = "cache"
@@ -85,6 +96,19 @@ type Request struct {
 	// Resolve asks a hierarchical parent to fetch the document from
 	// upstream on a miss instead of answering 404.
 	Resolve bool
+	// Push marks a migration handoff: the sender offers the document to
+	// the receiver instead of asking for it. The request line uses the
+	// PUT method, SizeHint is the exact body length that follows the
+	// blank line, and the receiver answers StatusOK when it stored the
+	// copy or StatusNotFound when it refused (not the owner, draining,
+	// or out of space) — either way piggybacking its own expiration age,
+	// which the sender uses to EA-gate later transfers. Push and Resolve
+	// are mutually exclusive.
+	Push bool
+	// RingFP is the requester's topology fingerprint
+	// (chash.Ring.Fingerprint) on a hash-routed resolve request; zero
+	// means absent (non-hash requesters never send it).
+	RingFP uint64
 	// AgeClamped reports that the wire carried a negative or overflowing
 	// expiration age and RequesterAge is the clamped substitute — a
 	// misbehaving peer, worth counting (metrics.Robustness) but not worth
@@ -171,7 +195,8 @@ func ParseAgeClamped(s string) (age time.Duration, clamped bool, err error) {
 	return time.Duration(ms) * time.Millisecond, false, nil
 }
 
-// WriteRequest serialises req.
+// WriteRequest serialises req. For a Push request the caller must write
+// exactly req.SizeHint body bytes immediately after.
 func WriteRequest(w io.Writer, req Request) error {
 	if strings.ContainsAny(req.URL, " \r\n") || req.URL == "" {
 		return fmt.Errorf("%w: bad URL %q", ErrMalformed, req.URL)
@@ -179,15 +204,29 @@ func WriteRequest(w io.Writer, req Request) error {
 	if len(req.URL) > maxURLLen {
 		return ErrTooLong
 	}
+	if req.Push && req.Resolve {
+		return fmt.Errorf("%w: push request cannot resolve", ErrMalformed)
+	}
+	method := "GET"
+	if req.Push {
+		if req.SizeHint < 0 {
+			return fmt.Errorf("%w: negative push size %d", ErrMalformed, req.SizeHint)
+		}
+		method = "PUT"
+	}
 	resolve := ""
 	if req.Resolve {
 		resolve = ResolveHeader + ": 1\r\n"
 	}
-	_, err := fmt.Fprintf(w, "GET %s %s\r\n%s: %s\r\n%s: %d\r\n%s\r\n",
-		req.URL, ProtoVersion,
+	ring := ""
+	if req.RingFP != 0 {
+		ring = RingHeader + ": " + strconv.FormatUint(req.RingFP, 16) + "\r\n"
+	}
+	_, err := fmt.Fprintf(w, "%s %s %s\r\n%s: %s\r\n%s: %d\r\n%s%s\r\n",
+		method, req.URL, ProtoVersion,
 		AgeHeader, FormatAge(req.RequesterAge),
 		SizeHintHeader, req.SizeHint,
-		resolve)
+		resolve, ring)
 	if err != nil {
 		return fmt.Errorf("hproto: write request: %w", err)
 	}
@@ -201,10 +240,10 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		return Request{}, err
 	}
 	parts := strings.Split(line, " ")
-	if len(parts) != 3 || parts[0] != "GET" || parts[2] != ProtoVersion {
+	if len(parts) != 3 || (parts[0] != "GET" && parts[0] != "PUT") || parts[2] != ProtoVersion {
 		return Request{}, fmt.Errorf("%w: request line %q", ErrMalformed, line)
 	}
-	req := Request{URL: parts[1]}
+	req := Request{URL: parts[1], Push: parts[0] == "PUT"}
 	headers, err := readHeaders(r)
 	if err != nil {
 		return Request{}, err
@@ -225,6 +264,15 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 			return Request{}, fmt.Errorf("%w: bad resolve flag %q", ErrMalformed, v)
 		}
 		req.Resolve = true
+	}
+	if v, ok := headers[RingHeader]; ok {
+		req.RingFP, err = strconv.ParseUint(v, 16, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("%w: bad ring fingerprint %q", ErrMalformed, v)
+		}
+	}
+	if req.Push && req.Resolve {
+		return Request{}, fmt.Errorf("%w: push request cannot resolve", ErrMalformed)
 	}
 	return req, nil
 }

@@ -137,7 +137,7 @@ func TestReadRequestErrors(t *testing.T) {
 		in   string
 	}{
 		{"empty", ""},
-		{"bad verb", "PUT http://a/ EAC/1.0\r\n\r\n"},
+		{"bad verb", "POST http://a/ EAC/1.0\r\n\r\n"},
 		{"bad version", "GET http://a/ HTTP/1.0\r\n\r\n"},
 		{"no headers terminator", "GET http://a/ EAC/1.0\r\n"},
 		{"bad header", "GET http://a/ EAC/1.0\r\nnocolon\r\n\r\n"},
@@ -217,5 +217,73 @@ func TestQuickAgeRoundTrip(t *testing.T) {
 	got, err := ParseAge(FormatAge(cache.NoContention))
 	if err != nil || got != cache.NoContention {
 		t.Fatalf("NoContention round trip: %v, %v", got, err)
+	}
+}
+
+func TestPushRequestRoundTrip(t *testing.T) {
+	req := Request{
+		URL:          "http://a.example.edu/x.html",
+		RequesterAge: 45 * time.Second,
+		SizeHint:     4096,
+		Push:         true,
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	if !strings.HasPrefix(wire, "PUT ") {
+		t.Fatalf("push request line %q, want PUT method", wire[:20])
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip: got %+v, want %+v", got, req)
+	}
+}
+
+func TestRingFingerprintRoundTrip(t *testing.T) {
+	for _, fp := range []uint64{1, 0xdeadbeef, ^uint64(0)} {
+		req := Request{URL: "http://a/", RingFP: fp, Resolve: true}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != req {
+			t.Fatalf("round trip: got %+v, want %+v", got, req)
+		}
+	}
+	// Zero means absent: the header must not appear on the wire.
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, Request{URL: "http://a/"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), RingHeader) {
+		t.Fatalf("zero fingerprint emitted a %s header: %q", RingHeader, buf.String())
+	}
+}
+
+func TestPushRequestRejections(t *testing.T) {
+	if err := WriteRequest(io.Discard, Request{URL: "http://a/", Push: true, Resolve: true}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("push+resolve write: %v", err)
+	}
+	if err := WriteRequest(io.Discard, Request{URL: "http://a/", Push: true, SizeHint: -1}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("negative push size: %v", err)
+	}
+	bad := []string{
+		"PUT http://a/ EAC/1.0\r\nX-Resolve: 1\r\n\r\n",
+		"GET http://a/ EAC/1.0\r\nX-Ring: nothex\r\n\r\n",
+		"GET http://a/ EAC/1.0\r\nX-Ring: -1\r\n\r\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("ReadRequest(%q) = %v, want ErrMalformed", in, err)
+		}
 	}
 }

@@ -19,6 +19,12 @@ type Robustness struct {
 	leaderRetries      atomic.Int64
 	sheds              atomic.Int64
 	originWaits        atomic.Int64
+
+	ejections      atomic.Int64
+	readmissions   atomic.Int64
+	migratedDocs   atomic.Int64
+	migratedBytes  atomic.Int64
+	migrationFails atomic.Int64
 }
 
 // PeerFailure records one failed exchange with a peer: an ICP silence on a
@@ -66,6 +72,25 @@ func (r *Robustness) Shed() { r.sheds.Add(1) }
 // concurrency semaphore full and had to queue for a slot.
 func (r *Robustness) OriginWait() { r.originWaits.Add(1) }
 
+// Ejection records a peer removed from the locator set because its
+// breaker stayed dead past the membership grace window.
+func (r *Robustness) Ejection() { r.ejections.Add(1) }
+
+// Readmission records an ejected peer restored to the locator set after
+// an out-of-band probe succeeded.
+func (r *Robustness) Readmission() { r.readmissions.Add(1) }
+
+// Migrated records one document handed off to its new owner during a
+// membership rebalance or drain.
+func (r *Robustness) Migrated(bytes int64) {
+	r.migratedDocs.Add(1)
+	r.migratedBytes.Add(bytes)
+}
+
+// MigrationFailure records a handoff that failed in transit (the document
+// stays recoverable from the origin, but the transfer bytes were wasted).
+func (r *Robustness) MigrationFailure() { r.migrationFails.Add(1) }
+
 // RobustnessSnapshot is a consistent-enough copy of the counters for
 // reporting and tests.
 type RobustnessSnapshot struct {
@@ -81,6 +106,12 @@ type RobustnessSnapshot struct {
 	LeaderRetries      int64
 	Sheds              int64
 	OriginWaits        int64
+
+	Ejections         int64
+	Readmissions      int64
+	MigratedDocs      int64
+	MigratedBytes     int64
+	MigrationFailures int64
 }
 
 // Snapshot returns the current counter values.
@@ -98,5 +129,11 @@ func (r *Robustness) Snapshot() RobustnessSnapshot {
 		LeaderRetries:      r.leaderRetries.Load(),
 		Sheds:              r.sheds.Load(),
 		OriginWaits:        r.originWaits.Load(),
+
+		Ejections:         r.ejections.Load(),
+		Readmissions:      r.readmissions.Load(),
+		MigratedDocs:      r.migratedDocs.Load(),
+		MigratedBytes:     r.migratedBytes.Load(),
+		MigrationFailures: r.migrationFails.Load(),
 	}
 }

@@ -53,6 +53,15 @@ const (
 	DefaultShedQueueWait = 100 * time.Millisecond
 )
 
+// Elastic-membership defaults (Config fields of the same names).
+const (
+	// DefaultReadmitProbe spaces the out-of-band probes sent to ejected
+	// peers.
+	DefaultReadmitProbe = 500 * time.Millisecond
+	// DefaultMigrateConcurrency bounds parallel handoff transfers.
+	DefaultMigrateConcurrency = 2
+)
+
 // ErrOverloaded is returned by Request when the node is over its
 // MaxInflight bound and the ShedQueueWait budget elapsed without a slot
 // freeing up — a fast refusal instead of a collapse. Callers should test
@@ -166,6 +175,30 @@ type Config struct {
 	// Health tunes the per-peer circuit breaker (thresholds, probe
 	// backoff). The zero value uses the health package defaults.
 	Health health.Config
+	// EjectAfter, when positive, enables breaker-driven ejection: a peer
+	// whose breaker stays dead this long is removed from the locator set
+	// (ICP fan-out and hash homing) until an out-of-band probe succeeds,
+	// at which point it is readmitted automatically. Zero disables
+	// ejection; negative is rejected.
+	EjectAfter time.Duration
+	// ReadmitProbe spaces the out-of-band probes sent to ejected peers.
+	// Defaults to DefaultReadmitProbe; requires EjectAfter when set;
+	// negative is rejected.
+	ReadmitProbe time.Duration
+	// MigrateConcurrency bounds parallel handoff transfers during ring
+	// rebalances and drain. Zero defaults to DefaultMigrateConcurrency;
+	// negative is rejected.
+	MigrateConcurrency int
+	// MigrateRate caps handoff transfers per second, so migration never
+	// starves the request path. Zero means unpaced; negative is rejected.
+	MigrateRate int
+	// JoinWarmup, under LocateHash, makes a freshly started node relay
+	// without keeping copies for this long: it serves what it has and
+	// accepts migration pushes, but refuses resolve-keeps and front-door
+	// stores until the rest of the group has had time to converge on its
+	// arrival — storing earlier could duplicate a copy a stale-view peer
+	// still holds. Zero disables the warmup; negative is rejected.
+	JoinWarmup time.Duration
 	// DataDir, when set, makes the node crash-safe: cache contents,
 	// per-document metadata, and the expiration-age tracker are journaled
 	// to this directory and recovered on restart (see internal/persist).
@@ -250,12 +283,33 @@ type Node struct {
 
 	// The request path has no global lock: the sharded store serialises
 	// per shard, the peer set is an immutable snapshot swapped atomically
-	// by SetPeers, and the digest machinery has its own small mutex.
+	// by every membership change, and the digest machinery has its own
+	// small mutex.
 	store *cache.ShardedStore
 	peers atomic.Pointer[[]Peer]
-	// hash is the consistent-hash locator under LocateHash, rebuilt by
-	// SetPeers and swapped atomically like the peer snapshot.
+	// hash is the consistent-hash locator under LocateHash, rebuilt on
+	// every membership change and swapped atomically like the peer
+	// snapshot.
 	hash atomic.Pointer[resolve.HashLocator]
+
+	// Elastic membership (membership.go, migrate.go). mem guards the
+	// configured member list and the ejected set; epoch counts published
+	// topologies; draining is set for good by DrainHandoff.
+	mem struct {
+		sync.Mutex
+		members []Peer
+		ejected map[string]*ejection
+	}
+	epoch        atomic.Int64
+	draining     atomic.Bool
+	warmUntil    time.Time // relay-only until then under LocateHash; zero when off
+	ejectAfter   time.Duration
+	readmitProbe time.Duration
+	migrateConc  int
+	migrateRate  int
+	migrateKick  chan struct{}
+	lastMig      atomic.Pointer[MigrationReport]
+	drainMu      sync.Mutex
 
 	digestMu sync.Mutex // guards digests (own summary + fetched filters)
 
@@ -329,6 +383,30 @@ func New(cfg Config) (*Node, error) {
 	if cfg.MaxInflight > 0 && cfg.ShedQueueWait == 0 {
 		cfg.ShedQueueWait = DefaultShedQueueWait
 	}
+	if cfg.EjectAfter < 0 {
+		return nil, fmt.Errorf("netnode: negative EjectAfter %v", cfg.EjectAfter)
+	}
+	if cfg.ReadmitProbe < 0 {
+		return nil, fmt.Errorf("netnode: negative ReadmitProbe %v", cfg.ReadmitProbe)
+	}
+	if cfg.ReadmitProbe > 0 && cfg.EjectAfter == 0 {
+		return nil, errors.New("netnode: ReadmitProbe requires EjectAfter")
+	}
+	if cfg.EjectAfter > 0 && cfg.ReadmitProbe == 0 {
+		cfg.ReadmitProbe = DefaultReadmitProbe
+	}
+	if cfg.MigrateConcurrency < 0 {
+		return nil, fmt.Errorf("netnode: negative MigrateConcurrency %d", cfg.MigrateConcurrency)
+	}
+	if cfg.MigrateConcurrency == 0 {
+		cfg.MigrateConcurrency = DefaultMigrateConcurrency
+	}
+	if cfg.MigrateRate < 0 {
+		return nil, fmt.Errorf("netnode: negative MigrateRate %d", cfg.MigrateRate)
+	}
+	if cfg.JoinWarmup < 0 {
+		return nil, fmt.Errorf("netnode: negative JoinWarmup %v", cfg.JoinWarmup)
+	}
 	if cfg.SnapshotInterval < 0 {
 		return nil, fmt.Errorf("netnode: negative SnapshotInterval %v", cfg.SnapshotInterval)
 	}
@@ -382,8 +460,16 @@ func New(cfg Config) (*Node, error) {
 		store:         store,
 		originSem:     make(chan struct{}, cfg.OriginConcurrency),
 		shedWait:      cfg.ShedQueueWait,
+		ejectAfter:    cfg.EjectAfter,
+		readmitProbe:  cfg.ReadmitProbe,
+		migrateConc:   cfg.MigrateConcurrency,
+		migrateRate:   cfg.MigrateRate,
 		icpClient:     icp.NewClient(),
 		closed:        make(chan struct{}),
+	}
+	n.mem.ejected = make(map[string]*ejection)
+	if cfg.JoinWarmup > 0 && cfg.Location == resolve.LocateHash {
+		n.warmUntil = time.Now().Add(cfg.JoinWarmup)
 	}
 	if cfg.MaxInflight > 0 {
 		n.inflight = make(chan struct{}, cfg.MaxInflight)
@@ -534,6 +620,17 @@ func New(cfg Config) (*Node, error) {
 		n.wg.Add(1)
 		go n.snapshotLoop()
 	}
+	if n.location == resolve.LocateHash {
+		// Only hash placement is structural enough that a membership
+		// change moves document ownership; the migrator follows it.
+		n.migrateKick = make(chan struct{}, 1)
+		n.wg.Add(1)
+		go n.migratorLoop()
+	}
+	if n.ejectAfter > 0 {
+		n.wg.Add(1)
+		go n.membershipLoop()
+	}
 	return n, nil
 }
 
@@ -557,22 +654,28 @@ func (n *Node) ICPAddr() *net.UDPAddr { return n.icpServer.Addr() }
 // HTTPAddr returns the bound TCP address.
 func (n *Node) HTTPAddr() string { return n.httpLn.Addr().String() }
 
-// SetPeers replaces the neighbour set and drops breaker state for peers
-// that left it. The set is published as an immutable snapshot behind an
-// atomic pointer: the request path reads it with one atomic load and no
-// per-request copy, and never observes a half-updated set.
+// SetPeers replaces the whole configured member set (boot wiring; use
+// AddPeer/RemovePeer for incremental changes) and drops breaker and
+// ejection state for peers that left it. The active set is published as
+// an immutable snapshot behind an atomic pointer: the request path reads
+// it with one atomic load and no per-request copy, and never observes a
+// half-updated set.
 func (n *Node) SetPeers(peers []Peer) {
-	keep := make(map[string]bool, len(peers))
-	for _, p := range peers {
-		keep[p.HTTP] = true
+	n.mem.Lock()
+	defer n.mem.Unlock()
+	n.mem.members = append([]Peer(nil), peers...)
+	if len(n.mem.ejected) > 0 {
+		present := make(map[string]bool, len(peers))
+		for _, p := range peers {
+			present[p.HTTP] = true
+		}
+		for addr := range n.mem.ejected {
+			if !present[addr] {
+				delete(n.mem.ejected, addr)
+			}
+		}
 	}
-	n.health.Forget(keep)
-	n.om.registerPeerGauges(n, peers)
-	snapshot := append([]Peer(nil), peers...)
-	n.peers.Store(&snapshot)
-	if n.location == resolve.LocateHash {
-		n.rebuildHashRing(snapshot)
-	}
+	n.publishLocked()
 }
 
 // peerList returns the current immutable peer snapshot. Callers must not
@@ -928,8 +1031,8 @@ func (n *Node) serveConn(conn net.Conn) {
 
 	br := getReader(conn)
 	req, err := hproto.ReadRequest(br)
-	putReader(br)
 	if err != nil {
+		putReader(br)
 		n.warn("bad fetch request", nil, "err", err)
 		return
 	}
@@ -937,6 +1040,14 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.robust.WireClamp()
 		n.warn("clamped bad requester age", nil, "remote", conn.RemoteAddr().String())
 	}
+	if req.Push {
+		// Migration handoff: the body still sits (partly) in the bufio
+		// reader, so it is drained before the reader is pooled again.
+		n.servePush(conn, br, req)
+		putReader(br)
+		return
+	}
+	putReader(br)
 
 	// The reserved digest URL serves this node's own cache digest.
 	if req.URL == DigestURL {
@@ -1018,9 +1129,14 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 	}
 	keep := n.scheme.OnParentResolve(myAge, req.RequesterAge)
 	if n.location == resolve.LocateHash {
-		// The home node keeps every document it resolves: the group's
-		// only copy must land here.
-		keep = true
+		// The (acting) home keeps every document it resolves — the
+		// group's only copy must land here — but only for requesters
+		// whose ring view matches this node's (see mayKeepResolved);
+		// a stale-view requester gets the body relayed without a store.
+		keep = n.mayKeepResolved(req.RingFP)
+	}
+	if n.draining.Load() {
+		keep = false
 	}
 	n.om.decision(roleParent, decisionOf(keep))
 	if keep {
@@ -1068,7 +1184,7 @@ func (n *Node) dial(addr string) (net.Conn, error) {
 // source (cache or origin; an absent header means cache). A non-OK status
 // maps to errNotFound; a body shorter than advertised maps to
 // hproto.ErrTruncatedBody.
-func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Duration, resolve bool) (int64, time.Duration, string, error) {
+func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Duration, rslv bool) (int64, time.Duration, string, error) {
 	conn, err := n.dial(addr)
 	if err != nil {
 		return 0, 0, "", fmt.Errorf("dial %s: %w", addr, err)
@@ -1076,12 +1192,21 @@ func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Dur
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(n.fetchTimeout))
 
-	if err := hproto.WriteRequest(conn, hproto.Request{
+	req := hproto.Request{
 		URL:          url,
 		RequesterAge: requesterAge,
 		SizeHint:     sizeHint,
-		Resolve:      resolve,
-	}); err != nil {
+		Resolve:      rslv,
+	}
+	if rslv && n.location == resolve.LocateHash {
+		if h := n.hash.Load(); h != nil {
+			// The topology fingerprint rides along so the responder can
+			// tell failover (matching views) from staleness (mismatch)
+			// when deciding whether to keep the resolved copy.
+			req.RingFP = h.Fingerprint
+		}
+	}
+	if err := hproto.WriteRequest(conn, req); err != nil {
 		return 0, 0, "", err
 	}
 	br := getReader(conn)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eacache/internal/cache"
+	"eacache/internal/health"
 	"eacache/internal/metrics"
 	"eacache/internal/obs"
 )
@@ -120,7 +121,22 @@ type nodeObs struct {
 	sheds              *obs.Counter   // eac_requests_shed_total
 	upstreamWaits      *obs.Counter   // eac_origin_sem_waits_total
 	upstreamWaitDur    *obs.Histogram // eac_origin_sem_wait_seconds
+
+	migrations  [mrCount]*obs.Counter  // eac_migration_docs_total{result}
+	migrBytes   *obs.Counter           // eac_migration_bytes_total
+	memEvents   [memCount]*obs.Counter // eac_membership_events_total{event}
+	pushStored  *obs.Counter           // eac_pushes_received_total{decision="stored"}
+	pushRefused *obs.Counter           // eac_pushes_received_total{decision="refused"}
 }
+
+// Membership event indexes on eac_membership_events_total.
+const (
+	memEjection = iota
+	memReadmission
+	memCount
+)
+
+var memEventNames = [memCount]string{"ejection", "readmission"}
 
 // newNodeObs registers the node's metric families and returns the cached
 // instruments. The gauge funcs close over n and are evaluated at scrape
@@ -202,6 +218,40 @@ func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
 	o.upstreamWaitDur = r.Histogram("eac_origin_sem_wait_seconds",
 		"Time contended upstream fetches waited for an origin-semaphore slot.", nil, nil)
 
+	for idx, res := range migrateResultNames {
+		o.migrations[idx] = r.Counter("eac_migration_docs_total",
+			"Documents processed by migration passes, by per-document result.",
+			obs.Labels{"result": res})
+	}
+	o.migrBytes = r.Counter("eac_migration_bytes_total",
+		"Body bytes transferred by migration handoffs.", nil)
+	for idx, ev := range memEventNames {
+		o.memEvents[idx] = r.Counter("eac_membership_events_total",
+			"Breaker-driven membership changes (grace-window ejections and probe readmissions).",
+			obs.Labels{"event": ev})
+	}
+	o.pushStored = r.Counter("eac_pushes_received_total",
+		"Migration handoffs received, by whether the copy was stored.",
+		obs.Labels{"decision": "stored"})
+	o.pushRefused = r.Counter("eac_pushes_received_total",
+		"Migration handoffs received, by whether the copy was stored.",
+		obs.Labels{"decision": "refused"})
+
+	r.GaugeFunc("eac_membership_epoch",
+		"Membership revision: bumped by every join, leave, ejection, and readmission.",
+		nil, func() float64 { return float64(n.epoch.Load()) })
+	r.GaugeFunc("eac_membership_active_peers",
+		"Peers currently in the locator set (configured members minus ejected ones).",
+		nil, func() float64 { return float64(len(n.peerList())) })
+	r.GaugeFunc("eac_node_draining",
+		"1 once DrainHandoff has begun (the node keeps no new copies).",
+		nil, func() float64 {
+			if n.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
 	r.GaugeFunc("eac_inflight_requests",
 		"Requests currently inside the front door (0 when shedding is disabled).",
 		nil, func() float64 {
@@ -236,18 +286,77 @@ func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
 	return o
 }
 
-// registerPeerGauges (re-)registers one breaker-state gauge per neighbour;
-// SetPeers calls it so the scrape always covers the current peer set.
+// registerPeerGauges (re-)registers the per-neighbour breaker gauges;
+// every membership publish calls it so the scrape always covers the
+// current member set (including ejected members, whose recovery is what
+// operators watch for). Alongside the packed state value, each state
+// gets a one-hot series and the last transition is exposed as an age —
+// together they answer "which peers flapped, and when" straight from
+// the scrape.
 func (o *nodeObs) registerPeerGauges(n *Node, peers []Peer) {
 	if o == nil {
 		return
 	}
+	r := o.tel.Registry
 	for _, p := range peers {
 		addr := p.HTTP
-		o.tel.Registry.GaugeFunc("eac_peer_breaker_state",
+		r.GaugeFunc("eac_peer_breaker_state",
 			"Per-peer circuit-breaker state: 0 healthy, 1 suspect, 2 dead.",
 			obs.Labels{"peer": addr},
 			func() float64 { return float64(n.health.State(addr)) })
+		for _, st := range []health.State{health.Healthy, health.Suspect, health.Dead} {
+			st := st
+			r.GaugeFunc("eac_peer_state",
+				"Per-peer breaker state, one-hot by state label.",
+				obs.Labels{"peer": addr, "state": st.String()},
+				func() float64 {
+					if n.health.State(addr) == st {
+						return 1
+					}
+					return 0
+				})
+		}
+		r.GaugeFunc("eac_peer_last_transition_seconds",
+			"Seconds since the peer's last breaker transition (0 = never transitioned).",
+			obs.Labels{"peer": addr},
+			func() float64 {
+				st := n.health.Status(addr)
+				if st.Since.IsZero() {
+					return 0
+				}
+				return time.Since(st.Since).Seconds()
+			})
+	}
+}
+
+// migration counts one migrated document's per-document result.
+func (o *nodeObs) migration(result int, bytes int64) {
+	if o == nil {
+		return
+	}
+	o.migrations[result].Inc()
+	if bytes > 0 {
+		o.migrBytes.Add(bytes)
+	}
+}
+
+// membershipEvent counts one ejection or readmission.
+func (o *nodeObs) membershipEvent(ev int) {
+	if o == nil {
+		return
+	}
+	o.memEvents[ev].Inc()
+}
+
+// pushReceived counts one inbound migration handoff.
+func (o *nodeObs) pushReceived(stored bool) {
+	if o == nil {
+		return
+	}
+	if stored {
+		o.pushStored.Inc()
+	} else {
+		o.pushRefused.Inc()
 	}
 }
 

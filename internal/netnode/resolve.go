@@ -51,6 +51,14 @@ func (s nodeStore) ExpirationAge(now time.Time) time.Duration {
 }
 
 func (s nodeStore) StoreCopy(doc cache.Document, now time.Time) bool {
+	if s.n.draining.Load() || s.n.warming() {
+		// A draining node keeps no new copies (its store must only
+		// shrink while the handoff walks it), and a warming one relays
+		// without storing until the group has converged on its arrival
+		// — storing earlier could duplicate a copy a stale-view peer
+		// still holds. Migration pushes bypass this path.
+		return false
+	}
 	_, err := s.n.store.Put(doc, now)
 	return err == nil
 }
@@ -168,18 +176,16 @@ func (n *Node) digestLocate(tr *obs.Trace, url string) resolve.Located {
 }
 
 // rebuildHashRing publishes a new hash locator over the node's own ring
-// name plus the peer set. Called by SetPeers under LocateHash; the
+// name plus the active peer set, stamped with the membership epoch that
+// produced it. Called on every topology publish under LocateHash; the
 // locator is immutable once published and swapped atomically, like the
 // peer snapshot itself.
-func (n *Node) rebuildHashRing(peers []Peer) {
+func (n *Node) rebuildHashRing(peers []Peer, epoch int64) {
 	members := make([]string, 0, len(peers)+1)
 	members = append(members, n.hashName)
 	byName := make(map[string]Peer, len(peers))
 	for _, p := range peers {
-		name := p.Name
-		if name == "" {
-			name = p.HTTP
-		}
+		name := ringName(p)
 		members = append(members, name)
 		byName[name] = p
 	}
@@ -190,8 +196,10 @@ func (n *Node) rebuildHashRing(peers []Peer) {
 		return
 	}
 	n.hash.Store(&resolve.HashLocator{
-		Ring: ring,
-		Self: n.hashName,
+		Ring:        ring,
+		Self:        n.hashName,
+		Epoch:       epoch,
+		Fingerprint: ring.Fingerprint(),
 		Candidate: func(member string) (resolve.Candidate, bool) {
 			p, ok := byName[member]
 			if !ok || !n.health.Allow(p.HTTP) {

@@ -22,6 +22,10 @@ type AdminConfig struct {
 	Healthz func() error
 	// Info is served as JSON on / (node identity, addresses, build info).
 	Info map[string]string
+	// Routes, when set, mounts extra handlers on the admin mux (e.g. the
+	// node's membership API) alongside the built-in surfaces. Patterns
+	// must not collide with the built-ins.
+	Routes map[string]http.Handler
 }
 
 // Admin is a running admin HTTP server. It is deliberately separate from
@@ -73,6 +77,9 @@ func ServeAdmin(cfg AdminConfig) (*Admin, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range cfg.Routes {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -19,11 +19,25 @@ import (
 // (acting) home and must keep the copy it fetches. Requests served by a
 // remote home are never stored locally (PlacementNever) — the group
 // holds at most one copy of each document.
+// A HashLocator is immutable: elastic membership rebinds the engine to a
+// new topology by building a fresh locator over the rebuilt ring and
+// swapping it in atomically (the live node keeps it behind an
+// atomic.Pointer), stamped with the membership epoch that produced it. A
+// request therefore sees one consistent (ring, epoch) pair end to end,
+// never a half-updated topology.
 type HashLocator struct {
 	// Ring is the group's membership ring. Required.
 	Ring *chash.Ring
 	// Self is this node's own ring member name. Required.
 	Self string
+	// Epoch identifies the membership revision this locator was built
+	// from; every topology change publishes a new locator with a higher
+	// epoch. Purely observational (traces, debugging) — the swap itself
+	// is what rebinds the engine.
+	Epoch int64
+	// Fingerprint is Ring.Fingerprint() at build time, cached so the hot
+	// path can stamp resolve requests without re-hashing the member set.
+	Fingerprint uint64
 	// Candidate maps a ring member name to a fetchable Candidate;
 	// returning false skips the member (not dialable, breaker open).
 	// Self is never passed to it.
