@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-short test-race parity chaos churn-smoke bench bench-json load-json load-smoke fuzz
+.PHONY: check fmt build vet test test-short test-race parity chaos churn-smoke bench bench-json load-json load-smoke obs-smoke fuzz
 
 check: fmt vet build test-race
 
@@ -59,7 +59,7 @@ bench:
 # (hit rate / byte hit rate / estimated latency), and the live-socket
 # node benchmarks — telemetry off/on plus the parallel run on the
 # sharded store. Writes BENCH_JSON.
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_JSON ?= BENCH_pr8.json
 BENCH_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) $(BENCH_FLAGS)
@@ -76,6 +76,18 @@ load-json:
 
 load-smoke:
 	$(GO) run ./cmd/loadgen -nodes 2 -rps 50 -duration 3s -check -out $(LOAD_JSON)
+
+# Group observability gate: live multi-node groups introspected by
+# eacctl over their admin surfaces. Covers single-seed member discovery,
+# cross-node trace stitching (one remote hit -> one trace ID on both the
+# requester and the responder), and the replication-factor audit — under
+# consistent-hash location the factor computed from /admin/resident must
+# stay <= 1.0. Also re-runs the loadgen -obs path so the slow-trace
+# artifact plumbing stays honest.
+obs-smoke:
+	$(GO) test -race -v -run 'TestEacctlAgainstLiveGroup|TestHashGroupReplicationBound' ./cmd/eacctl/
+	$(GO) test -race -v -run 'TestCrossPeerTracePropagation|TestMalformedTraceContextNeverFatal' ./internal/netnode/
+	$(GO) test -race -v -run 'TestLoadgenObsRecordsSlowTraces' ./cmd/loadgen/
 
 # Fuzz the decoders that face untrusted bytes: journal/snapshot recovery
 # and the wire parsers. Short per-target budget by default; raise with

@@ -42,6 +42,7 @@ import (
 	"eacache/internal/dist"
 	"eacache/internal/metrics"
 	"eacache/internal/netnode"
+	"eacache/internal/obs"
 	"eacache/internal/resolve"
 )
 
@@ -69,6 +70,7 @@ type config struct {
 	maxSteps   int
 	check      bool
 	churn      bool
+	obs        bool
 	out        string
 }
 
@@ -92,6 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		maxSteps   = fs.Int("max-steps", 6, "step cap for -saturate")
 		check      = fs.Bool("check", false, "exit non-zero on any shed or failed request (CI smoke at unsaturated load)")
 		churn      = fs.Bool("churn", false, "run a join->drain->leave membership cycle inside each step; errors completing inside a transition window are reported separately and fail -check")
+		obsFlag    = fs.Bool("obs", false, "wire full telemetry into every node (trace every request) and record the trace IDs of the slowest (>=p99) requests in the artifact, for post-hoc eacctl stitching")
 		out        = fs.String("out", "BENCH_pr6.json", "output JSON artifact path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -122,7 +125,8 @@ func run(args []string, stdout io.Writer) error {
 		docs: *docs, zipfAlpha: *zipfAlpha, meanSize: *meanSize, seed: *seed,
 		scheme: scheme, location: loc, capacity: *capacity,
 		originConc: *originConc, inflight: *inflight,
-		saturate: *saturate, maxSteps: *maxSteps, check: *check, churn: *churn, out: *out,
+		saturate: *saturate, maxSteps: *maxSteps, check: *check, churn: *churn,
+		obs: *obsFlag, out: *out,
 	}
 	return runLoad(cfg, stdout)
 }
@@ -145,6 +149,14 @@ func startNode(cfg config, id string, originAddr string) (*netnode.Node, error) 
 	if err != nil {
 		return nil, err
 	}
+	// -obs traces every request (no sampling) so any slow request's
+	// trace ID in the artifact is guaranteed to have records behind it —
+	// the cost being measured is the fully-instrumented path.
+	var tel *obs.Telemetry
+	if cfg.obs {
+		tel = obs.New(id, 4096)
+		tel.SetTraceSampling(1)
+	}
 	return netnode.New(netnode.Config{
 		ID:                id,
 		ICPAddr:           "127.0.0.1:0",
@@ -156,6 +168,7 @@ func startNode(cfg config, id string, originAddr string) (*netnode.Node, error) 
 		HashName:          id,
 		OriginConcurrency: cfg.originConc,
 		MaxInflight:       cfg.inflight,
+		Obs:               tel,
 	})
 }
 
@@ -291,7 +304,24 @@ type stepResult struct {
 	P99MS  float64 `json:"p99_ms"`
 	P999MS float64 `json:"p999_ms"`
 	MaxMS  float64 `json:"max_ms"`
+
+	// SlowTraces names the slowest (>=p99) requests of the step by their
+	// group-wide trace IDs (-obs only): feed one to `eacctl trace` — or
+	// grep the nodes' /debug/trace dumps — to see where the time went.
+	SlowTraces []slowTrace `json:"slow_traces,omitempty"`
 }
+
+// slowTrace is one tail-latency request worth investigating.
+type slowTrace struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
+	URL       string  `json:"url"`
+	Node      string  `json:"node"`
+	Outcome   string  `json:"outcome"`
+}
+
+// maxSlowTraces bounds the per-step tail sample in the artifact.
+const maxSlowTraces = 10
 
 type artifact struct {
 	GeneratedAt string `json:"generated_at"`
@@ -308,6 +338,7 @@ type artifact struct {
 	Seed      uint64  `json:"seed"`
 	DurationS float64 `json:"step_duration_s"`
 	Churn     bool    `json:"churn,omitempty"`
+	Obs       bool    `json:"obs,omitempty"`
 
 	Steps []stepResult `json:"steps"`
 
@@ -378,6 +409,7 @@ func runLoad(cfg config, stdout io.Writer) error {
 		Seed:        cfg.seed,
 		DurationS:   cfg.duration.Seconds(),
 		Churn:       cfg.churn,
+		Obs:         cfg.obs,
 		Steps:       steps,
 	}
 	base := steps[0]
@@ -461,6 +493,7 @@ func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS flo
 		latency time.Duration
 		done    time.Time
 		outcome metrics.Outcome
+		traceID string
 		err     error
 	}
 	samples := make([]sample, len(schedule))
@@ -494,7 +527,7 @@ func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS flo
 			defer wg.Done()
 			sched := start.Add(a.at)
 			res, err := g.nodes[a.node].Request(a.url, a.size)
-			samples[i] = sample{latency: time.Since(sched), done: time.Now(), outcome: res.Outcome, err: err}
+			samples[i] = sample{latency: time.Since(sched), done: time.Now(), outcome: res.Outcome, traceID: res.TraceID, err: err}
 		}(i, a)
 	}
 	wg.Wait()
@@ -543,6 +576,27 @@ func runStep(g *group, cfg config, zipf *dist.Zipf, rng *dist.RNG, targetRPS flo
 	st.P999MS = percentileMS(latencies, 0.999)
 	if n := len(latencies); n > 0 {
 		st.MaxMS = float64(latencies[n-1]) / float64(time.Millisecond)
+	}
+	if cfg.obs && len(latencies) > 0 {
+		threshold := time.Duration(st.P99MS * float64(time.Millisecond))
+		for i, s := range samples {
+			if s.err != nil || s.traceID == "" || s.latency < threshold {
+				continue
+			}
+			st.SlowTraces = append(st.SlowTraces, slowTrace{
+				TraceID:   s.traceID,
+				LatencyMS: float64(s.latency) / float64(time.Millisecond),
+				URL:       schedule[i].url,
+				Node:      g.nodes[schedule[i].node].ID(),
+				Outcome:   s.outcome.String(),
+			})
+		}
+		sort.Slice(st.SlowTraces, func(i, j int) bool {
+			return st.SlowTraces[i].LatencyMS > st.SlowTraces[j].LatencyMS
+		})
+		if len(st.SlowTraces) > maxSlowTraces {
+			st.SlowTraces = st.SlowTraces[:maxSlowTraces]
+		}
 	}
 	return st, nil
 }

@@ -136,3 +136,51 @@ func TestLoadgenFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadgenObsRecordsSlowTraces: with -obs every request is traced, so
+// the artifact's tail sample must name real group-wide trace IDs an
+// operator can hand to `eacctl trace`.
+func TestLoadgenObsRecordsSlowTraces(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rps", "80", "-duration", "500ms", "-docs", "50",
+		"-obs", "-out", out, "-check",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("loadgen -obs run: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if !art.Obs {
+		t.Fatal("artifact does not mark the run as instrumented")
+	}
+	st := art.Steps[0]
+	if len(st.SlowTraces) == 0 {
+		t.Fatal("no slow traces recorded despite -obs")
+	}
+	if len(st.SlowTraces) > maxSlowTraces {
+		t.Fatalf("slow-trace sample unbounded: %d", len(st.SlowTraces))
+	}
+	for i, s := range st.SlowTraces {
+		if len(s.TraceID) != 16 {
+			t.Fatalf("slow trace %d has malformed trace ID %q", i, s.TraceID)
+		}
+		if s.LatencyMS < st.P99MS {
+			t.Fatalf("slow trace %d (%.2fms) is under the p99 threshold (%.2fms)", i, s.LatencyMS, st.P99MS)
+		}
+		if i > 0 && s.LatencyMS > st.SlowTraces[i-1].LatencyMS {
+			t.Fatalf("slow traces not sorted by latency: %+v", st.SlowTraces)
+		}
+		if s.URL == "" || s.Node == "" || s.Outcome == "" {
+			t.Fatalf("slow trace %d missing context: %+v", i, s)
+		}
+	}
+}

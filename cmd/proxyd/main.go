@@ -89,11 +89,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		migrateRate  = fs.Int("migrate-rate", 0, "max document transfers per second during rebalance/drain; 0 is unpaced")
 		joinWarmup   = fs.Duration("join-warmup", 0, "under -locate=hash, relay without storing for this long after boot so the group converges on this node's arrival; 0 disables")
 
-		adminAddr   = fs.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/trace, pprof and the /admin/peers membership API; empty disables telemetry")
+		nodeID      = fs.String("id", "proxyd", "node name in logs, traces and the decision audit (give each group member its own)")
+		adminAddr   = fs.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/trace, /debug/placement, pprof and the /admin/peers membership API; empty disables telemetry")
 		traceCap    = fs.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent request traces /debug/trace retains (needs -admin-addr)")
 		traceSample = fs.Int("trace-sample", obs.DefaultTraceSampling, "trace one request in N; 1 traces every request, metrics always cover all (needs -admin-addr)")
 	)
-	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr>[/<hash-name>] (repeatable)")
+	fs.Var(&peers, "peer", "neighbour as <icp-addr>/<http-addr>[/<hash-name>[/<admin-addr>]] (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +124,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *joinWarmup < 0 {
 		return fmt.Errorf("-join-warmup must be positive, or 0 to disable, got %v", *joinWarmup)
+	}
+	if *traceSample < 1 {
+		return fmt.Errorf("-trace-sample must be at least 1 (trace every request), got %d", *traceSample)
+	}
+	if *traceCap < 1 {
+		return fmt.Errorf("-trace-capacity must be positive, got %d", *traceCap)
 	}
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
@@ -170,11 +177,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	var tel *obs.Telemetry
 	if *adminAddr != "" {
-		tel = obs.New("proxyd", *traceCap)
+		tel = obs.New(*nodeID, *traceCap)
 		tel.SetTraceSampling(*traceSample)
 	}
 	nodeCfg := netnode.Config{
-		ID:            "proxyd",
+		ID:            *nodeID,
 		ICPAddr:       *icpAddr,
 		HTTPAddr:      *httpAddr,
 		Store:         store,
@@ -230,17 +237,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Telemetry: tel,
 			Info: map[string]string{
 				"service": "proxyd",
+				"node":    *nodeID,
 				"scheme":  scheme.Name(),
+				"locate":  loc.String(),
 				"icp":     node.ICPAddr().String(),
 				"http":    node.HTTPAddr(),
 			},
 			Routes: node.AdminRoutes(),
+			// /healthz reports the topology the node is actually routing
+			// on, so a rolling restart can wait for every member to agree
+			// on epoch and ring fingerprint before moving to the next one.
+			HealthDetail: func() map[string]any {
+				return map[string]any{
+					"node":             *nodeID,
+					"membership_epoch": node.Epoch(),
+					"ring_fingerprint": fmt.Sprintf("%016x", node.RingFingerprint()),
+					"peers_active":     node.ActivePeers(),
+					"draining":         node.Draining(),
+				}
+			},
 		})
 		if err != nil {
 			return err
 		}
 		defer admin.Close()
-		fmt.Fprintf(stdout, "admin surface on http://%s (/metrics /healthz /debug/trace /debug/pprof /admin/peers)\n", admin.Addr())
+		fmt.Fprintf(stdout, "admin surface on http://%s (/metrics /healthz /debug/trace /debug/placement /debug/pprof /admin/peers)\n", admin.Addr())
 	}
 
 	fmt.Fprintf(stdout, "proxy up: icp=%s http=%s scheme=%s capacity=%s peers=%d\n",
@@ -501,6 +522,13 @@ func publishPeerVars(n *netnode.Node) {
 				"members":  n.Members(),
 			}
 		}))
+		expvar.Publish("eacache_robustness", expvar.Func(func() any {
+			n := peerVarsNode.Load()
+			if n == nil {
+				return nil
+			}
+			return n.Robustness()
+		}))
 	})
 }
 
@@ -513,8 +541,11 @@ func (p *peerList) String() string {
 	parts := make([]string, len(p.peers))
 	for i, peer := range p.peers {
 		parts[i] = fmt.Sprintf("%s/%s", peer.ICP, peer.HTTP)
-		if peer.Name != "" {
+		if peer.Name != "" || peer.Admin != "" {
 			parts[i] += "/" + peer.Name
+		}
+		if peer.Admin != "" {
+			parts[i] += "/" + peer.Admin
 		}
 	}
 	return strings.Join(parts, ",")
@@ -523,12 +554,13 @@ func (p *peerList) String() string {
 func (p *peerList) Set(v string) error {
 	icpPart, rest, found := strings.Cut(v, "/")
 	if !found {
-		return fmt.Errorf("peer %q: want <icp-addr>/<http-addr>[/<hash-name>]", v)
+		return fmt.Errorf("peer %q: want <icp-addr>/<http-addr>[/<hash-name>[/<admin-addr>]]", v)
 	}
-	httpPart, name, _ := strings.Cut(rest, "/")
+	httpPart, rest, _ := strings.Cut(rest, "/")
 	if httpPart == "" {
 		return fmt.Errorf("peer %q: empty fetch address", v)
 	}
+	name, adminPart, _ := strings.Cut(rest, "/")
 	udp, err := net.ResolveUDPAddr("udp", icpPart)
 	if err != nil {
 		return fmt.Errorf("peer %q: %w", v, err)
@@ -544,7 +576,7 @@ func (p *peerList) Set(v string) error {
 			return fmt.Errorf("peer %q: duplicate hash name %q (already given to %s)", v, name, prev.HTTP)
 		}
 	}
-	p.peers = append(p.peers, netnode.Peer{ICP: udp, HTTP: httpPart, Name: name})
+	p.peers = append(p.peers, netnode.Peer{ICP: udp, HTTP: httpPart, Name: name, Admin: adminPart})
 	return nil
 }
 

@@ -134,6 +134,9 @@ func TestOverloadFlagValidation(t *testing.T) {
 		{[]string{"-max-inflight=-1"}, "-max-inflight must be positive"},
 		{[]string{"-shed-queue-wait=0s"}, "-shed-queue-wait must be positive"},
 		{[]string{"-shed-queue-wait=-50ms"}, "-shed-queue-wait must be positive"},
+		{[]string{"-trace-sample=0"}, "-trace-sample must be at least 1"},
+		{[]string{"-trace-sample=-5"}, "-trace-sample must be at least 1"},
+		{[]string{"-trace-capacity=0"}, "-trace-capacity must be positive"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args, io.Discard, io.Discard)

@@ -13,6 +13,8 @@ import (
 func FuzzReadRequest(f *testing.F) {
 	f.Add("GET http://a/ EAC/1.0\r\nX-Cache-Expiration-Age: 100\r\nX-Size-Hint: 42\r\n\r\n")
 	f.Add("GET http://a/ EAC/1.0\r\nX-Cache-Expiration-Age: inf\r\n\r\n")
+	f.Add("GET http://a/ EAC/1.0\r\nX-Cache-Expiration-Age: 5\r\nX-Trace-Context: 0123456789abcdef/n1-000042/2/1\r\n\r\n")
+	f.Add("GET http://a/ EAC/1.0\r\nX-Trace-Context: " + strings.Repeat("z", 300) + "\r\n\r\n")
 	f.Add("")
 	f.Add("GET\r\n")
 	f.Add(strings.Repeat("h", 10000))
@@ -51,6 +53,7 @@ func FuzzReadRequest(f *testing.F) {
 func FuzzReadResponse(f *testing.F) {
 	f.Add("EAC/1.0 200 OK\r\nX-Cache-Expiration-Age: 5\r\nContent-Length: 0\r\n\r\n")
 	f.Add("EAC/1.0 404 Not-Found\r\nX-Cache-Expiration-Age: inf\r\n\r\n")
+	f.Add("EAC/1.0 200 OK\r\nX-Cache-Expiration-Age: 5\r\nX-Trace-Context: 0123456789abcdef/n2-000007/3/1\r\nContent-Length: 0\r\n\r\n")
 	f.Add("HTTP/1.1 200 OK\r\n\r\n")
 	f.Add("")
 

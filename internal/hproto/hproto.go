@@ -53,6 +53,14 @@ const (
 	// classify the outcome (remote hit vs miss) like the paper does.
 	SourceHeader = "X-Source"
 
+	// TraceHeader carries the compact distributed-tracing context
+	// (obs.TraceContext wire form: trace ID, parent span ID, hop count,
+	// sampled bit) piggybacked the same way the expiration age is: on
+	// messages already being sent, costing no extra round trip. hproto
+	// treats the value as opaque — the obs layer owns the format — and a
+	// receiver that cannot parse it must drop it, never fail the exchange.
+	TraceHeader = "X-Trace-Context"
+
 	// RingHeader carries the requester's topology fingerprint (hex) on a
 	// hash-routed resolve request, so the responder can tell "every owner
 	// before me is down" (views agree: act as home, keep the copy) from
@@ -66,6 +74,9 @@ const (
 
 	maxURLLen    = 8 * 1024
 	maxHeaderLen = 1 * 1024
+	// maxTraceLen bounds the opaque trace-context value we are willing to
+	// carry; anything longer is dropped on read and rejected on write.
+	maxTraceLen = 256
 )
 
 // Status codes.
@@ -114,6 +125,10 @@ type Request struct {
 	// misbehaving peer, worth counting (metrics.Robustness) but not worth
 	// failing the exchange over.
 	AgeClamped bool
+	// Trace is the opaque distributed-tracing context (TraceHeader), empty
+	// when the request is untraced. hproto does not interpret it; an
+	// oversized value is dropped on read, not fatal.
+	Trace string
 }
 
 // Response is the reply carrying the document and the responder's age.
@@ -131,6 +146,10 @@ type Response struct {
 	// AgeClamped reports that the wire carried a negative or overflowing
 	// expiration age and ResponderAge is the clamped substitute.
 	AgeClamped bool
+	// Trace echoes the tracing context back to the requester (with the
+	// responder's own span record as the parent ID), so the requester can
+	// link the remote leg into its trace. Opaque to hproto.
+	Trace string
 }
 
 // FormatAge renders an expiration age for the wire: integer milliseconds,
@@ -222,15 +241,36 @@ func WriteRequest(w io.Writer, req Request) error {
 	if req.RingFP != 0 {
 		ring = RingHeader + ": " + strconv.FormatUint(req.RingFP, 16) + "\r\n"
 	}
-	_, err := fmt.Fprintf(w, "%s %s %s\r\n%s: %s\r\n%s: %d\r\n%s%s\r\n",
+	trace, err := traceHeaderLine(req.Trace)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s %s %s\r\n%s: %s\r\n%s: %d\r\n%s%s%s\r\n",
 		method, req.URL, ProtoVersion,
 		AgeHeader, FormatAge(req.RequesterAge),
 		SizeHintHeader, req.SizeHint,
-		resolve, ring)
+		resolve, ring, trace)
 	if err != nil {
 		return fmt.Errorf("hproto: write request: %w", err)
 	}
 	return nil
+}
+
+// traceHeaderLine renders the optional trace-context header. The value is
+// opaque but must still be a legal single header value: writing is the one
+// place strictness is cheap and correct (we own the value), reading stays
+// tolerant (the peer's value is dropped when oversized, never fatal).
+func traceHeaderLine(v string) (string, error) {
+	if v == "" {
+		return "", nil
+	}
+	if len(v) > maxTraceLen {
+		return "", fmt.Errorf("%w: trace context", ErrTooLong)
+	}
+	if strings.ContainsAny(v, " \r\n") {
+		return "", fmt.Errorf("%w: bad trace context %q", ErrMalformed, v)
+	}
+	return TraceHeader + ": " + v + "\r\n", nil
 }
 
 // ReadRequest parses one request from r.
@@ -271,6 +311,9 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 			return Request{}, fmt.Errorf("%w: bad ring fingerprint %q", ErrMalformed, v)
 		}
 	}
+	if v, ok := headers[TraceHeader]; ok && len(v) <= maxTraceLen {
+		req.Trace = v
+	}
 	if req.Push && req.Resolve {
 		return Request{}, fmt.Errorf("%w: push request cannot resolve", ErrMalformed)
 	}
@@ -291,11 +334,15 @@ func WriteResponse(w io.Writer, resp Response, body io.Reader) error {
 		}
 		source = SourceHeader + ": " + resp.Source + "\r\n"
 	}
-	_, err := fmt.Fprintf(w, "%s %d %s\r\n%s: %s\r\nContent-Length: %d\r\n%s\r\n",
+	trace, err := traceHeaderLine(resp.Trace)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s %d %s\r\n%s: %s\r\nContent-Length: %d\r\n%s%s\r\n",
 		ProtoVersion, resp.Status, reason,
 		AgeHeader, FormatAge(resp.ResponderAge),
 		resp.ContentLength,
-		source)
+		source, trace)
 	if err != nil {
 		return fmt.Errorf("hproto: write response: %w", err)
 	}
@@ -359,6 +406,9 @@ func ReadResponse(r *bufio.Reader) (Response, error) {
 			return Response{}, fmt.Errorf("%w: source %q", ErrMalformed, v)
 		}
 		resp.Source = v
+	}
+	if v, ok := headers[TraceHeader]; ok && len(v) <= maxTraceLen {
+		resp.Trace = v
 	}
 	return resp, nil
 }

@@ -1,0 +1,91 @@
+package hproto
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+// TestTraceHeaderRoundTrip checks the X-Trace-Context plumbing on both
+// message kinds: written when set, omitted when empty, and returned
+// verbatim by the reader.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	const ctx = "0123456789abcdef/n1-000042/2/1"
+
+	req := Request{URL: "http://origin/a", RequesterAge: 5 * time.Second, Trace: ctx}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	if !strings.Contains(buf.String(), TraceHeader+": "+ctx+"\r\n") {
+		t.Fatalf("trace header missing from wire:\n%s", buf.String())
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if got.Trace != ctx {
+		t.Fatalf("request trace context mangled: %q", got.Trace)
+	}
+
+	buf.Reset()
+	if err := WriteRequest(&buf, Request{URL: "http://origin/a"}); err != nil {
+		t.Fatalf("WriteRequest without trace: %v", err)
+	}
+	if strings.Contains(buf.String(), TraceHeader) {
+		t.Fatalf("untraced request leaked a trace header:\n%s", buf.String())
+	}
+
+	resp := Response{Status: StatusOK, ResponderAge: cache.NoContention, Trace: ctx}
+	buf.Reset()
+	if err := WriteResponse(&buf, resp, nil); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	gotResp, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadResponse: %v", err)
+	}
+	if gotResp.Trace != ctx {
+		t.Fatalf("response trace context mangled: %q", gotResp.Trace)
+	}
+}
+
+// TestWriteTraceHeaderStrict: writing is the strict side — an oversized or
+// whitespace-bearing context is our own bug and must fail loudly.
+func TestWriteTraceHeaderStrict(t *testing.T) {
+	var buf bytes.Buffer
+	bad := []string{
+		strings.Repeat("x", maxTraceLen+1),
+		"has space/p/0/1",
+		"has\r\nnewline/p/0/1",
+	}
+	for _, ctx := range bad {
+		if err := WriteRequest(&buf, Request{URL: "http://o/a", Trace: ctx}); err == nil {
+			t.Errorf("WriteRequest accepted bad trace context %q", ctx)
+		}
+		if err := WriteResponse(&buf, Response{Status: StatusOK, ResponderAge: cache.NoContention, Trace: ctx}, nil); err == nil {
+			t.Errorf("WriteResponse accepted bad trace context %q", ctx)
+		}
+	}
+}
+
+// TestReadOversizedTraceTolerant: reading is the tolerant side — a peer's
+// oversized trace value is dropped, never fatal, so a buggy or hostile
+// peer cannot break fetches by inflating the tracing header.
+func TestReadOversizedTraceTolerant(t *testing.T) {
+	big := strings.Repeat("a", maxTraceLen+1)
+	wire := "GET http://origin/a EAC/1.0\r\n" +
+		"X-Cache-Expiration-Age: 5\r\n" +
+		TraceHeader + ": " + big + "\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(wire)))
+	if err != nil {
+		t.Fatalf("oversized trace header must not be fatal: %v", err)
+	}
+	if req.Trace != "" {
+		t.Fatalf("oversized trace value should be dropped, got %d bytes", len(req.Trace))
+	}
+}

@@ -185,6 +185,12 @@ func (c *Client) Close() error {
 // hit, resolving on the first. A neighbour that does not answer within
 // timeout counts as a miss, as does one the datagram cannot be sent to.
 func (c *Client) Query(neighbours []*net.UDPAddr, url string, timeout time.Duration) (Result, error) {
+	return c.QueryHop(neighbours, url, timeout, -1)
+}
+
+// QueryHop is Query with the sender's trace hop depth stamped onto the
+// datagrams (FlagTraceHop); hop < 0 sends a plain unstamped query.
+func (c *Client) QueryHop(neighbours []*net.UDPAddr, url string, timeout time.Duration, hop int) (Result, error) {
 	start := time.Now()
 	if len(neighbours) == 0 {
 		return Result{Elapsed: time.Since(start)}, nil
@@ -196,7 +202,9 @@ func (c *Client) Query(neighbours []*net.UDPAddr, url string, timeout time.Durat
 	}
 
 	reqNum := c.reqNum.Add(1)
-	query, err := Query(reqNum, url).Marshal()
+	msg := Query(reqNum, url)
+	msg.SetHop(hop)
+	query, err := msg.Marshal()
 	if err != nil {
 		return Result{}, err
 	}

@@ -65,6 +65,13 @@ const Version2 = 2
 const (
 	FlagHitObj uint32 = 0x80000000
 	FlagSrcRTT uint32 = 0x40000000
+	// FlagTraceHop is a private-use option bit (outside the RFC-assigned
+	// range): when set, the low byte of OptionData carries the sender's
+	// forwarding hop depth, so a traced request's ICP fan-out is
+	// attributable to its hop in the stitched timeline. Implementations
+	// that do not know the bit ignore it, as RFC 2186 §6 prescribes for
+	// unrecognised options — the queries stay wire-compatible.
+	FlagTraceHop uint32 = 0x20000000
 )
 
 const (
@@ -105,6 +112,25 @@ type Message struct {
 // Query builds an ICP_OP_QUERY for url with the given request number.
 func Query(reqNum uint32, url string) Message {
 	return Message{Op: OpQuery, Version: Version2, ReqNum: reqNum, URL: url}
+}
+
+// SetHop stamps the trace hop depth onto the message (FlagTraceHop +
+// OptionData low byte). Depths outside [0,255] are ignored.
+func (m *Message) SetHop(hop int) {
+	if hop < 0 || hop > 255 {
+		return
+	}
+	m.Options |= FlagTraceHop
+	m.OptionData = m.OptionData&^uint32(0xff) | uint32(hop)
+}
+
+// Hop returns the trace hop depth carried by the message, or -1 when the
+// sender did not stamp one.
+func (m Message) Hop() int {
+	if m.Options&FlagTraceHop == 0 {
+		return -1
+	}
+	return int(m.OptionData & 0xff)
 }
 
 // Reply builds a reply to q with the given opcode, echoing the request

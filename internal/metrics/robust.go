@@ -13,6 +13,7 @@ type Robustness struct {
 	breakerOpens  atomic.Int64
 	breakerCloses atomic.Int64
 	wireClamps    atomic.Int64
+	traceClamps   atomic.Int64
 
 	coalescedFollowers atomic.Int64
 	leaderElections    atomic.Int64
@@ -49,6 +50,11 @@ func (r *Robustness) BreakerClose() { r.breakerCloses.Add(1) }
 // overflowing and was clamped instead of trusted (hproto.ParseAgeClamped)
 // — a peer whose wire output cannot be taken at face value.
 func (r *Robustness) WireClamp() { r.wireClamps.Add(1) }
+
+// TraceClamp records a malformed X-Trace-Context header that was dropped
+// instead of propagated: the request proceeds untraced rather than failing
+// over observability metadata.
+func (r *Robustness) TraceClamp() { r.traceClamps.Add(1) }
 
 // Coalesced records a request served as a single-flight follower: a
 // concurrent miss for the same URL led the fetch and this request shared
@@ -100,6 +106,7 @@ type RobustnessSnapshot struct {
 	BreakerOpens  int64
 	BreakerCloses int64
 	WireClamps    int64
+	TraceClamps   int64
 
 	CoalescedFollowers int64
 	LeaderElections    int64
@@ -123,6 +130,7 @@ func (r *Robustness) Snapshot() RobustnessSnapshot {
 		BreakerOpens:  r.breakerOpens.Load(),
 		BreakerCloses: r.breakerCloses.Load(),
 		WireClamps:    r.wireClamps.Load(),
+		TraceClamps:   r.traceClamps.Load(),
 
 		CoalescedFollowers: r.coalescedFollowers.Load(),
 		LeaderElections:    r.leaderElections.Load(),

@@ -5,7 +5,8 @@ package netnode
 // on the same management port they scrape:
 //
 //	GET  /admin/peers        membership table, epoch, drain state
-//	POST /admin/peers/join   {"icp","http","name"} — admit a member
+//	GET  /admin/resident     resident document URLs (replication audit)
+//	POST /admin/peers/join   {"icp","http","name","admin"} — admit a member
 //	POST /admin/peers/leave  {"peer"} — remove by ring name or fetch addr
 //	POST /admin/peers/drain  hand off this node's copies; returns report
 
@@ -20,6 +21,7 @@ import (
 func (n *Node) AdminRoutes() map[string]http.Handler {
 	return map[string]http.Handler{
 		"/admin/peers":       http.HandlerFunc(n.handlePeers),
+		"/admin/resident":    http.HandlerFunc(n.handleResident),
 		"/admin/peers/join":  http.HandlerFunc(n.handleJoin),
 		"/admin/peers/leave": http.HandlerFunc(n.handleLeave),
 		"/admin/peers/drain": http.HandlerFunc(n.handleDrain),
@@ -70,9 +72,10 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var body struct {
-		ICP  string `json:"icp"`
-		HTTP string `json:"http"`
-		Name string `json:"name"`
+		ICP   string `json:"icp"`
+		HTTP  string `json:"http"`
+		Name  string `json:"name"`
+		Admin string `json:"admin"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeAdminErr(w, http.StatusBadRequest, err)
@@ -83,7 +86,7 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeAdminErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := n.AddPeer(Peer{ICP: udp, HTTP: body.HTTP, Name: body.Name}); err != nil {
+	if err := n.AddPeer(Peer{ICP: udp, HTTP: body.HTTP, Name: body.Name, Admin: body.Admin}); err != nil {
 		writeAdminErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -107,6 +110,24 @@ func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, n.currentView())
+}
+
+// handleResident lists the URLs this node currently caches — the raw
+// input for the group replication-factor audit (eacctl intersects every
+// member's list to count copies per document). The list is a snapshot,
+// not a consistent cut; it is meant for auditing placement behaviour,
+// not for routing.
+func (n *Node) handleResident(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	urls := n.store.URLs()
+	writeJSON(w, http.StatusOK, struct {
+		Node      string   `json:"node"`
+		Documents int      `json:"documents"`
+		URLs      []string `json:"urls"`
+	}{Node: n.id, Documents: len(urls), URLs: urls})
 }
 
 func (n *Node) handleDrain(w http.ResponseWriter, r *http.Request) {

@@ -138,6 +138,20 @@ func (n *Node) RemovePeer(key string) error {
 // bumped by every join, leave, ejection, and readmission.
 func (n *Node) Epoch() int64 { return n.epoch.Load() }
 
+// RingFingerprint returns the published hash ring's topology fingerprint,
+// or 0 when the node does not run hash location (or has no ring yet).
+// Two members whose fingerprints match route every URL to the same home.
+func (n *Node) RingFingerprint() uint64 {
+	if h := n.hash.Load(); h != nil {
+		return h.Fingerprint
+	}
+	return 0
+}
+
+// ActivePeers returns how many peers are currently in the locator set
+// (configured members minus ejected ones).
+func (n *Node) ActivePeers() int { return len(n.peerList()) }
+
 // warming reports whether the node is inside its JoinWarmup window
 // (set only under hash location): it serves what it holds and relays,
 // but keeps no new copies, because peers with a pre-join view of the
@@ -175,9 +189,13 @@ func (n *Node) Draining() bool { return n.draining.Load() }
 // MemberStatus is one configured member's membership row, JSON-shaped
 // for the admin API.
 type MemberStatus struct {
-	Name     string `json:"name"`
-	ICP      string `json:"icp"`
-	HTTP     string `json:"http"`
+	Name string `json:"name"`
+	ICP  string `json:"icp"`
+	HTTP string `json:"http"`
+	// Admin is the member's admin/debug HTTP address when the joining
+	// side shared one — the handle cluster introspection (cmd/eacctl)
+	// uses to walk from any one member to the whole group.
+	Admin    string `json:"admin,omitempty"`
 	State    string `json:"state"`
 	Failures int    `json:"failures"`
 	// StateSince is when the breaker entered its current state
@@ -202,6 +220,7 @@ func (n *Node) Members() []MemberStatus {
 			Name:     ringName(p),
 			ICP:      p.ICP.String(),
 			HTTP:     p.HTTP,
+			Admin:    p.Admin,
 			State:    st.State.String(),
 			Failures: st.Failures,
 		}
@@ -297,7 +316,7 @@ func (n *Node) sweepMembership(now time.Time) {
 const probeURL = "http://eacache.invalid/readmit-probe"
 
 func (n *Node) probePeer(addr string) bool {
-	_, _, _, err := n.fetchFrom(addr, probeURL, 0, cache.NoContention, false)
+	_, _, _, err := n.fetchFrom(nil, addr, probeURL, 0, cache.NoContention, false)
 	return err == nil || errors.Is(err, errNotFound)
 }
 

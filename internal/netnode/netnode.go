@@ -82,6 +82,12 @@ type Peer struct {
 	// (its Config.HashName); empty defaults to HTTP. Sim experiments
 	// route URLs to the same homes when the names match the proxy IDs.
 	Name string
+	// Admin is the neighbour's admin/debug HTTP address (its obs
+	// endpoint), when known. Purely informational: the request path
+	// never touches it, but the membership API republishes it so
+	// introspection tools (cmd/eacctl) can walk the whole group from
+	// any one member.
+	Admin string
 }
 
 // Store is the cache behind a live node: the surface the request path,
@@ -249,6 +255,10 @@ type Result struct {
 	// Coalesced reports that this request rode a concurrent resolution of
 	// the same URL as a single-flight follower instead of fetching itself.
 	Coalesced bool
+	// TraceID is the group-wide trace identifier when the request was
+	// sampled ("" otherwise) — the handle for finding this request's
+	// spans on every node it touched (/debug/trace?trace=...).
+	TraceID string
 }
 
 // Node is a live cooperative cache node.
@@ -833,6 +843,7 @@ func (n *Node) Request(url string, sizeHint int64) (Result, error) {
 	res, err := n.serveRequest(tr, url, sizeHint)
 	n.om.observeRequest(res, err, time.Since(start))
 	if tr != nil {
+		res.TraceID = tr.TraceID
 		if err != nil {
 			tr.Outcome = outcomeError
 			tr.Err = err.Error()
@@ -968,7 +979,7 @@ func (n *Node) fetchUpstream(tr *obs.Trace, addr, url string, sizeHint int64, re
 		if attempt > 0 {
 			n.robust.Retry()
 		}
-		size, age, source, err := n.fetchFrom(addr, url, sizeHint, reqAge, resolve)
+		size, age, source, err := n.fetchFrom(tr, addr, url, sizeHint, reqAge, resolve)
 		if err == nil {
 			return size, age, source, nil
 		}
@@ -1055,6 +1066,28 @@ func (n *Node) serveConn(conn net.Conn) {
 		return
 	}
 
+	// Remote-parented tracing: a sampled requester piggybacks its trace
+	// context on the request, and this node continues the same trace —
+	// same group-wide trace ID, the requester's record as parent — so the
+	// whole exchange stitches into one timeline. A malformed or looping
+	// context is dropped and counted, never fatal: tracing must not be
+	// able to break the fetch path.
+	var rtr *obs.Trace
+	if req.Trace != "" {
+		tc, perr := obs.ParseTraceContext(req.Trace)
+		switch {
+		case perr != nil:
+			n.robust.TraceClamp()
+			n.warn("dropped malformed trace context", nil, "remote", conn.RemoteAddr().String())
+		case tc.Hop >= obs.MaxTraceHops:
+			n.robust.TraceClamp()
+			n.warn("dropped trace context at hop limit", nil, "trace", tc.TraceID)
+		default:
+			rtr = n.obs.StartRemoteTrace(n.id, req.URL, tc)
+		}
+	}
+	serveSpan := rtr.OpenSpan(obs.StageServe, time.Now())
+
 	respAge := n.store.ExpirationAge(n.now())
 	var (
 		doc cache.Document
@@ -1068,11 +1101,17 @@ func (n *Node) serveConn(conn net.Conn) {
 	} else {
 		doc, ok = n.store.Peek(req.URL)
 		if ok {
+			// The responder-side EA rule: refresh this copy's replacement
+			// state iff the requester's cache is under more pressure than
+			// ours (paper §3.4). Counted, audited, and stamped on the
+			// remote-parented trace like every placement decision.
 			if n.scheme.OnRemoteHit(req.RequesterAge, respAge).PromoteAtResponder {
 				n.store.Touch(req.URL, n.now())
 				n.om.decision(roleResponder, decisionPromote)
+				n.auditDecision(rtr, roleResponder, req.URL, obs.DecisionPromote, doc.Size, respAge, req.RequesterAge)
 			} else {
 				n.om.decision(roleResponder, decisionReject)
+				n.auditDecision(rtr, roleResponder, req.URL, obs.DecisionReject, doc.Size, respAge, req.RequesterAge)
 			}
 		}
 	}
@@ -1084,25 +1123,62 @@ func (n *Node) serveConn(conn net.Conn) {
 			ResponderAge:  respAge,
 			ContentLength: doc.Size,
 			Source:        hproto.SourceCache,
+			Trace:         echoContext(rtr),
 		}, zeroReader(doc.Size))
+		if rtr != nil {
+			rtr.Outcome = outcomeServeHit
+			rtr.SizeBytes = doc.Size
+		}
 	case req.Resolve:
-		err = n.resolveAndServe(conn, req, respAge)
+		err = n.resolveAndServe(conn, req, respAge, rtr)
 	default:
 		err = hproto.WriteResponse(conn, hproto.Response{
 			Status:       hproto.StatusNotFound,
 			ResponderAge: respAge,
+			Trace:        echoContext(rtr),
 		}, nil)
+		if rtr != nil {
+			rtr.Outcome = outcomeServeMiss
+		}
 	}
 	if err != nil {
-		n.warn("write fetch response failed", nil, "err", err)
+		n.warn("write fetch response failed", rtr, "err", err)
+		rtr.SpanErr(err)
 	}
+	if rtr != nil {
+		rtr.CloseSpan(serveSpan, time.Since(rtr.Start))
+		rtr.RequesterAgeMS = obs.AgeMS(req.RequesterAge)
+		rtr.ResponderAgeMS = obs.AgeMS(respAge)
+		n.obs.Finish(rtr)
+	}
+}
+
+// Responder-side trace outcomes (requester-side ones come from
+// metrics.Outcome via Result).
+const (
+	outcomeServeHit     = "serve-hit"
+	outcomeServeMiss    = "serve-miss"
+	outcomeServeResolve = "serve-resolve"
+)
+
+// echoContext is the X-Trace-Context value echoed on responses: this
+// node's own record as the parent, so the requester can point at the
+// responder's span. Empty ("" — header omitted) for untraced exchanges.
+func echoContext(rtr *obs.Trace) string {
+	if rtr == nil {
+		return ""
+	}
+	return rtr.Context().String()
 }
 
 // resolveAndServe is the parent's miss path: fetch the document from this
 // node's own parent (recursively, preserving the source tag) or origin,
 // store a copy iff this node's expiration age strictly exceeds the child's
-// (core.Scheme.OnParentResolve), and relay the body.
-func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Duration) error {
+// (core.Scheme.OnParentResolve), and relay the body. rtr is the
+// remote-parented trace continued from the requester's context (nil for
+// untraced exchanges); the upstream fetch rides on it, so a recursive
+// parent chain propagates the same trace ID all the way up.
+func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Duration, rtr *obs.Trace) error {
 	var (
 		size   int64
 		source string
@@ -1110,21 +1186,23 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 	)
 	switch {
 	case n.parentAddr != "":
-		size, _, source, err = n.fetchUpstream(nil, n.parentAddr, req.URL, req.SizeHint, myAge, true)
+		size, _, source, err = n.fetchUpstream(rtr, n.parentAddr, req.URL, req.SizeHint, myAge, true)
 	case n.originAddr != "":
-		size, _, _, err = n.fetchUpstream(nil, n.originAddr, req.URL, req.SizeHint, myAge, false)
+		size, _, _, err = n.fetchUpstream(rtr, n.originAddr, req.URL, req.SizeHint, myAge, false)
 		source = hproto.SourceOrigin
 	default:
 		return hproto.WriteResponse(conn, hproto.Response{
 			Status:       hproto.StatusNotFound,
 			ResponderAge: myAge,
+			Trace:        echoContext(rtr),
 		}, nil)
 	}
 	if err != nil {
-		n.warn("parent resolve failed", nil, "url", req.URL, "err", err)
+		n.warn("parent resolve failed", rtr, "url", req.URL, "err", err)
 		return hproto.WriteResponse(conn, hproto.Response{
 			Status:       hproto.StatusNotFound,
 			ResponderAge: myAge,
+			Trace:        echoContext(rtr),
 		}, nil)
 	}
 	keep := n.scheme.OnParentResolve(myAge, req.RequesterAge)
@@ -1139,14 +1217,21 @@ func (n *Node) resolveAndServe(conn net.Conn, req hproto.Request, myAge time.Dur
 		keep = false
 	}
 	n.om.decision(roleParent, decisionOf(keep))
+	n.auditDecision(rtr, roleParent, req.URL, decisionNames[decisionOf(keep)], size, myAge, req.RequesterAge)
 	if keep {
 		n.putIfFits(cache.Document{URL: req.URL, Size: size})
+	}
+	if rtr != nil {
+		rtr.Outcome = outcomeServeResolve
+		rtr.SizeBytes = size
+		rtr.Stored = keep
 	}
 	return hproto.WriteResponse(conn, hproto.Response{
 		Status:        hproto.StatusOK,
 		ResponderAge:  myAge,
 		ContentLength: size,
 		Source:        source,
+		Trace:         echoContext(rtr),
 	}, zeroReader(size))
 }
 
@@ -1183,8 +1268,11 @@ func (n *Node) dial(addr string) (net.Conn, error) {
 // returning its length, the piggybacked responder age, and the body's
 // source (cache or origin; an absent header means cache). A non-OK status
 // maps to errNotFound; a body shorter than advertised maps to
-// hproto.ErrTruncatedBody.
-func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Duration, rslv bool) (int64, time.Duration, string, error) {
+// hproto.ErrTruncatedBody. A sampled trace's context rides the request
+// (X-Trace-Context) so the responder records a remote-parented leg of
+// the same trace, and the responder's echoed record is annotated back
+// onto tr.
+func (n *Node) fetchFrom(tr *obs.Trace, addr, url string, sizeHint int64, requesterAge time.Duration, rslv bool) (int64, time.Duration, string, error) {
 	conn, err := n.dial(addr)
 	if err != nil {
 		return 0, 0, "", fmt.Errorf("dial %s: %w", addr, err)
@@ -1197,6 +1285,9 @@ func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Dur
 		RequesterAge: requesterAge,
 		SizeHint:     sizeHint,
 		Resolve:      rslv,
+	}
+	if tr != nil && tr.TraceID != "" {
+		req.Trace = tr.Context().String()
 	}
 	if rslv && n.location == resolve.LocateHash {
 		if h := n.hash.Load(); h != nil {
@@ -1218,6 +1309,15 @@ func (n *Node) fetchFrom(addr, url string, sizeHint int64, requesterAge time.Dur
 	if resp.AgeClamped {
 		n.robust.WireClamp()
 		n.warn("clamped bad responder age", nil, "responder", addr)
+	}
+	if resp.Trace != "" && tr != nil {
+		if rc, perr := obs.ParseTraceContext(resp.Trace); perr == nil {
+			// The responder's echoed record ID: the cross-node edge the
+			// stitcher draws from this fetch span to the responder's leg.
+			tr.Annotate("remote_id", rc.ParentID)
+		} else {
+			n.robust.TraceClamp()
+		}
 	}
 	if resp.Status != hproto.StatusOK {
 		return 0, resp.ResponderAge, "", fmt.Errorf("fetch %s from %s: status %d: %w", url, addr, resp.Status, errNotFound)

@@ -475,12 +475,14 @@ func (o *nodeObs) observeCheckpoint(dur time.Duration, err error) {
 
 // placementSpan stamps the EA decision onto the trace — a placement span
 // marking where in the timeline the rule ran, with both piggybacked
-// expiration ages and the verdict on the trace's top-level fields — and
-// counts it. The span itself carries no attributes: duplicating the ages
-// there would cost three string allocations on every non-local-hit
-// request for data the trace already has.
-func (n *Node) placementSpan(tr *obs.Trace, role int, reqAge, respAge time.Duration, decision int) {
+// expiration ages and the verdict on the trace's top-level fields —
+// counts it, and appends it to the audit log. The span itself carries no
+// attributes: duplicating the ages there would cost three string
+// allocations on every non-local-hit request for data the trace already
+// has.
+func (n *Node) placementSpan(tr *obs.Trace, role int, url string, size int64, reqAge, respAge time.Duration, decision int) {
 	n.om.decision(role, decision)
+	n.auditDecision(tr, role, url, decisionNames[decision], size, reqAge, respAge)
 	if tr == nil {
 		return
 	}
@@ -489,6 +491,30 @@ func (n *Node) placementSpan(tr *obs.Trace, role int, reqAge, respAge time.Durat
 	tr.RequesterAgeMS = obs.AgeMS(reqAge)
 	tr.ResponderAgeMS = obs.AgeMS(respAge)
 	tr.Decision = decisionNames[decision]
+}
+
+// auditDecision appends one placement verdict — with the two eq.-5
+// expiration-age inputs exactly as the rule saw them — to the node's
+// bounded decision log (served by /debug/placement). localAge is always
+// the deciding node's own expiration age, peerAge the one piggybacked
+// from the other side, whichever role this node played. Unlike traces
+// the log is not sampled: every decision of every request is recorded
+// (one small allocation each), because the audit's value is exactness.
+func (n *Node) auditDecision(tr *obs.Trace, role int, url, verdict string, size int64, localAge, peerAge time.Duration) {
+	if n.om == nil || n.om.tel == nil || n.om.tel.Placement == nil {
+		return
+	}
+	d := &obs.Decision{
+		Time: n.now(), Node: n.id, URL: url,
+		Role: roleNames[role], Verdict: verdict,
+		LocalAgeMS: obs.AgeMS(localAge), PeerAgeMS: obs.AgeMS(peerAge),
+		SizeBytes: size,
+	}
+	if tr != nil {
+		d.TraceID = tr.TraceID
+		d.RequestID = tr.ID
+	}
+	n.om.tel.Placement.Record(d)
 }
 
 // stageTimer brackets one lifecycle stage. It is a plain value (no

@@ -32,6 +32,16 @@ func traceOf(rctx any) *obs.Trace {
 	return tr
 }
 
+// hopOf is the trace's forwarding depth for ICP stamping: 0 at the
+// front door, deeper on remote-parented requests, -1 (unstamped) when
+// the request is untraced.
+func hopOf(tr *obs.Trace) int {
+	if tr == nil {
+		return -1
+	}
+	return tr.Hop
+}
+
 // nodeStore is the engine's view of the node's cache.
 type nodeStore struct{ n *Node }
 
@@ -122,7 +132,7 @@ func (n *Node) icpLocate(tr *obs.Trace, url string) resolve.Located {
 		addrs[i] = p.ICP
 	}
 	fanout := n.startStage(tr, stICPFanout)
-	res, err := n.icpClient.Query(addrs, url, n.icpTimeout)
+	res, err := n.icpClient.QueryHop(addrs, url, n.icpTimeout, hopOf(tr))
 	if err != nil {
 		tr.SpanErr(err)
 		n.endStage(tr, fanout)
@@ -224,7 +234,7 @@ func (t nodeTransport) FetchRemote(rctx any, c resolve.Candidate, url string, si
 	tr := traceOf(rctx)
 	fetch := n.startStage(tr, stRemoteFetch)
 	tr.Annotate("responder", c.ID)
-	size, respAge, source, err := n.fetchFrom(c.ID, url, sizeHint, reqAge, rslv)
+	size, respAge, source, err := n.fetchFrom(tr, c.ID, url, sizeHint, reqAge, rslv)
 	tr.SpanErr(err)
 	n.endStage(tr, fetch)
 	switch {
@@ -308,8 +318,8 @@ func (h nodeHooks) OnFalseHit(rctx any, c resolve.Candidate, url string) {
 	}
 }
 
-func (h nodeHooks) OnRemoteHit(rctx any, _ resolve.Candidate, _ string, reqAge, respAge time.Duration, store, _, _ bool, _ time.Time) {
-	h.n.placementSpan(traceOf(rctx), roleRequester, reqAge, respAge, decisionOf(store))
+func (h nodeHooks) OnRemoteHit(rctx any, _ resolve.Candidate, url string, size int64, reqAge, respAge time.Duration, store, _, _ bool, _ time.Time) {
+	h.n.placementSpan(traceOf(rctx), roleRequester, url, size, reqAge, respAge, decisionOf(store))
 }
 
 func (h nodeHooks) OnFallback(any) { h.n.robust.Fallback() }
@@ -319,10 +329,10 @@ func (h nodeHooks) OnParentDegrade(rctx any, url string, err error) {
 	h.n.robust.Fallback()
 }
 
-func (h nodeHooks) OnParentFetch(rctx any, _, _ string, reqAge, parentAge time.Duration, _, store, _ bool, _ time.Time) {
-	h.n.placementSpan(traceOf(rctx), roleRequester, reqAge, parentAge, decisionOf(store))
+func (h nodeHooks) OnParentFetch(rctx any, _, url string, size int64, reqAge, parentAge time.Duration, _, store, _ bool, _ time.Time) {
+	h.n.placementSpan(traceOf(rctx), roleRequester, url, size, reqAge, parentAge, decisionOf(store))
 }
 
-func (h nodeHooks) OnOriginFetch(rctx any, _ string, reqAge time.Duration, store, _ bool, _ time.Time) {
-	h.n.placementSpan(traceOf(rctx), roleRequester, reqAge, cache.NoContention, decisionOf(store))
+func (h nodeHooks) OnOriginFetch(rctx any, url string, size int64, reqAge time.Duration, store, _ bool, _ time.Time) {
+	h.n.placementSpan(traceOf(rctx), roleRequester, url, size, reqAge, cache.NoContention, decisionOf(store))
 }

@@ -20,6 +20,10 @@ type AdminConfig struct {
 	// Healthz, when set, decides /healthz: nil error is 200 "ok", an error
 	// is 503 with the message. Unset always reports ok.
 	Healthz func() error
+	// HealthDetail, when set, turns the 200 /healthz body into JSON:
+	// {"status":"ok"} merged with the returned map (membership epoch, ring
+	// fingerprint, peer count, ...). Unset keeps the plain "ok" body.
+	HealthDetail func() map[string]any
 	// Info is served as JSON on / (node identity, addresses, build info).
 	Info map[string]string
 	// Routes, when set, mounts extra handlers on the admin mux (e.g. the
@@ -38,11 +42,14 @@ type Admin struct {
 
 // ServeAdmin binds cfg.Addr and serves the admin surface until Close:
 //
-//	/metrics       Prometheus text exposition of the registry
-//	/healthz       liveness/readiness probe
-//	/debug/trace   JSON dump of the request-trace ring (oldest first)
-//	/debug/vars    expvar (process stats, cmdline)
-//	/debug/pprof/  CPU, heap, goroutine, ... profiles
+//	/metrics          Prometheus text exposition of the registry
+//	/healthz          liveness/readiness probe (JSON with HealthDetail)
+//	/debug/trace      JSON dump of the request-trace ring (?trace= filters
+//	                  to one group-wide trace ID)
+//	/debug/placement  JSON dump of the placement-decision audit log
+//	                  (?trace= and ?verdict= filter)
+//	/debug/vars       expvar (process stats, cmdline)
+//	/debug/pprof/     CPU, heap, goroutine, ... profiles
 func ServeAdmin(cfg AdminConfig) (*Admin, error) {
 	if cfg.Telemetry == nil {
 		return nil, errors.New("obs: admin server needs telemetry")
@@ -64,12 +71,28 @@ func ServeAdmin(cfg AdminConfig) (*Admin, error) {
 				return
 			}
 		}
+		if cfg.HealthDetail != nil {
+			body := map[string]any{"status": "ok"}
+			for k, v := range cfg.HealthDetail() {
+				body[k] = v
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(body)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = cfg.Telemetry.Traces.WriteJSON(w)
+		_ = cfg.Telemetry.Traces.WriteJSON(w, r.URL.Query().Get("trace"))
+	})
+	mux.HandleFunc("/debug/placement", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		q := r.URL.Query()
+		_ = cfg.Telemetry.Placement.WriteJSON(w, q.Get("trace"), q.Get("verdict"))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

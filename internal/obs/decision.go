@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Roles a node plays when it makes a placement decision. A requester
+// decides whether to store a copy it fetched (paper §3.3 step 5); a
+// responder decides whether to promote/refresh the copy it served (step 4);
+// a parent decides whether to keep a document it resolved for a child.
+const (
+	RoleRequester = "requester"
+	RoleResponder = "responder"
+	RoleParent    = "parent"
+)
+
+// Decision is one EA placement verdict with the inputs the paper's eq. 5
+// comparison used. LocalAgeMS/PeerAgeMS are the two piggybacked cache
+// expiration ages in milliseconds with the no-contention (+inf) sentinel
+// encoded as -1, exactly as on Trace.
+type Decision struct {
+	// Time is when the verdict was reached.
+	Time time.Time `json:"time"`
+	// Node is the deciding node's ID.
+	Node string `json:"node"`
+	// URL is the document the decision is about.
+	URL string `json:"url"`
+	// Role is the deciding node's role (Role* constants).
+	Role string `json:"role"`
+	// Verdict is the outcome (Decision* constants: accept/reject/promote).
+	Verdict string `json:"verdict"`
+	// LocalAgeMS is this node's cache expiration age at decision time.
+	LocalAgeMS int64 `json:"local_age_ms"`
+	// PeerAgeMS is the piggybacked expiration age from the other side
+	// (the responder's on a requester decision, the requester's on a
+	// responder decision).
+	PeerAgeMS int64 `json:"peer_age_ms"`
+	// SizeBytes is the document size the feasibility check saw.
+	SizeBytes int64 `json:"size_bytes,omitempty"`
+	// TraceID links the decision to its group-wide trace when the request
+	// was sampled.
+	TraceID string `json:"trace_id,omitempty"`
+	// RequestID is the node-local request record (trace ID within the
+	// node's ring / slog request_id), when sampled.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// DecisionLog is a fixed-capacity ring of placement decisions, published
+// with the same lock-cheap discipline as TraceRing: one atomic counter
+// increment plus one atomic pointer store per record, snapshots never stop
+// writers. Unlike traces, every decision is recorded — the audit is exact,
+// not sampled — so Record stays allocation-light (one Decision per call).
+type DecisionLog struct {
+	slots []atomic.Pointer[Decision]
+	next  atomic.Uint64
+}
+
+// DefaultDecisionCapacity is the decision-log size Telemetry defaults to.
+const DefaultDecisionCapacity = 1024
+
+// NewDecisionLog returns a log holding the last n decisions (n < 1 selects
+// DefaultDecisionCapacity).
+func NewDecisionLog(n int) *DecisionLog {
+	if n < 1 {
+		n = DefaultDecisionCapacity
+	}
+	return &DecisionLog{slots: make([]atomic.Pointer[Decision], n)}
+}
+
+// Record publishes one decision, overwriting the oldest when full. The
+// record must not be mutated afterwards. Safe on a nil log.
+func (l *DecisionLog) Record(d *Decision) {
+	if l == nil || d == nil {
+		return
+	}
+	idx := l.next.Add(1) - 1
+	l.slots[idx%uint64(len(l.slots))].Store(d)
+}
+
+// Len returns how many decisions are currently held.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	n := l.next.Load()
+	if n > uint64(len(l.slots)) {
+		return len(l.slots)
+	}
+	return int(n)
+}
+
+// Total returns how many decisions were ever recorded (including ones the
+// ring has since overwritten).
+func (l *DecisionLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.next.Load()
+}
+
+// Snapshot returns the held decisions, oldest first. Safe on a nil log.
+func (l *DecisionLog) Snapshot() []*Decision {
+	if l == nil {
+		return nil
+	}
+	n := l.next.Load()
+	size := uint64(len(l.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]*Decision, 0, n-start)
+	for i := start; i < n; i++ {
+		if d := l.slots[i%size].Load(); d != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteJSON dumps the log as a JSON array, oldest first — the
+// /debug/placement payload. Non-empty traceID/verdict keep only matching
+// records (the ?trace= / ?verdict= filters).
+func (l *DecisionLog) WriteJSON(w io.Writer, traceID, verdict string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	all := l.Snapshot()
+	out := make([]*Decision, 0, len(all))
+	for _, d := range all {
+		if traceID != "" && d.TraceID != traceID {
+			continue
+		}
+		if verdict != "" && d.Verdict != verdict {
+			continue
+		}
+		out = append(out, d)
+	}
+	return enc.Encode(out)
+}

@@ -18,6 +18,10 @@ const (
 	StagePlacement   = "placement"
 	StageParentFetch = "parent-fetch"
 	StageOriginFetch = "origin-fetch"
+	// StageServe is the responder side of a peer fetch: the span a node
+	// records when it serves (or resolves) a document for a peer, on the
+	// remote-parented trace continued from the requester's context.
+	StageServe = "serve-remote"
 )
 
 // Placement-decision outcomes recorded on the placement span and the
@@ -104,6 +108,16 @@ type Span struct {
 type Trace struct {
 	// ID is the node-unique request ID (also the slog request_id).
 	ID string `json:"id"`
+	// TraceID is the group-wide trace this record belongs to: minted at
+	// the front door of a sampled request, inherited off the wire by every
+	// downstream hop. Empty on traces recorded before propagation existed.
+	TraceID string `json:"trace_id,omitempty"`
+	// ParentID is the upstream node's request-record ID when this trace
+	// was caused by a peer's fetch (remote-parented); empty at the front
+	// door.
+	ParentID string `json:"parent_id,omitempty"`
+	// Hop is the forwarding depth from the front door (0 there).
+	Hop int `json:"hop,omitempty"`
 	// Node is the serving node's configured ID.
 	Node string `json:"node"`
 	// URL is the requested document.
@@ -276,12 +290,32 @@ func (r *TraceRing) Snapshot() []*Trace {
 	return out
 }
 
+// SnapshotTrace returns the held records belonging to one group-wide
+// trace ID, oldest first — a node's contribution to a stitched timeline.
+// Safe on a nil ring.
+func (r *TraceRing) SnapshotTrace(traceID string) []*Trace {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, t := range all {
+		if t.TraceID == traceID {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // WriteJSON dumps the ring as a JSON array, oldest first — the
-// /debug/trace payload.
-func (r *TraceRing) WriteJSON(w io.Writer) error {
+// /debug/trace payload. A non-empty traceID keeps only that group-wide
+// trace's records (the ?trace= filter).
+func (r *TraceRing) WriteJSON(w io.Writer, traceID string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	traces := r.Snapshot()
+	var traces []*Trace
+	if traceID != "" {
+		traces = r.SnapshotTrace(traceID)
+	} else {
+		traces = r.Snapshot()
+	}
 	if traces == nil {
 		traces = []*Trace{}
 	}
@@ -294,20 +328,24 @@ func (r *TraceRing) WriteJSON(w io.Writer) error {
 type Telemetry struct {
 	Registry *Registry
 	Traces   *TraceRing
+	// Placement is the bounded placement-decision audit log served on
+	// /debug/placement. Unlike Traces it is exact, not sampled.
+	Placement *DecisionLog
 
 	prefix string
 	reqSeq atomic.Uint64
 	sample atomic.Int64
 }
 
-// New builds a Telemetry with a fresh registry and a trace ring of
-// traceCap (<1 selects DefaultTraceCapacity). prefix seeds request IDs
-// (usually the node ID).
+// New builds a Telemetry with a fresh registry, a trace ring of traceCap
+// (<1 selects DefaultTraceCapacity) and a default-capacity placement
+// decision log. prefix seeds request IDs (usually the node ID).
 func New(prefix string, traceCap int) *Telemetry {
 	return &Telemetry{
-		Registry: NewRegistry(),
-		Traces:   NewTraceRing(traceCap),
-		prefix:   prefix,
+		Registry:  NewRegistry(),
+		Traces:    NewTraceRing(traceCap),
+		Placement: NewDecisionLog(0),
+		prefix:    prefix,
 	}
 }
 
@@ -348,9 +386,10 @@ func (t *Telemetry) SetTraceSampling(n int) {
 	t.sample.Store(int64(n))
 }
 
-// StartTrace opens a request trace, or nil — inert — without telemetry
-// or when sampling skips this request. Every Trace method is nil-safe,
-// so callers never branch on the sampling decision.
+// StartTrace opens a front-door request trace, or nil — inert — without
+// telemetry or when sampling skips this request. Every Trace method is
+// nil-safe, so callers never branch on the sampling decision. A sampled
+// trace gets a fresh group-wide TraceID at hop 0, ready to propagate.
 func (t *Telemetry) StartTrace(node, url string) *Trace {
 	if t == nil {
 		return nil
@@ -359,7 +398,39 @@ func (t *Telemetry) StartTrace(node, url string) *Trace {
 	if s := t.sample.Load(); s > 1 && n%uint64(s) != 0 {
 		return nil
 	}
-	return &Trace{ID: t.formatID(n), Node: node, URL: url, Start: time.Now()}
+	return &Trace{ID: t.formatID(n), TraceID: NewTraceID(), Node: node, URL: url, Start: time.Now()}
+}
+
+// StartRemoteTrace opens a remote-parented trace for work this node does on
+// behalf of another node's request (a served remote hit, a relayed parent
+// resolve). The incoming sampled bit overrides local sampling entirely:
+// if the originator recorded the trace, every hop records its leg, so the
+// stitched timeline is never half-missing. Returns nil — inert — without
+// telemetry or when the context is unsampled.
+func (t *Telemetry) StartRemoteTrace(node, url string, tc TraceContext) *Trace {
+	if t == nil || !tc.Sampled || tc.TraceID == "" {
+		return nil
+	}
+	return &Trace{
+		ID:       t.formatID(t.reqSeq.Add(1)),
+		TraceID:  tc.TraceID,
+		ParentID: tc.ParentID,
+		Hop:      tc.Hop + 1,
+		Node:     node,
+		URL:      url,
+		Start:    time.Now(),
+	}
+}
+
+// Context returns the wire context a downstream fetch on behalf of tr
+// should carry: same trace ID, this record as the parent span, same hop
+// depth (the receiver increments). The zero TraceContext (unsampled) is
+// returned for a nil trace so callers can propagate unconditionally.
+func (tr *Trace) Context() TraceContext {
+	if tr == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: tr.TraceID, ParentID: tr.ID, Hop: tr.Hop, Sampled: true}
 }
 
 // Finish seals tr (computing its duration) and publishes it. Safe on nil

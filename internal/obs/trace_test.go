@@ -123,7 +123,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 		Spans: []Span{{Stage: StageICPFanout, DurUS: 42}},
 	})
 	var sb strings.Builder
-	if err := r.WriteJSON(&sb); err != nil {
+	if err := r.WriteJSON(&sb, ""); err != nil {
 		t.Fatal(err)
 	}
 	var decoded []Trace
@@ -136,7 +136,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 
 	// An empty ring dumps [], not null.
 	sb.Reset()
-	if err := NewTraceRing(2).WriteJSON(&sb); err != nil {
+	if err := NewTraceRing(2).WriteJSON(&sb, ""); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(sb.String()) != "[]" {

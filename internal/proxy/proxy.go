@@ -16,6 +16,7 @@ import (
 	"eacache/internal/chash"
 	"eacache/internal/core"
 	"eacache/internal/digest"
+	"eacache/internal/obs"
 	"eacache/internal/resolve"
 )
 
@@ -227,8 +228,18 @@ type Proxy struct {
 	// location is LocateHash.
 	hash *resolve.HashLocator
 
+	// decisions, when attached via RecordDecisions, receives every
+	// placement verdict this proxy's requests produce — the simulator's
+	// copy of the live node's /debug/placement audit stream.
+	decisions *obs.DecisionLog
+
 	icp ICPStats
 }
+
+// RecordDecisions attaches a placement-decision audit log; every
+// accept/reject/promote verdict from this proxy's requests is recorded
+// into it, mirroring the live node's audit stream. A nil log detaches.
+func (p *Proxy) RecordDecisions(l *obs.DecisionLog) { p.decisions = l }
 
 // New builds a proxy from cfg.
 func New(cfg Config) (*Proxy, error) {

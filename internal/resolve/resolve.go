@@ -141,25 +141,27 @@ type Transport interface {
 
 // Hooks observes the lifecycle's decision points: the simulator maps
 // them to placement trace events and ICP statistics, the live node to
-// telemetry spans and robustness counters. store is the scheme's
-// verdict, stored whether a copy was actually kept (a too-large
-// document is accepted by the scheme but not stored). A nil Hooks is
-// valid and observes nothing.
+// telemetry spans, the placement-decision audit log, and robustness
+// counters. store is the scheme's verdict, stored whether a copy was
+// actually kept (a too-large document is accepted by the scheme but not
+// stored); size is the transferred document's size — the feasibility
+// input of the placement decision, recorded in the audit log. A nil
+// Hooks is valid and observes nothing.
 type Hooks interface {
 	OnLocalHit(rctx any, url string, now time.Time)
 	// OnRetry fires before each candidate after the first.
 	OnRetry(rctx any)
 	// OnFalseHit fires when a candidate answered not-found.
 	OnFalseHit(rctx any, c Candidate, url string)
-	OnRemoteHit(rctx any, c Candidate, url string, reqAge, respAge time.Duration, store, stored, promoted bool, now time.Time)
+	OnRemoteHit(rctx any, c Candidate, url string, size int64, reqAge, respAge time.Duration, store, stored, promoted bool, now time.Time)
 	// OnFallback fires when every candidate fetch failed (transport
 	// errors, not not-founds) and the request degrades to the miss path.
 	OnFallback(rctx any)
 	// OnParentDegrade fires when the parent path failed and the engine
 	// is retrying against the origin (DegradeToOrigin).
 	OnParentDegrade(rctx any, url string, err error)
-	OnParentFetch(rctx any, parentID, url string, reqAge, parentAge time.Duration, fromGroup, store, stored bool, now time.Time)
-	OnOriginFetch(rctx any, url string, reqAge time.Duration, store, stored bool, now time.Time)
+	OnParentFetch(rctx any, parentID, url string, size int64, reqAge, parentAge time.Duration, fromGroup, store, stored bool, now time.Time)
+	OnOriginFetch(rctx any, url string, size int64, reqAge time.Duration, store, stored bool, now time.Time)
 }
 
 // nopHooks is the nil-Hooks stand-in, so the engine body never
@@ -169,13 +171,13 @@ type nopHooks struct{}
 func (nopHooks) OnLocalHit(any, string, time.Time) {}
 func (nopHooks) OnRetry(any)                       {}
 func (nopHooks) OnFalseHit(any, Candidate, string) {}
-func (nopHooks) OnRemoteHit(any, Candidate, string, time.Duration, time.Duration, bool, bool, bool, time.Time) {
+func (nopHooks) OnRemoteHit(any, Candidate, string, int64, time.Duration, time.Duration, bool, bool, bool, time.Time) {
 }
 func (nopHooks) OnFallback(any)                     {}
 func (nopHooks) OnParentDegrade(any, string, error) {}
-func (nopHooks) OnParentFetch(any, string, string, time.Duration, time.Duration, bool, bool, bool, time.Time) {
+func (nopHooks) OnParentFetch(any, string, string, int64, time.Duration, time.Duration, bool, bool, bool, time.Time) {
 }
-func (nopHooks) OnOriginFetch(any, string, time.Duration, bool, bool, time.Time) {}
+func (nopHooks) OnOriginFetch(any, string, int64, time.Duration, bool, bool, time.Time) {}
 
 // Result describes how one request was served.
 type Result struct {
@@ -303,7 +305,7 @@ func (e *Engine) remoteHit(rctx any, hooks Hooks, c Candidate, url string, place
 		if !rem.FromGroup {
 			res.Outcome = metrics.Miss
 		}
-		hooks.OnRemoteHit(rctx, c, url, reqAge, rem.ResponderAge, false, false, false, now)
+		hooks.OnRemoteHit(rctx, c, url, rem.Doc.Size, reqAge, rem.ResponderAge, false, false, false, now)
 		return res
 	}
 	decision := e.Scheme.OnRemoteHit(reqAge, rem.ResponderAge)
@@ -311,7 +313,7 @@ func (e *Engine) remoteHit(rctx any, hooks Hooks, c Candidate, url string, place
 		res.Stored = e.Store.StoreCopy(rem.Doc, now)
 	}
 	res.Promoted = decision.PromoteAtResponder
-	hooks.OnRemoteHit(rctx, c, url, reqAge, rem.ResponderAge,
+	hooks.OnRemoteHit(rctx, c, url, rem.Doc.Size, reqAge, rem.ResponderAge,
 		decision.StoreAtRequester, res.Stored, res.Promoted, now)
 	return res
 }
@@ -341,7 +343,7 @@ func (e *Engine) resolveMiss(rctx any, hooks Hooks, url string, sizeHint int64, 
 			if store {
 				res.Stored = e.Store.StoreCopy(rem.Doc, now)
 			}
-			hooks.OnParentFetch(rctx, pid, url, reqAge, rem.ResponderAge, rem.FromGroup, store, res.Stored, now)
+			hooks.OnParentFetch(rctx, pid, url, rem.Doc.Size, reqAge, rem.ResponderAge, rem.FromGroup, store, res.Stored, now)
 			return res, nil
 		}
 		if !e.DegradeToOrigin || !e.Transport.HasOrigin() {
@@ -362,7 +364,7 @@ func (e *Engine) resolveMiss(rctx any, hooks Hooks, url string, sizeHint int64, 
 	if store {
 		res.Stored = e.Store.StoreCopy(doc, now)
 	}
-	hooks.OnOriginFetch(rctx, url, reqAge, store, res.Stored, now)
+	hooks.OnOriginFetch(rctx, url, doc.Size, reqAge, store, res.Stored, now)
 	return res, nil
 }
 

@@ -105,15 +105,17 @@ type spyHooks struct {
 func (h *spyHooks) OnLocalHit(any, string, time.Time) { h.localHits++ }
 func (h *spyHooks) OnRetry(any)                       { h.retries++ }
 func (h *spyHooks) OnFalseHit(any, Candidate, string) { h.falseHits++ }
-func (h *spyHooks) OnRemoteHit(any, Candidate, string, time.Duration, time.Duration, bool, bool, bool, time.Time) {
+func (h *spyHooks) OnRemoteHit(any, Candidate, string, int64, time.Duration, time.Duration, bool, bool, bool, time.Time) {
 	h.remoteHits++
 }
 func (h *spyHooks) OnFallback(any)                     { h.fallbacks++ }
 func (h *spyHooks) OnParentDegrade(any, string, error) { h.degrades++ }
-func (h *spyHooks) OnParentFetch(any, string, string, time.Duration, time.Duration, bool, bool, bool, time.Time) {
+func (h *spyHooks) OnParentFetch(any, string, string, int64, time.Duration, time.Duration, bool, bool, bool, time.Time) {
 	h.parentFetches++
 }
-func (h *spyHooks) OnOriginFetch(any, string, time.Duration, bool, bool, time.Time) { h.originFns++ }
+func (h *spyHooks) OnOriginFetch(any, string, int64, time.Duration, bool, bool, time.Time) {
+	h.originFns++
+}
 
 type fixedLocator struct{ loc Located }
 
