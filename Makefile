@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-short test-race parity chaos churn-smoke bench bench-json load-json load-smoke obs-smoke fuzz
+.PHONY: check fmt build vet test test-short test-race parity chaos churn-smoke bench bench-json load-json load-smoke obs-smoke digest-smoke fuzz
 
 check: fmt vet build test-race
 
@@ -59,7 +59,7 @@ bench:
 # (hit rate / byte hit rate / estimated latency), and the live-socket
 # node benchmarks — telemetry off/on plus the parallel run on the
 # sharded store. Writes BENCH_JSON.
-BENCH_JSON ?= BENCH_pr8.json
+BENCH_JSON ?= BENCH_pr9.json
 BENCH_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) $(BENCH_FLAGS)
@@ -89,6 +89,18 @@ obs-smoke:
 	$(GO) test -race -v -run 'TestCrossPeerTracePropagation|TestMalformedTraceContextNeverFatal' ./internal/netnode/
 	$(GO) test -race -v -run 'TestLoadgenObsRecordsSlowTraces' ./cmd/loadgen/
 
+# Digest-location gate: a live 3-node -locate=digest group under
+# traffic, plus the delta-sync unit surface. After the first-contact
+# full transfers, every background refresh must ride the change log as
+# a delta — eacctl's aggregated /admin/digests counters prove deltas
+# outnumber fulls and the rebuild escape hatch never fired — and the
+# counting-filter maintenance plus sync wire cost stay within budget
+# (delta bytes < 10% of a full transfer, asserted by -check-digest).
+digest-smoke:
+	$(GO) test -race -v -run 'TestDigestGroupDeltaSteadyState' ./cmd/eacctl/
+	$(GO) test -race -v -run 'TestDigest|TestIncremental|TestDelta' ./internal/netnode/ ./internal/digest/
+	$(GO) run ./cmd/benchjson -out /tmp/digest-smoke.json -artifacts=false -node-iters 2000 -node-reps 1 -check-digest
+
 # Fuzz the decoders that face untrusted bytes: journal/snapshot recovery
 # and the wire parsers. Short per-target budget by default; raise with
 # e.g. `make fuzz FUZZTIME=2m` for a longer soak.
@@ -98,3 +110,4 @@ fuzz:
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -fuzz FuzzReadRequest -fuzztime $(FUZZTIME) ./internal/hproto/
 	$(GO) test -fuzz FuzzReadResponse -fuzztime $(FUZZTIME) ./internal/hproto/
+	$(GO) test -fuzz FuzzDecodeSync -fuzztime $(FUZZTIME) ./internal/digest/

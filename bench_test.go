@@ -81,6 +81,27 @@ func BenchmarkWorstCase(b *testing.B) { benchArtifact(b, "worstcase") }
 // validation.
 func BenchmarkModelCheck(b *testing.B) { benchArtifact(b, "model-check") }
 
+// BenchmarkDigestIncremental measures keeping the advertised digest
+// current via counting-filter updates: one op is one steady-state churn
+// step (admit + evict) on an 8K-document resident set.
+func BenchmarkDigestIncremental(b *testing.B) {
+	benchkit.DigestMaintenance(true, 8192)(b)
+}
+
+// BenchmarkDigestRebuild is the delayed-rebuild baseline the incremental
+// path replaced: mutations are free until 1% of the resident set churns,
+// then a full URL scan rebuilds the filter.
+func BenchmarkDigestRebuild(b *testing.B) {
+	benchkit.DigestMaintenance(false, 8192)(b)
+}
+
+// BenchmarkDigestSync measures the wire cost of one delta refresh after
+// 16 churn steps; delta_full_byte_ratio reports delta bytes against the
+// full-filter transfer the delta replaces.
+func BenchmarkDigestSync(b *testing.B) {
+	benchkit.DigestSync(8192, 16)(b)
+}
+
 // BenchmarkSimulatorThroughput measures raw trace-replay speed through a
 // 4-cache EA group (requests per op reported as custom metric).
 func BenchmarkSimulatorThroughput(b *testing.B) {

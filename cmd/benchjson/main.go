@@ -43,6 +43,12 @@ type benchResult struct {
 	RemoteHitRate      float64 `json:"remote_hit_rate,omitempty"`
 	EstimatedLatencyMS float64 `json:"estimated_latency_ms,omitempty"`
 	Rows               int     `json:"rows,omitempty"`
+
+	// Digest-maintenance measures (DigestMaintenance / DigestSync only).
+	Rebuilds           float64 `json:"rebuilds,omitempty"`
+	DeltaBytesPerOp    float64 `json:"delta_bytes_per_op,omitempty"`
+	FullBytes          float64 `json:"full_bytes,omitempty"`
+	DeltaFullByteRatio float64 `json:"delta_full_byte_ratio,omitempty"`
 }
 
 type artifact struct {
@@ -66,6 +72,15 @@ type artifact struct {
 	// TraceSampling is the 1-in-N trace sampling the telemetry run used
 	// (proxyd's default); metrics cover every request regardless.
 	TraceSampling int `json:"trace_sampling"`
+
+	// DigestIncrementalSpeedup is the rebuild-baseline digest
+	// maintenance cost divided by the incremental cost, per mutation
+	// pair: how much cheaper keeping the advertised summary current
+	// became when counter updates replaced delayed full scans.
+	DigestIncrementalSpeedup float64 `json:"digest_incremental_speedup"`
+	// DigestDeltaFullByteRatio is delta transfer bytes over the
+	// full-filter bytes each delta replaced (budget: <0.10).
+	DigestDeltaFullByteRatio float64 `json:"digest_delta_full_byte_ratio"`
 
 	// ParallelSpeedup is NodeRequest wall-clock ns/op divided by
 	// NodeRequestParallel wall-clock ns/op: how much faster the node
@@ -98,6 +113,10 @@ func runBench(name, benchtime string, fn func(*testing.B)) (benchResult, error) 
 	res.EstimatedLatencyMS = r.Extra["estlatency_ms"]
 	res.CPUNsPerOp = r.Extra["cpu_ns/op"]
 	res.Rows = int(r.Extra["rows"])
+	res.Rebuilds = r.Extra["rebuilds"]
+	res.DeltaBytesPerOp = r.Extra["delta_bytes/op"]
+	res.FullBytes = r.Extra["full_bytes"]
+	res.DeltaFullByteRatio = r.Extra["delta_full_byte_ratio"]
 	fmt.Printf("%-24s %10d ns/op %8d allocs/op", name, res.NsPerOp, res.AllocsPerOp)
 	if res.CPUNsPerOp > 0 {
 		fmt.Printf(" %10.0f cpu_ns/op", res.CPUNsPerOp)
@@ -125,6 +144,8 @@ func run() error {
 	artifacts := flag.Bool("artifacts", true, "include the paper-artifact benchmarks")
 	checkParallel := flag.Bool("check-parallel", false,
 		"exit nonzero if parallel throughput falls meaningfully below single-threaded (smoke check)")
+	checkDigest := flag.Bool("check-digest", false,
+		"exit nonzero if digest delta transfers cost >=10% of full-filter bytes (smoke check)")
 	flag.Parse()
 
 	var results []benchResult
@@ -150,6 +171,26 @@ func run() error {
 	if err := add("GroupReplay/adhoc", "1x", benchkit.GroupReplay(core.AdHoc{}, 4, 2<<20)); err != nil {
 		return err
 	}
+
+	// Digest maintenance: incremental counting-filter updates against the
+	// delayed-rebuild baseline, then the wire cost of delta refreshes.
+	const digestResident = 8192
+	dgInc, err := runBench("DigestMaintenance/incremental", "200000x",
+		benchkit.DigestMaintenance(true, digestResident))
+	if err != nil {
+		return err
+	}
+	dgReb, err := runBench("DigestMaintenance/rebuild", "200000x",
+		benchkit.DigestMaintenance(false, digestResident))
+	if err != nil {
+		return err
+	}
+	dgSync, err := runBench("DigestSync/churn16", "20000x",
+		benchkit.DigestSync(digestResident, 16))
+	if err != nil {
+		return err
+	}
+	results = append(results, dgInc, dgReb, dgSync)
 
 	// The node benchmarks ride live sockets, so a single run is at the
 	// mercy of whatever else the host schedules. Interleave the off/on
@@ -210,6 +251,18 @@ func run() error {
 		a.ParallelSpeedup = float64(base.NsPerOp) / float64(par.NsPerOp)
 		fmt.Printf("parallel speedup: %.2fx at GOMAXPROCS=%d (target >=2x needs >=4 cores)\n",
 			a.ParallelSpeedup, a.GOMAXPROCS)
+	}
+	if dgInc.NsPerOp > 0 {
+		a.DigestIncrementalSpeedup = float64(dgReb.NsPerOp) / float64(dgInc.NsPerOp)
+		fmt.Printf("digest maintenance: incremental %.2fx cheaper than delayed rebuilds per mutation\n",
+			a.DigestIncrementalSpeedup)
+	}
+	a.DigestDeltaFullByteRatio = dgSync.DeltaFullByteRatio
+	fmt.Printf("digest sync: delta transfers cost %.1f%% of full-filter bytes (budget <10%%)\n",
+		a.DigestDeltaFullByteRatio*100)
+	if *checkDigest && a.DigestDeltaFullByteRatio >= 0.10 {
+		return fmt.Errorf("digest delta regression: delta bytes are %.1f%% of full transfers (budget <10%%)",
+			a.DigestDeltaFullByteRatio*100)
 	}
 	// The smoke check guards against the concurrent path costing
 	// throughput outright: parallel must not be meaningfully slower than

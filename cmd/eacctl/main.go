@@ -187,6 +187,40 @@ type residentView struct {
 	URLs      []string `json:"urls"`
 }
 
+// digestView mirrors GET /admin/digests (netnode.DigestReport).
+type digestView struct {
+	Enabled        bool                      `json:"enabled"`
+	OwnGeneration  uint64                    `json:"own_generation"`
+	OwnLen         int                       `json:"own_len"`
+	Window         int                       `json:"window"`
+	PinnedCounters int                       `json:"pinned_counters"`
+	RebuildEscapes int64                     `json:"rebuild_escapes"`
+	Stats          digestStatsView           `json:"stats"`
+	Peers          map[string]digestPeerView `json:"peers"`
+}
+
+type digestStatsView struct {
+	DeltasServed     int64 `json:"deltas_served"`
+	FullsServed      int64 `json:"fulls_served"`
+	DeltasApplied    int64 `json:"deltas_applied"`
+	FullsApplied     int64 `json:"fulls_applied"`
+	DeltaBytesServed int64 `json:"delta_bytes_served"`
+	FullBytesServed  int64 `json:"full_bytes_served"`
+	RebuildEscapes   int64 `json:"rebuild_escapes"`
+	StaleServed      int64 `json:"stale_served"`
+	Fetches          int64 `json:"fetches"`
+	FetchFailures    int64 `json:"fetch_failures"`
+}
+
+type digestPeerView struct {
+	Generation    uint64 `json:"generation"`
+	AgeMS         int64  `json:"age_ms"`
+	Len           int    `json:"len"`
+	Refreshing    bool   `json:"refreshing"`
+	DeltasApplied int64  `json:"deltas_applied"`
+	FullsApplied  int64  `json:"fulls_applied"`
+}
+
 // NodeReport is one member's scrape, reduced to the numbers the group
 // report aggregates.
 type NodeReport struct {
@@ -205,7 +239,8 @@ type NodeReport struct {
 	CacheBytes      float64            `json:"cache_bytes"`    // resident bytes (gauge)
 	Evictions       float64            `json:"evictions"`      // policy evictions
 	Breakers        []memberRow        `json:"breakers,omitempty"`
-	Resident        []string           `json:"-"` // URLs, for the replication factor
+	Digest          *digestView        `json:"digest,omitempty"` // nil when the member predates /admin/digests
+	Resident        []string           `json:"-"`                // URLs, for the replication factor
 }
 
 // GroupReport is the aggregate over every reachable member.
@@ -224,6 +259,17 @@ type GroupReport struct {
 	RingAgreement   bool               `json:"ring_agreement"`
 	ScrapeFailures  int                `json:"scrape_failures"`
 	ReachableMember int                `json:"reachable_members"`
+
+	// Digest-location health, summed over members that locate via
+	// digests (all zero in ICP and hash groups).
+	DigestEnabled        bool  `json:"digest_enabled"`
+	DigestDeltasServed   int64 `json:"digest_deltas_served"`
+	DigestFullsServed    int64 `json:"digest_fulls_served"`
+	DigestDeltaBytes     int64 `json:"digest_delta_bytes_served"`
+	DigestFullBytes      int64 `json:"digest_full_bytes_served"`
+	DigestRebuildEscapes int64 `json:"digest_rebuild_escapes"`
+	DigestStaleServed    int64 `json:"digest_stale_served"`
+	DigestFetchFailures  int64 `json:"digest_fetch_failures"`
 }
 
 func buildReport(cl *client, seed string, stderr io.Writer) (*GroupReport, error) {
@@ -249,6 +295,16 @@ func buildReport(cl *client, seed string, stderr io.Writer) (*GroupReport, error
 		}
 		for k, v := range nr.Decisions {
 			rep.Decisions[k] += v
+		}
+		if d := nr.Digest; d != nil && d.Enabled {
+			rep.DigestEnabled = true
+			rep.DigestDeltasServed += d.Stats.DeltasServed
+			rep.DigestFullsServed += d.Stats.FullsServed
+			rep.DigestDeltaBytes += d.Stats.DeltaBytesServed
+			rep.DigestFullBytes += d.Stats.FullBytesServed
+			rep.DigestRebuildEscapes += d.Stats.RebuildEscapes
+			rep.DigestStaleServed += d.Stats.StaleServed
+			rep.DigestFetchFailures += d.Stats.FetchFailures
 		}
 	}
 	if rep.ReachableMember == 0 {
@@ -377,6 +433,10 @@ func scrapeNode(cl *client, addr string) NodeReport {
 		if nr.Node == "" {
 			nr.Node = peers.Self
 		}
+	}
+	var dg digestView
+	if err := cl.getJSON(addr, "/admin/digests", &dg); err == nil {
+		nr.Digest = &dg
 	}
 	var res residentView
 	if err := cl.getJSON(addr, "/admin/resident", &res); err == nil {
@@ -538,6 +598,53 @@ func renderReport(w io.Writer, rep *GroupReport) {
 			nr.Documents, nr.CacheBytes, age, nr.Epoch, nr.PeersActive, state)
 	}
 	tw.Flush()
+
+	if rep.DigestEnabled {
+		transfers := rep.DigestDeltasServed + rep.DigestFullsServed
+		ratio := "-"
+		if transfers > 0 {
+			ratio = pct(float64(rep.DigestDeltasServed) / float64(transfers))
+		}
+		fmt.Fprintf(w, "digest sync: %d deltas / %d fulls served (%s delta), %d delta bytes vs %d full bytes\n",
+			rep.DigestDeltasServed, rep.DigestFullsServed, ratio,
+			rep.DigestDeltaBytes, rep.DigestFullBytes)
+		if rep.DigestRebuildEscapes > 0 || rep.DigestStaleServed > 0 || rep.DigestFetchFailures > 0 {
+			fmt.Fprintf(w, "digest health: %d rebuild escapes, %d stale serves, %d fetch failures\n",
+				rep.DigestRebuildEscapes, rep.DigestStaleServed, rep.DigestFetchFailures)
+		}
+		dtw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(dtw, "NODE\tGEN\tPEER\tPEER-GEN\tAGE\tDELTAS\tFULLS\tSTATE")
+		for _, nr := range rep.Nodes {
+			d := nr.Digest
+			if d == nil || !d.Enabled {
+				continue
+			}
+			if len(d.Peers) == 0 {
+				fmt.Fprintf(dtw, "%s\t%d\t-\t-\t-\t-\t-\t-\n", nr.Node, d.OwnGeneration)
+				continue
+			}
+			peers := make([]string, 0, len(d.Peers))
+			for p := range d.Peers {
+				peers = append(peers, p)
+			}
+			sort.Strings(peers)
+			for _, p := range peers {
+				pv := d.Peers[p]
+				age := "never"
+				if pv.AgeMS >= 0 {
+					age = fmt.Sprintf("%.1fs", float64(pv.AgeMS)/1000)
+				}
+				state := "fresh"
+				if pv.Refreshing {
+					state = "refreshing"
+				}
+				fmt.Fprintf(dtw, "%s\t%d\t%s\t%d\t%s\t%d\t%d\t%s\n",
+					nr.Node, d.OwnGeneration, p, pv.Generation, age,
+					pv.DeltasApplied, pv.FullsApplied, state)
+			}
+		}
+		dtw.Flush()
+	}
 
 	// Breaker troubles only; a healthy group prints nothing here.
 	for _, nr := range rep.Nodes {

@@ -14,6 +14,7 @@ import (
 	"eacache/internal/metrics"
 	"eacache/internal/netnode"
 	"eacache/internal/obs"
+	"eacache/internal/proxy"
 	"eacache/internal/resolve"
 )
 
@@ -69,7 +70,7 @@ func startGroupMemberLoc(t *testing.T, id, origin string, loc resolve.Location) 
 		t.Fatal(err)
 	}
 	tel := obs.New(id, 64)
-	n, err := netnode.New(netnode.Config{
+	cfg := netnode.Config{
 		ID:         id,
 		ICPAddr:    "127.0.0.1:0",
 		HTTPAddr:   "127.0.0.1:0",
@@ -80,7 +81,14 @@ func startGroupMemberLoc(t *testing.T, id, origin string, loc resolve.Location) 
 		Location:   loc,
 		HashName:   id,
 		Obs:        tel,
-	})
+	}
+	if loc == resolve.LocateDigest {
+		// Fast revalidation so digest e2e tests see background delta
+		// refreshes within their polling window.
+		cfg.Digest = proxy.DigestConfig{Expected: 64, FPRate: 0.01, RebuildEvery: 1}
+		cfg.DigestRefresh = 40 * time.Millisecond
+	}
+	n, err := netnode.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,6 +245,122 @@ func TestEacctlFlagAndCommandErrors(t *testing.T) {
 		err := run(tc.args, io.Discard, io.Discard)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("run(%v) err = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestDigestGroupDeltaSteadyState is the CI digest-smoke gate: boot a
+// three-node digest-located group, drive enough traffic that every
+// member fetches its peers' summaries, then let the background
+// revalidators run. After the first full-transfer handshakes, every
+// refresh must ride the change-log as a compact delta, so the
+// group-wide delta count eacctl aggregates from /admin/digests must
+// overtake the full count — and the counter-saturation escape hatch
+// must never fire.
+func TestDigestGroupDeltaSteadyState(t *testing.T) {
+	origin, err := netnode.NewOriginServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+
+	const groupSize = 3
+	var (
+		nodes  []*netnode.Node
+		admins []string
+	)
+	for i := 0; i < groupSize; i++ {
+		n, admin := startGroupMemberLoc(t, fmt.Sprintf("dg-%d", i), origin.Addr(), resolve.LocateDigest)
+		nodes = append(nodes, n)
+		admins = append(admins, admin)
+	}
+	for i, n := range nodes {
+		var peers []netnode.Peer
+		for j, other := range nodes {
+			if i == j {
+				continue
+			}
+			peers = append(peers, netnode.Peer{
+				ICP: other.ICPAddr(), HTTP: other.HTTPAddr(),
+				Name: other.ID(), Admin: admins[j],
+			})
+		}
+		n.SetPeers(peers)
+	}
+
+	// Each node caches its own slice of documents, then every node
+	// requests a document homed elsewhere so all six peer-digest
+	// replicas get populated (the first contact is a full transfer).
+	for i, n := range nodes {
+		for d := 0; d < 8; d++ {
+			url := fmt.Sprintf("http://digest.example.edu/n%d/doc%d", i, d)
+			if _, err := n.Request(url, 1024); err != nil {
+				t.Fatalf("seed %s via %s: %v", url, n.ID(), err)
+			}
+		}
+	}
+	for i, n := range nodes {
+		url := fmt.Sprintf("http://digest.example.edu/n%d/doc0", (i+1)%groupSize)
+		if _, err := n.Request(url, 1024); err != nil {
+			t.Fatalf("cross request via %s: %v", n.ID(), err)
+		}
+	}
+
+	// Poll the aggregated report until background revalidation has
+	// served more deltas than the handshake served fulls.
+	report := func() *GroupReport {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if err := run([]string{"-addr", admins[0], "-json", "report"}, &out, &errb); err != nil {
+			t.Fatalf("eacctl -json report: %v\nstderr: %s", err, errb.String())
+		}
+		var rep GroupReport
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("report JSON: %v\n%s", err, out.String())
+		}
+		return &rep
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var rep *GroupReport
+	for {
+		rep = report()
+		if rep.DigestEnabled && rep.DigestDeltasServed > rep.DigestFullsServed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deltas never overtook fulls: %d deltas vs %d fulls",
+				rep.DigestDeltasServed, rep.DigestFullsServed)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if rep.ReachableMember != groupSize {
+		t.Fatalf("scraped %d members, want %d", rep.ReachableMember, groupSize)
+	}
+	if rep.DigestRebuildEscapes != 0 {
+		t.Fatalf("digest rebuild escapes = %d, want 0", rep.DigestRebuildEscapes)
+	}
+	if rep.DigestFetchFailures != 0 {
+		t.Fatalf("digest fetch failures = %d, want 0", rep.DigestFetchFailures)
+	}
+	// Per-node views carry generations and peer freshness.
+	for _, nr := range rep.Nodes {
+		if nr.Digest == nil || !nr.Digest.Enabled {
+			t.Fatalf("node %s has no digest view", nr.Node)
+		}
+		if nr.Digest.OwnGeneration == 0 {
+			t.Fatalf("node %s never advanced its digest generation", nr.Node)
+		}
+	}
+
+	// The text report renders the digest summary and per-peer table.
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", admins[0], "report"}, &out, &errb); err != nil {
+		t.Fatalf("eacctl report: %v\nstderr: %s", err, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"digest sync:", "PEER-GEN", "dg-0", "dg-1", "dg-2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
 		}
 	}
 }

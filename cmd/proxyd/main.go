@@ -59,8 +59,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		location   = fs.String("location", "", `deprecated alias for -locate`)
 		digestFlag = fs.Bool("digest", false, `deprecated alias for -locate=digest`)
 		hashName   = fs.String("hash-name", "", "this node's hash-ring member name under -locate=hash (default: the bound fetch address)")
-		capacity   = fs.String("capacity", "10MB", "cache capacity")
-		shards     = fs.Int("cache-shards", cache.DefaultShards,
+
+		digestRefresh = fs.Duration("digest-refresh", 0, "how long a fetched peer digest is trusted before background revalidation (needs -locate=digest; 0 uses the default)")
+		digestWindow  = fs.Int("digest-delta-window", 0, "generations of digest changes kept for delta sync; peers further behind get a full transfer (needs -locate=digest; 0 uses the default)")
+		capacity      = fs.String("capacity", "10MB", "cache capacity")
+		shards        = fs.Int("cache-shards", cache.DefaultShards,
 			"cache lock shards (rounded up to a power of two); 1 serialises the store")
 		peers      peerList
 		originMode = fs.Bool("origin-mode", false, "run as the group's origin server instead of a proxy")
@@ -124,6 +127,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *joinWarmup < 0 {
 		return fmt.Errorf("-join-warmup must be positive, or 0 to disable, got %v", *joinWarmup)
+	}
+	if *digestRefresh < 0 {
+		return fmt.Errorf("-digest-refresh must be positive, or 0 for the default, got %v", *digestRefresh)
+	}
+	if *digestWindow < 0 {
+		return fmt.Errorf("-digest-delta-window must be positive, or 0 for the default, got %d", *digestWindow)
 	}
 	if *traceSample < 1 {
 		return fmt.Errorf("-trace-sample must be at least 1 (trace every request), got %d", *traceSample)
@@ -190,6 +199,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ParentAddr:    *parentAddr,
 		Location:      loc,
 		HashName:      *hashName,
+		DigestRefresh: *digestRefresh,
 		DialTimeout:   *dialTimeout,
 		FetchTimeout:  *fetchTimeout,
 		FetchAttempts: *fetchAttempts,
@@ -221,8 +231,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nodeCfg.SnapshotInterval = *snapInterval
 	}
 	// Passed through unconditionally so netnode rejects -journal-batch
-	// without -data-dir instead of ignoring it.
+	// without -data-dir and -digest-delta-window without -locate=digest
+	// instead of ignoring them.
 	nodeCfg.JournalBatch = *journalBatch
+	nodeCfg.DigestDeltaWindow = *digestWindow
 	node, err := netnode.New(nodeCfg)
 	if err != nil {
 		return err

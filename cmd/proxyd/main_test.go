@@ -137,6 +137,9 @@ func TestOverloadFlagValidation(t *testing.T) {
 		{[]string{"-trace-sample=0"}, "-trace-sample must be at least 1"},
 		{[]string{"-trace-sample=-5"}, "-trace-sample must be at least 1"},
 		{[]string{"-trace-capacity=0"}, "-trace-capacity must be positive"},
+		{[]string{"-digest-refresh=-1s"}, "-digest-refresh must be positive"},
+		{[]string{"-digest-delta-window=-4"}, "-digest-delta-window must be positive"},
+		{[]string{"-digest-delta-window=16"}, "DigestDeltaWindow requires digest location"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args, io.Discard, io.Discard)

@@ -1,0 +1,138 @@
+package benchkit
+
+import (
+	"strconv"
+	"testing"
+
+	"eacache/internal/digest"
+)
+
+// digestPool builds a URL ring twice the resident-set size; the
+// maintenance benchmarks slide an n-wide resident window around it so
+// every operation is one steady-state churn step (evict the oldest,
+// admit one new) at constant occupancy.
+func digestPool(n int) []string {
+	pool := make([]string, 2*n)
+	for i := range pool {
+		pool[i] = "http://digest.example.edu/doc" + strconv.Itoa(i)
+	}
+	return pool
+}
+
+// DigestMaintenance returns the benchmark body for keeping the
+// advertised digest current under cache churn. One op is one mutation
+// pair (admit + evict at constant occupancy of `resident` documents).
+//
+// incremental=true is the counting-filter path this repo ships: O(k)
+// counter updates per mutation, no scans. incremental=false is the
+// Summary-Cache delayed-rebuild baseline it replaced: mutations are
+// free until the staleness threshold, then a full O(n) scan rebuilds
+// the filter — the cost the incremental path takes off the digest path.
+func DigestMaintenance(incremental bool, resident int) func(*testing.B) {
+	return func(b *testing.B) {
+		pool := digestPool(resident)
+		b.ReportAllocs()
+		if incremental {
+			s, err := digest.NewIncremental(resident, 0.01, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Seed(pool[:resident])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Add(pool[(i+resident)%len(pool)])
+				s.Remove(pool[i%len(pool)])
+				if s.NeedsRebuild() {
+					// Counter-saturation escape hatch; steady state must
+					// not take it (asserted below).
+					live := make([]string, resident)
+					for j := 0; j < resident; j++ {
+						live[j] = pool[(i+1+j)%len(pool)]
+					}
+					s.Rebuild(live)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.Rebuilds()), "rebuilds")
+			if s.Rebuilds() > 0 {
+				b.Errorf("incremental maintenance took %d rebuild escapes over %d mutations",
+					s.Rebuilds(), 2*b.N)
+			}
+			return
+		}
+
+		// Baseline: rebuild after 1% of the resident set churns — the
+		// low end of Summary Cache's recommended delayed-update window,
+		// i.e. the cheapest defensible rebuild cadence.
+		rebuildEvery := int64(max(resident/100, 1))
+		s, err := digest.NewSummary(resident, 0.01, rebuildEvery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		liveAt := func(i int) []string {
+			live := make([]string, resident)
+			for j := 0; j < resident; j++ {
+				live[j] = pool[(i+j)%len(pool)]
+			}
+			return live
+		}
+		s.Rebuild(liveAt(0), 0)
+		var mutations int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mutations += 2 // admit + evict
+			if s.Stale(mutations) {
+				s.Rebuild(liveAt(i+1), mutations)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(s.Rebuilds()), "rebuilds")
+	}
+}
+
+// DigestSync returns the benchmark body for the wire cost of one peer
+// refresh. One op is a refresh cycle: `churn` mutation pairs on the
+// server's digest, then encoding the delta a peer at the previous
+// generation would receive. The delta_full_byte_ratio metric is the
+// headline: delta bytes as a fraction of the full-filter transfer the
+// delta replaces (acceptance target < 0.10).
+func DigestSync(resident, churn int) func(*testing.B) {
+	return func(b *testing.B) {
+		pool := digestPool(resident)
+		s, err := digest.NewIncremental(resident, 0.01, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Seed(pool[:resident])
+		full, err := digest.EncodeFull(s.Filter(), s.Generation())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var deltaBytes, transfers int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			since := s.Generation()
+			for c := 0; c < churn; c++ {
+				step := i*churn + c
+				s.Add(pool[(step+resident)%len(pool)])
+				s.Remove(pool[step%len(pool)])
+			}
+			d, ok := s.Delta(since)
+			if !ok {
+				b.Fatalf("delta window exhausted at churn %d", churn)
+			}
+			wire, err := d.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			deltaBytes += int64(len(wire))
+			transfers++
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(deltaBytes)/float64(transfers), "delta_bytes/op")
+		b.ReportMetric(float64(len(full)), "full_bytes")
+		b.ReportMetric(float64(deltaBytes)/(float64(transfers)*float64(len(full))),
+			"delta_full_byte_ratio")
+	}
+}

@@ -184,6 +184,11 @@ type Event struct {
 	At time.Time
 	// Age is the victim's document expiration age (EventEvict only).
 	Age time.Duration
+	// Refresh distinguishes the two EventInsert cases: true when Put
+	// refreshed an already cached URL rather than admitting a new one.
+	// Set-membership observers (the incremental cache digest) must not
+	// count a refresh as a second insertion of the same URL.
+	Refresh bool
 }
 
 // Store is a single proxy cache: documents, capacity accounting, replacement
@@ -319,7 +324,7 @@ func (s *Store) Put(doc Document, now time.Time) ([]Eviction, error) {
 		e.Hits++
 		e.LastHit = now
 		s.policy.Touch(e)
-		s.emit(Event{Kind: EventInsert, Doc: doc, At: now})
+		s.emit(Event{Kind: EventInsert, Doc: doc, At: now, Refresh: true})
 		return s.makeRoom(now, doc.URL)
 	}
 

@@ -22,28 +22,44 @@ type Filter struct {
 	n    int    // inserted elements
 }
 
-// NewFilter sizes a filter for the expected number of elements and target
-// false-positive rate. Summary Cache recommends a load factor around 8-16
-// bits per entry; this constructor derives m and k from the standard
-// formulas m = -n·ln(p)/ln(2)² and k = m/n·ln(2).
-func NewFilter(expected int, fpRate float64) (*Filter, error) {
+// geometry derives the Bloom filter shape from the expected element count
+// and target false-positive rate using the standard formulas
+// m = -n·ln(p)/ln(2)² and k = m/n·ln(2). The plain Filter and the
+// Counting filter share it so a counting filter's bit projection is
+// directly comparable to a rebuilt Filter.
+func geometry(expected int, fpRate float64) (m uint64, k int, err error) {
 	if expected <= 0 {
-		return nil, fmt.Errorf("digest: expected elements must be positive, got %d", expected)
+		return 0, 0, fmt.Errorf("digest: expected elements must be positive, got %d", expected)
 	}
 	if fpRate <= 0 || fpRate >= 1 {
-		return nil, fmt.Errorf("digest: false-positive rate must be in (0,1), got %v", fpRate)
+		return 0, 0, fmt.Errorf("digest: false-positive rate must be in (0,1), got %v", fpRate)
 	}
 	mf := -float64(expected) * math.Log(fpRate) / (math.Ln2 * math.Ln2)
-	m := uint64(math.Ceil(mf))
+	m = uint64(math.Ceil(mf))
 	if m < 64 {
 		m = 64
 	}
-	k := int(math.Round(mf / float64(expected) * math.Ln2))
+	if m >= 1<<32 {
+		// Bit positions travel as u32 in the delta wire format.
+		return 0, 0, fmt.Errorf("digest: filter of %d bits exceeds the wire format", m)
+	}
+	k = int(math.Round(mf / float64(expected) * math.Ln2))
 	if k < 1 {
 		k = 1
 	}
 	if k > 16 {
 		k = 16
+	}
+	return m, k, nil
+}
+
+// NewFilter sizes a filter for the expected number of elements and target
+// false-positive rate. Summary Cache recommends a load factor around 8-16
+// bits per entry.
+func NewFilter(expected int, fpRate float64) (*Filter, error) {
+	m, k, err := geometry(expected, fpRate)
+	if err != nil {
+		return nil, err
 	}
 	return &Filter{
 		bits: make([]uint64, (m+63)/64),
@@ -109,8 +125,40 @@ func (f *Filter) set(bit uint64) {
 	f.bits[bit/64] |= 1 << (bit % 64)
 }
 
+func (f *Filter) clear(bit uint64) {
+	f.bits[bit/64] &^= 1 << (bit % 64)
+}
+
 func (f *Filter) get(bit uint64) bool {
 	return f.bits[bit/64]&(1<<(bit%64)) != 0
+}
+
+// Clone returns an independent copy of the filter. Peer-digest replicas
+// are treated as immutable once published to readers; a delta is applied
+// to a clone which is then swapped in.
+func (f *Filter) Clone() *Filter {
+	cp := &Filter{
+		bits: make([]uint64, len(f.bits)),
+		m:    f.m,
+		k:    f.k,
+		n:    f.n,
+	}
+	copy(cp.bits, f.bits)
+	return cp
+}
+
+// Equal reports whether two filters have identical geometry and bit
+// contents (element counts included).
+func (f *Filter) Equal(o *Filter) bool {
+	if f.m != o.m || f.k != o.k || f.n != o.n || len(f.bits) != len(o.bits) {
+		return false
+	}
+	for i, w := range f.bits {
+		if o.bits[i] != w {
+			return false
+		}
+	}
+	return true
 }
 
 func hashPair(key string) (uint64, uint64) {

@@ -1,0 +1,205 @@
+package digest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Wire format of a digest sync response (what `eac:digest?since=<gen>`
+// returns). Two shapes share a common 8-byte preamble
+// (magic | version u8 | reserved u8 | reserved u16):
+//
+//	full:  "EADF" | ver u8 | 0 u8 | 0 u16 | gen u64 | filter (EADG encoding)
+//	delta: "EADD" | ver u8 | 0 u8 | 0 u16 | from u64 | to u64 | n u64 |
+//	       nset u32 | nclear u32 | nset*u32 set | nclear*u32 clear
+//
+// A delta carries the projection bit positions that flipped between the
+// replica's generation (from) and the server's (to), plus the element
+// count at to so the replica's Len stays honest. Positions are sorted
+// ascending, which makes encoding deterministic and lets the decoder
+// reject duplicates cheaply.
+const (
+	syncMagicFull  = "EADF"
+	syncMagicDelta = "EADD"
+	syncVersion    = 1
+	syncPreamble   = 4 + 1 + 1 + 2
+	deltaHeader    = syncPreamble + 8 + 8 + 8 + 4 + 4
+	// maxDeltaFlips bounds each position list against implausible
+	// inputs, mirroring the filter decoder's 1<<24-word cap.
+	maxDeltaFlips = 1 << 24
+)
+
+// Delta is a compact digest update: apply Set then Clear to a replica at
+// generation From and it becomes the server's projection at generation
+// To exactly.
+type Delta struct {
+	From, To uint64
+	// N is the server's element count at To.
+	N uint64
+	// Set and Clear are the projection bits whose final state changed,
+	// sorted ascending.
+	Set, Clear []uint32
+}
+
+// Sync is a decoded digest sync response: exactly one of Full or Delta
+// is set.
+type Sync struct {
+	// Full is a complete filter at generation Gen.
+	Full *Filter
+	Gen  uint64
+	// Delta is an incremental update.
+	Delta *Delta
+}
+
+// EncodeFull wraps a complete filter and its generation in the sync
+// envelope.
+func EncodeFull(f *Filter, gen uint64) ([]byte, error) {
+	body, err := f.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, syncPreamble+8+len(body))
+	copy(out, syncMagicFull)
+	out[4] = syncVersion
+	binary.BigEndian.PutUint64(out[syncPreamble:], gen)
+	copy(out[syncPreamble+8:], body)
+	return out, nil
+}
+
+// MarshalBinary encodes the delta in the sync envelope.
+func (d *Delta) MarshalBinary() ([]byte, error) {
+	if len(d.Set) > maxDeltaFlips || len(d.Clear) > maxDeltaFlips {
+		return nil, fmt.Errorf("digest: delta too large (%d set, %d clear)", len(d.Set), len(d.Clear))
+	}
+	out := make([]byte, deltaHeader+4*(len(d.Set)+len(d.Clear)))
+	copy(out, syncMagicDelta)
+	out[4] = syncVersion
+	binary.BigEndian.PutUint64(out[8:], d.From)
+	binary.BigEndian.PutUint64(out[16:], d.To)
+	binary.BigEndian.PutUint64(out[24:], d.N)
+	binary.BigEndian.PutUint32(out[32:], uint32(len(d.Set)))
+	binary.BigEndian.PutUint32(out[36:], uint32(len(d.Clear)))
+	off := deltaHeader
+	for _, pos := range d.Set {
+		binary.BigEndian.PutUint32(out[off:], pos)
+		off += 4
+	}
+	for _, pos := range d.Clear {
+		binary.BigEndian.PutUint32(out[off:], pos)
+		off += 4
+	}
+	return out, nil
+}
+
+// DecodeSync parses a digest sync response body, either shape.
+func DecodeSync(data []byte) (*Sync, error) {
+	if len(data) < syncPreamble {
+		return nil, fmt.Errorf("digest: truncated sync response (%d bytes)", len(data))
+	}
+	magic := string(data[:4])
+	if data[4] != syncVersion {
+		return nil, fmt.Errorf("digest: unsupported sync version %d", data[4])
+	}
+	// The encoding is canonical (decode∘encode is the identity), so the
+	// reserved preamble bytes must be zero, not merely ignored.
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("digest: nonzero reserved bytes in sync preamble")
+	}
+	switch magic {
+	case syncMagicFull:
+		if len(data) < syncPreamble+8 {
+			return nil, fmt.Errorf("digest: truncated full sync (%d bytes)", len(data))
+		}
+		gen := binary.BigEndian.Uint64(data[syncPreamble:])
+		var f Filter
+		if err := f.UnmarshalBinary(data[syncPreamble+8:]); err != nil {
+			return nil, err
+		}
+		return &Sync{Full: &f, Gen: gen}, nil
+	case syncMagicDelta:
+		if len(data) < deltaHeader {
+			return nil, fmt.Errorf("digest: truncated delta (%d bytes)", len(data))
+		}
+		d := &Delta{
+			From: binary.BigEndian.Uint64(data[8:]),
+			To:   binary.BigEndian.Uint64(data[16:]),
+			N:    binary.BigEndian.Uint64(data[24:]),
+		}
+		nset := binary.BigEndian.Uint32(data[32:])
+		nclear := binary.BigEndian.Uint32(data[36:])
+		if nset > maxDeltaFlips || nclear > maxDeltaFlips {
+			return nil, fmt.Errorf("digest: implausible delta (%d set, %d clear)", nset, nclear)
+		}
+		if d.From > d.To {
+			return nil, fmt.Errorf("digest: delta generations reversed (%d > %d)", d.From, d.To)
+		}
+		want := deltaHeader + 4*(int(nset)+int(nclear))
+		if len(data) != want {
+			return nil, fmt.Errorf("digest: delta size mismatch: want %d bytes, got %d", want, len(data))
+		}
+		d.Set = decodePositions(data[deltaHeader:], int(nset))
+		d.Clear = decodePositions(data[deltaHeader+4*int(nset):], int(nclear))
+		if !sorted(d.Set) || !sorted(d.Clear) {
+			return nil, fmt.Errorf("digest: delta positions not strictly ascending")
+		}
+		return &Sync{Delta: d}, nil
+	default:
+		return nil, fmt.Errorf("digest: bad sync magic %q", data[:4])
+	}
+}
+
+// ApplyDelta flips the delta's bits on the filter and adopts its element
+// count. The caller has verified d.From matches the replica's
+// generation; position bounds are still checked so a corrupt delta
+// cannot write out of range.
+func (f *Filter) ApplyDelta(d *Delta) error {
+	for _, pos := range d.Set {
+		if uint64(pos) >= f.m {
+			return fmt.Errorf("digest: delta position %d outside filter of %d bits", pos, f.m)
+		}
+	}
+	for _, pos := range d.Clear {
+		if uint64(pos) >= f.m {
+			return fmt.Errorf("digest: delta position %d outside filter of %d bits", pos, f.m)
+		}
+	}
+	for _, pos := range d.Set {
+		f.set(uint64(pos))
+	}
+	for _, pos := range d.Clear {
+		f.clear(uint64(pos))
+	}
+	f.n = int(d.N)
+	return nil
+}
+
+// WireSize returns the encoded size in bytes without encoding.
+func (d *Delta) WireSize() int {
+	return deltaHeader + 4*(len(d.Set)+len(d.Clear))
+}
+
+func (d *Delta) sort() {
+	sort.Slice(d.Set, func(i, j int) bool { return d.Set[i] < d.Set[j] })
+	sort.Slice(d.Clear, func(i, j int) bool { return d.Clear[i] < d.Clear[j] })
+}
+
+func decodePositions(data []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(data[i*4:])
+	}
+	return out
+}
+
+func sorted(ps []uint32) bool {
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -44,6 +44,10 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	if data[4] != encVersion {
 		return fmt.Errorf("digest: unsupported version %d", data[4])
 	}
+	// Canonical encoding: the reserved bytes are zero, not ignored.
+	if data[6] != 0 || data[7] != 0 {
+		return fmt.Errorf("digest: nonzero reserved bytes in filter header")
+	}
 	k := int(data[5])
 	if k < 1 {
 		return fmt.Errorf("digest: bad hash count %d", k)
@@ -61,6 +65,11 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	bits := make([]uint64, words)
 	for i := range bits {
 		bits[i] = binary.BigEndian.Uint64(data[encHeader+i*8:])
+	}
+	// Slack bits past m in the final word can never be set by filter
+	// operations, so a canonical encoding has them zero too.
+	if rem := m % 64; rem != 0 && bits[words-1]&(^uint64(0)<<rem) != 0 {
+		return fmt.Errorf("digest: nonzero slack bits past %d-bit filter", m)
 	}
 	f.bits = bits
 	f.m = m

@@ -1,0 +1,72 @@
+package digest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSync throws arbitrary bytes at the digest sync decoder — the
+// surface a node exposes to whatever answers a peer's
+// `eac:digest?since=` fetch. It must never panic, and anything it
+// accepts must re-encode to the identical bytes (the encoding is
+// canonical: sorted positions, exact sizes).
+func FuzzDecodeSync(f *testing.F) {
+	// Valid full envelope.
+	filt, err := NewFilter(32, 0.05)
+	if err != nil {
+		f.Fatal(err)
+	}
+	filt.Add("http://a/1")
+	filt.Add("http://b/2")
+	if full, err := EncodeFull(filt, 7); err == nil {
+		f.Add(full)
+	}
+	// Valid deltas: empty, set-only, mixed.
+	for _, d := range []*Delta{
+		{From: 3, To: 3},
+		{From: 1, To: 4, N: 2, Set: []uint32{1, 9, 200}},
+		{From: 2, To: 9, N: 5, Set: []uint32{0, 63}, Clear: []uint32{7, 8, 1000}},
+	} {
+		if raw, err := d.MarshalBinary(); err == nil {
+			f.Add(raw)
+		}
+	}
+	// Truncations and bad magic.
+	f.Add([]byte("EADF\x01\x00\x00\x00"))
+	f.Add([]byte("EADD\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x09"))
+	f.Add([]byte("EADG\x01\x00\x00\x00"))
+	// Fuzz-found regression: nonzero reserved preamble bytes must be
+	// rejected, or the accepted delta re-encodes with zeros there and the
+	// canonical round trip breaks.
+	f.Add([]byte("EADD\x01000000000000000000000000000\x00\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSync(data)
+		if err != nil {
+			return
+		}
+		switch {
+		case s.Delta != nil:
+			raw, err := s.Delta.MarshalBinary()
+			if err != nil {
+				t.Fatalf("accepted delta failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(raw, data) {
+				t.Fatalf("delta round-trip not canonical")
+			}
+			if s.Delta.WireSize() != len(raw) {
+				t.Fatalf("WireSize %d != encoded %d", s.Delta.WireSize(), len(raw))
+			}
+		case s.Full != nil:
+			raw, err := EncodeFull(s.Full, s.Gen)
+			if err != nil {
+				t.Fatalf("accepted full sync failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(raw, data) {
+				t.Fatalf("full round-trip not canonical")
+			}
+		default:
+			t.Fatalf("DecodeSync returned neither shape")
+		}
+	})
+}

@@ -203,8 +203,10 @@ func TestLocationTableShape(t *testing.T) {
 			if icpMsgs != "0" {
 				t.Fatalf("digest row sent ICP messages: %v", row)
 			}
-			if row[5] == "0" {
-				t.Fatalf("digest row never rebuilt a summary: %v", row)
+			// Incremental maintenance: the escape hatch never fires in
+			// a healthy run.
+			if row[5] != "0" {
+				t.Fatalf("digest row took rebuild escapes: %v", row)
 			}
 		default:
 			t.Fatalf("unknown mechanism %q", mech)

@@ -18,6 +18,14 @@ func FuzzReadRequest(f *testing.F) {
 	f.Add("")
 	f.Add("GET\r\n")
 	f.Add(strings.Repeat("h", 10000))
+	// Digest-sync requests ride the same wire: a bare refresh, a versioned
+	// delta request, an overflowing generation, and a malformed since=
+	// (the digest layer answers that one with a full transfer, but the
+	// parser must simply pass the URL through).
+	f.Add("GET eac:digest EAC/1.0\r\n\r\n")
+	f.Add("GET eac:digest?since=42 EAC/1.0\r\n\r\n")
+	f.Add("GET eac:digest?since=18446744073709551615 EAC/1.0\r\n\r\n")
+	f.Add("GET eac:digest?since=-1&since=zz EAC/1.0\r\n\r\n")
 
 	f.Fuzz(func(t *testing.T, in string) {
 		req, err := ReadRequest(bufio.NewReader(strings.NewReader(in)))

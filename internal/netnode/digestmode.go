@@ -5,10 +5,14 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"time"
 
+	"eacache/internal/cache"
 	"eacache/internal/digest"
 	"eacache/internal/hproto"
+	"eacache/internal/metrics"
 	"eacache/internal/proxy"
 )
 
@@ -16,31 +20,59 @@ import (
 // digest over the ordinary fetch protocol — the same trick Squid uses
 // (its digests live at /squid-internal-periodic/store_digest). Peers GET
 // it, cache the filter, and consult it locally instead of sending ICP
-// queries.
+// queries. A peer holding a replica at generation G requests
+// "eac:digest?since=G" and receives a compact delta of the projection
+// bits that flipped since G (or a full transfer when the change log no
+// longer covers the span); the bare URL still serves the legacy
+// unversioned filter for old peers.
 const DigestURL = "eac:digest"
 
+// digestSinceParam is the query key carrying the requester's replica
+// generation.
+const digestSinceParam = "since="
+
 // DefaultDigestRefresh is how long a fetched peer digest is trusted before
-// being re-fetched.
+// being revalidated.
 const DefaultDigestRefresh = 10 * time.Second
 
-// digestState is the digest-location machinery of a Node.
+// digestState is the digest-location machinery of a Node. The node's own
+// summary is maintained incrementally from the cache event sink — every
+// Put/Evict/Remove is O(k) counter work, and steady state never rescans
+// the URL set (digest.Incremental's escape hatch aside). All fields are
+// guarded by Node.digestMu; peer filters are immutable once published so
+// lookups can use them after dropping the lock.
 type digestState struct {
 	// own is this node's published summary.
-	own *digest.Summary
-	// peers caches the neighbours' fetched digests by HTTP address.
+	own *digest.Incremental
+	// peers caches the neighbours' fetched digest replicas by HTTP
+	// address.
 	peers map[string]*peerDigest
-	// refresh bounds the trust window for fetched digests.
+	// refresh bounds the trust window for fetched digests; staleness is
+	// measured on the node's injected clock (Config.Now).
 	refresh time.Duration
 }
 
+// peerDigest is one neighbour's digest replica plus its single-flight
+// revalidation state.
 type peerDigest struct {
+	// filter is the replica (nil until first fetched); treated as
+	// immutable — a delta is applied to a clone which is then swapped in.
 	filter    *digest.Filter
+	gen       uint64
 	fetchedAt time.Time
+	// inflight is non-nil while a refresh flight is running; it is
+	// closed when the flight completes. Misses that find data serve the
+	// stale replica instead of waiting; misses that find none wait for
+	// this one flight instead of dialling their own.
+	inflight chan struct{}
+	// deltas/fulls count the transfers applied to this replica, for the
+	// admin surface and eacctl.
+	deltas, fulls int64
 }
 
-func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duration) (*digestState, error) {
+func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duration, window int) (*digestState, error) {
 	dc := cfg.WithDefaults(capacity)
-	own, err := digest.NewSummary(dc.Expected, dc.FPRate, dc.RebuildEvery)
+	own, err := digest.NewIncremental(dc.Expected, dc.FPRate, window)
 	if err != nil {
 		return nil, err
 	}
@@ -54,20 +86,56 @@ func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duratio
 	}, nil
 }
 
-// ownDigestBytes rebuilds the node's summary if stale and serialises it.
-// Caller must hold n.digestMu; the store counters it reads are
-// independently thread-safe.
-func (n *Node) ownDigestBytes() ([]byte, error) {
-	mutations := n.store.Insertions() + n.store.Evictions()
-	if n.digests.own.Stale(mutations) {
-		n.digests.own.Rebuild(n.store.URLs(), mutations)
+// digestEvent is the cache event sink feeding the own summary: inserts
+// count in, evictions and removals count out, refreshes of an already
+// cached URL are membership no-ops. It runs synchronously inside store
+// mutations (under a shard lock), so it only touches the digest state —
+// never the store.
+func (n *Node) digestEvent(ev cache.Event) {
+	switch ev.Kind {
+	case cache.EventInsert:
+		if ev.Refresh {
+			return
+		}
+		n.digestMu.Lock()
+		n.digests.own.Add(ev.Doc.URL)
+		n.digestMu.Unlock()
+	case cache.EventEvict, cache.EventRemove:
+		n.digestMu.Lock()
+		n.digests.own.Remove(ev.Doc.URL)
+		n.digestMu.Unlock()
 	}
-	return n.digests.own.Filter().MarshalBinary()
+}
+
+// maybeRebuildOwn takes the counter-saturation escape hatch when the
+// incremental summary reports degradation: a full-URL-scan rebuild,
+// counted so "steady state performs zero rebuilds" is checkable. The URL
+// snapshot is taken before the digest lock (the store takes shard locks)
+// — mutations racing the scan can skew the rebuilt filter by a document
+// or two, which the digest protocol already tolerates (it is advisory;
+// false hits fall through to the origin).
+func (n *Node) maybeRebuildOwn() {
+	n.digestMu.Lock()
+	need := n.digests.own.NeedsRebuild()
+	n.digestMu.Unlock()
+	if !need {
+		return
+	}
+	urls := n.store.URLs()
+	n.digestMu.Lock()
+	if n.digests.own.NeedsRebuild() {
+		n.digests.own.Rebuild(urls)
+		n.dg.RebuildEscape()
+		n.om.digestRebuildEscape()
+	}
+	n.digestMu.Unlock()
+	n.warn("digest rebuild escape hatch taken", nil, "urls", len(urls))
 }
 
 // digestCandidates returns the health-allowed peers whose (cached,
-// possibly re-fetched) digests advertise url. Network fetches happen
-// without holding the lock.
+// possibly stale) digests advertise url. No network waits happen on this
+// path unless a peer's digest was never fetched at all — and then all
+// concurrent misses share one single-flight fetch.
 func (n *Node) digestCandidates(peers []Peer, url string) []Peer {
 	var candidates []Peer
 	for _, p := range peers {
@@ -87,33 +155,159 @@ func (n *Node) digestCandidates(peers []Peer, url string) []Peer {
 	return candidates
 }
 
-// peerDigest returns a sufficiently fresh digest for p, fetching one if
-// needed, or nil when the peer cannot supply one.
+// peerDigest returns p's digest replica for a lookup:
+//
+//   - fresh replica: returned as is;
+//   - stale replica: returned immediately (serve-stale) while a
+//     background single-flight refresh is kicked off — the miss path
+//     never blocks on digest traffic;
+//   - no replica yet: the lookup joins the one in-flight fetch (first
+//     contact is the only time a miss waits, and a 32-way herd still
+//     dials once).
 func (n *Node) peerDigest(p Peer) *digest.Filter {
 	n.digestMu.Lock()
 	pd := n.digests.peers[p.HTTP]
-	refresh := n.digests.refresh
+	if pd == nil {
+		pd = &peerDigest{}
+		n.digests.peers[p.HTTP] = pd
+	}
+	if pd.filter != nil && n.now().Sub(pd.fetchedAt) < n.digests.refresh {
+		f := pd.filter
+		n.digestMu.Unlock()
+		return f
+	}
+	if pd.filter != nil {
+		// Stale: kick a refresh if none is running, answer from the
+		// stale replica either way.
+		n.startDigestFlightLocked(p, pd)
+		f := pd.filter
+		n.digestMu.Unlock()
+		n.dg.StaleServed()
+		n.om.digestStaleServed()
+		return f
+	}
+	// First contact: join the single flight.
+	n.startDigestFlightLocked(p, pd)
+	wait := pd.inflight
 	n.digestMu.Unlock()
-	if pd != nil && time.Since(pd.fetchedAt) < refresh {
-		return pd.filter
-	}
-
-	f, err := n.fetchDigest(p.HTTP)
-	if err != nil {
-		n.warn("digest fetch failed", nil, "peer", p.HTTP, "err", err)
-		n.health.ReportFailure(p.HTTP)
-		n.robust.PeerFailure()
-		return nil
-	}
-	n.health.ReportSuccess(p.HTTP)
+	<-wait
 	n.digestMu.Lock()
-	n.digests.peers[p.HTTP] = &peerDigest{filter: f, fetchedAt: time.Now()}
+	f := pd.filter
 	n.digestMu.Unlock()
 	return f
 }
 
-// fetchDigest GETs a peer's digest from the reserved URL.
+// startDigestFlightLocked starts the single-flight refresh for pd unless
+// one is already running. Caller holds digestMu.
+func (n *Node) startDigestFlightLocked(p Peer, pd *peerDigest) {
+	if pd.inflight != nil {
+		return
+	}
+	pd.inflight = make(chan struct{})
+	n.wg.Add(1)
+	go n.digestFlight(p, pd)
+}
+
+// digestFlight is the one revalidation in flight for a peer: it syncs
+// the replica (delta when possible, full otherwise), publishes the
+// result, and wakes any first-contact waiters.
+func (n *Node) digestFlight(p Peer, pd *peerDigest) {
+	defer n.wg.Done()
+
+	n.digestMu.Lock()
+	var since uint64
+	var base *digest.Filter
+	if pd.filter != nil {
+		since = pd.gen
+		base = pd.filter.Clone()
+	}
+	n.digestMu.Unlock()
+
+	n.dg.Fetch()
+	f, gen, applied, err := n.fetchDigestSince(p.HTTP, since, base)
+
+	n.digestMu.Lock()
+	if err == nil {
+		pd.filter, pd.gen, pd.fetchedAt = f, gen, n.now()
+		if applied == digestSyncDelta {
+			pd.deltas++
+		} else {
+			pd.fulls++
+		}
+	}
+	done := pd.inflight
+	pd.inflight = nil
+	n.digestMu.Unlock()
+	close(done)
+
+	if err != nil {
+		n.dg.FetchFailure()
+		n.om.digestFetchFailure()
+		n.warn("digest fetch failed", nil, "peer", p.HTTP, "err", err)
+		n.health.ReportFailure(p.HTTP)
+		n.robust.PeerFailure()
+		return
+	}
+	if applied == digestSyncDelta {
+		n.dg.DeltaApplied()
+	} else {
+		n.dg.FullApplied()
+	}
+	n.om.digestApplied(applied)
+	n.health.ReportSuccess(p.HTTP)
+}
+
+// digestSync kinds, shared by the serve and apply metrics paths.
+const (
+	digestSyncFull = iota
+	digestSyncDelta
+)
+
+// fetchDigestSince GETs a peer's digest versioned at since (0 = no
+// replica, always answered with a full transfer) and returns the new
+// replica filter and generation. A delta response is applied to base (a
+// private clone of the current replica).
+func (n *Node) fetchDigestSince(addr string, since uint64, base *digest.Filter) (*digest.Filter, uint64, int, error) {
+	url := DigestURL + "?" + digestSinceParam + strconv.FormatUint(since, 10)
+	body, err := n.fetchDigestBody(addr, url)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	s, err := digest.DecodeSync(body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if s.Delta != nil {
+		if base == nil || s.Delta.From != since {
+			return nil, 0, 0, fmt.Errorf("digest delta from %s starts at gen %d, replica at %d", addr, s.Delta.From, since)
+		}
+		if err := base.ApplyDelta(s.Delta); err != nil {
+			return nil, 0, 0, err
+		}
+		return base, s.Delta.To, digestSyncDelta, nil
+	}
+	return s.Full, s.Gen, digestSyncFull, nil
+}
+
+// fetchDigest GETs a peer's digest from the bare reserved URL (legacy
+// unversioned full transfer). Kept for mixed-version peers and tests;
+// the revalidator uses fetchDigestSince.
 func (n *Node) fetchDigest(addr string) (*digest.Filter, error) {
+	body, err := n.fetchDigestBody(addr, DigestURL)
+	if err != nil {
+		return nil, err
+	}
+	var f digest.Filter
+	if err := f.UnmarshalBinary(body); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// fetchDigestBody performs the digest GET and returns the response body.
+// The socket deadline deliberately uses the real clock (Config.Now is
+// the cache-visible clock; see the Config.Now contract).
+func (n *Node) fetchDigestBody(addr, url string) ([]byte, error) {
 	conn, err := n.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
@@ -121,7 +315,7 @@ func (n *Node) fetchDigest(addr string) (*digest.Filter, error) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(n.fetchTimeout))
 
-	if err := hproto.WriteRequest(conn, hproto.Request{URL: DigestURL}); err != nil {
+	if err := hproto.WriteRequest(conn, hproto.Request{URL: url}); err != nil {
 		return nil, err
 	}
 	br := bufio.NewReader(conn)
@@ -136,9 +330,194 @@ func (n *Node) fetchDigest(addr string) (*digest.Filter, error) {
 	if _, err := io.CopyN(&body, br, resp.ContentLength); err != nil {
 		return nil, fmt.Errorf("read digest body: %w", err)
 	}
-	var f digest.Filter
-	if err := f.UnmarshalBinary(body.Bytes()); err != nil {
-		return nil, err
-	}
-	return &f, nil
+	return body.Bytes(), nil
 }
+
+// digestLoop is the background revalidator: on every tick it refreshes
+// whichever known peer replicas have gone stale (single-flight per peer,
+// health-gated) and checks the own summary's escape hatch, so steady
+// state keeps every digest fresh without a single miss ever paying for
+// digest traffic. First-ever contact with a peer still happens lazily on
+// the first miss that consults it.
+func (n *Node) digestLoop() {
+	defer n.wg.Done()
+	period := n.digests.refresh / 2
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-t.C:
+		}
+		n.maybeRebuildOwn()
+
+		peers := n.peerList()
+		live := make(map[string]Peer, len(peers))
+		for _, p := range peers {
+			live[p.HTTP] = p
+		}
+		now := n.now()
+		n.digestMu.Lock()
+		for addr, pd := range n.digests.peers {
+			p, ok := live[addr]
+			if !ok {
+				// The peer left the membership; drop its replica unless
+				// a flight still owns it.
+				if pd.inflight == nil {
+					delete(n.digests.peers, addr)
+				}
+				continue
+			}
+			if pd.filter == nil || now.Sub(pd.fetchedAt) < n.digests.refresh {
+				continue
+			}
+			if !n.health.Allow(addr) {
+				continue
+			}
+			n.startDigestFlightLocked(p, pd)
+		}
+		n.digestMu.Unlock()
+	}
+}
+
+// serveDigestRequest answers a digest fetch. The bare reserved URL
+// serves the legacy unversioned filter; "eac:digest?since=G" serves the
+// versioned sync envelope — a compact delta when the change log covers
+// the requester's generation, a full transfer otherwise.
+func (n *Node) serveDigestRequest(conn io.Writer, url string) {
+	if n.digests == nil {
+		_ = hproto.WriteResponse(conn, hproto.Response{Status: hproto.StatusNotFound}, nil)
+		return
+	}
+	n.maybeRebuildOwn()
+
+	since, versioned := parseDigestSince(url)
+	var (
+		data  []byte
+		err   error
+		delta bool
+	)
+	n.digestMu.Lock()
+	own := n.digests.own
+	if !versioned {
+		data, err = own.Filter().MarshalBinary()
+	} else if d, ok := own.Delta(since); ok {
+		data, err = d.MarshalBinary()
+		delta = true
+	} else {
+		data, err = digest.EncodeFull(own.Filter(), own.Generation())
+	}
+	n.digestMu.Unlock()
+	if err != nil {
+		n.warn("marshal digest failed", nil, "err", err)
+		_ = hproto.WriteResponse(conn, hproto.Response{Status: hproto.StatusNotFound}, nil)
+		return
+	}
+	if delta {
+		n.dg.DeltaServed(len(data))
+		n.om.digestServed(digestSyncDelta, len(data))
+	} else {
+		n.dg.FullServed(len(data))
+		n.om.digestServed(digestSyncFull, len(data))
+	}
+	if err := hproto.WriteResponse(conn, hproto.Response{
+		Status:        hproto.StatusOK,
+		ContentLength: int64(len(data)),
+	}, bytes.NewReader(data)); err != nil {
+		n.warn("write digest failed", nil, "err", err)
+	}
+}
+
+// isDigestURL reports whether url addresses the reserved digest
+// endpoint, bare or with a query.
+func isDigestURL(url string) bool {
+	return url == DigestURL || strings.HasPrefix(url, DigestURL+"?")
+}
+
+// parseDigestSince extracts the requester's replica generation from
+// "eac:digest?since=G". ok is false for the bare legacy URL; a malformed
+// query degrades to since=0 (a full transfer), never an error.
+func parseDigestSince(url string) (since uint64, ok bool) {
+	rest, found := strings.CutPrefix(url, DigestURL+"?")
+	if !found {
+		return 0, false
+	}
+	for _, kv := range strings.Split(rest, "&") {
+		if v, isSince := strings.CutPrefix(kv, digestSinceParam); isSince {
+			if g, err := strconv.ParseUint(v, 10, 64); err == nil {
+				return g, true
+			}
+			return 0, true
+		}
+	}
+	return 0, true
+}
+
+// PeerDigestStatus describes one cached peer replica for the admin
+// surface and eacctl.
+type PeerDigestStatus struct {
+	Generation uint64 `json:"generation"`
+	// AgeMS is how long ago the replica was last synced, on the node's
+	// clock; -1 when never fetched.
+	AgeMS int64 `json:"age_ms"`
+	Len   int   `json:"len"`
+	// Refreshing reports an in-flight revalidation.
+	Refreshing    bool  `json:"refreshing"`
+	DeltasApplied int64 `json:"deltas_applied"`
+	FullsApplied  int64 `json:"fulls_applied"`
+}
+
+// DigestReport is the GET /admin/digests body: the own summary's
+// generation and health plus every cached peer replica, so digest
+// staleness across the group is visible from one seed node.
+type DigestReport struct {
+	Enabled        bool                        `json:"enabled"`
+	OwnGeneration  uint64                      `json:"own_generation"`
+	OwnLen         int                         `json:"own_len"`
+	Window         int                         `json:"window"`
+	PinnedCounters int                         `json:"pinned_counters"`
+	RebuildEscapes int64                       `json:"rebuild_escapes"`
+	Stats          metrics.DigestSnapshot      `json:"stats"`
+	Peers          map[string]PeerDigestStatus `json:"peers,omitempty"`
+}
+
+// DigestReport snapshots the digest machinery (zero-valued when the node
+// does not locate via digests).
+func (n *Node) DigestReport() DigestReport {
+	rep := DigestReport{Stats: n.dg.Snapshot()}
+	if n.digests == nil {
+		return rep
+	}
+	now := n.now()
+	n.digestMu.Lock()
+	defer n.digestMu.Unlock()
+	rep.Enabled = true
+	rep.OwnGeneration = n.digests.own.Generation()
+	rep.OwnLen = n.digests.own.Len()
+	rep.Window = n.digests.own.Window()
+	rep.PinnedCounters = n.digests.own.Pinned()
+	rep.RebuildEscapes = n.digests.own.Rebuilds()
+	rep.Peers = make(map[string]PeerDigestStatus, len(n.digests.peers))
+	for addr, pd := range n.digests.peers {
+		st := PeerDigestStatus{
+			Generation:    pd.gen,
+			AgeMS:         -1,
+			Refreshing:    pd.inflight != nil,
+			DeltasApplied: pd.deltas,
+			FullsApplied:  pd.fulls,
+		}
+		if pd.filter != nil {
+			st.Len = pd.filter.Len()
+			st.AgeMS = now.Sub(pd.fetchedAt).Milliseconds()
+		}
+		rep.Peers[addr] = st
+	}
+	return rep
+}
+
+// DigestStats exposes the digest traffic counters.
+func (n *Node) DigestStats() metrics.DigestSnapshot { return n.dg.Snapshot() }

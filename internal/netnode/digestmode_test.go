@@ -196,14 +196,14 @@ func TestDigestConfigDefaultsAndNodeID(t *testing.T) {
 }
 
 func TestNewDigestStateDefaultsRefresh(t *testing.T) {
-	ds, err := newDigestState(proxy.DigestConfig{}, 1<<20, 0)
+	ds, err := newDigestState(proxy.DigestConfig{}, 1<<20, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ds.refresh != DefaultDigestRefresh {
 		t.Fatalf("refresh = %v", ds.refresh)
 	}
-	if _, err := newDigestState(proxy.DigestConfig{Expected: 10, FPRate: 2, RebuildEvery: 1}, 0, 0); err == nil {
+	if _, err := newDigestState(proxy.DigestConfig{Expected: 10, FPRate: 2, RebuildEvery: 1}, 0, 0, 0); err == nil {
 		t.Fatal("invalid digest config accepted")
 	}
 }

@@ -6,6 +6,7 @@ package netnode
 //
 //	GET  /admin/peers        membership table, epoch, drain state
 //	GET  /admin/resident     resident document URLs (replication audit)
+//	GET  /admin/digests      digest generations, freshness, transfer stats
 //	POST /admin/peers/join   {"icp","http","name","admin"} — admit a member
 //	POST /admin/peers/leave  {"peer"} — remove by ring name or fetch addr
 //	POST /admin/peers/drain  hand off this node's copies; returns report
@@ -22,6 +23,7 @@ func (n *Node) AdminRoutes() map[string]http.Handler {
 	return map[string]http.Handler{
 		"/admin/peers":       http.HandlerFunc(n.handlePeers),
 		"/admin/resident":    http.HandlerFunc(n.handleResident),
+		"/admin/digests":     http.HandlerFunc(n.handleDigests),
 		"/admin/peers/join":  http.HandlerFunc(n.handleJoin),
 		"/admin/peers/leave": http.HandlerFunc(n.handleLeave),
 		"/admin/peers/drain": http.HandlerFunc(n.handleDrain),
@@ -64,6 +66,14 @@ func (n *Node) handlePeers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, n.currentView())
+}
+
+func (n *Node) handleDigests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, n.DigestReport())
 }
 
 func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {

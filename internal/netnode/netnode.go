@@ -8,7 +8,6 @@ package netnode
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -153,6 +152,11 @@ type Config struct {
 	// DigestRefresh bounds how long a fetched peer digest is trusted.
 	// Defaults to DefaultDigestRefresh.
 	DigestRefresh time.Duration
+	// DigestDeltaWindow is how many mutations the own digest's change
+	// log retains: peers whose replica is at most this many generations
+	// behind refresh with a compact delta instead of a full filter
+	// transfer. 0 means digest.DefaultDeltaWindow; negative is rejected.
+	DigestDeltaWindow int
 	// DialTimeout bounds TCP connection establishment for every outbound
 	// fetch (peers, parent, origin). Defaults to DefaultDialTimeout;
 	// negative is rejected.
@@ -278,6 +282,7 @@ type Node struct {
 	digests       *digestState
 	health        *health.Tracker
 	robust        metrics.Robustness
+	dg            metrics.Digest
 	faults        *faults.Injector
 	obs           *obs.Telemetry
 	om            *nodeObs
@@ -440,6 +445,12 @@ func New(cfg Config) (*Node, error) {
 		// hierarchical parent would reintroduce a second copy holder.
 		return nil, errors.New("netnode: hash location is incompatible with a parent")
 	}
+	if cfg.DigestDeltaWindow < 0 {
+		return nil, fmt.Errorf("netnode: negative DigestDeltaWindow %d", cfg.DigestDeltaWindow)
+	}
+	if cfg.DigestDeltaWindow > 0 && cfg.Location != resolve.LocateDigest {
+		return nil, errors.New("netnode: DigestDeltaWindow requires digest location")
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -521,7 +532,7 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	if cfg.Location == resolve.LocateDigest {
-		ds, err := newDigestState(cfg.Digest, cfg.Store.Capacity(), cfg.DigestRefresh)
+		ds, err := newDigestState(cfg.Digest, cfg.Store.Capacity(), cfg.DigestRefresh, cfg.DigestDeltaWindow)
 		if err != nil {
 			return nil, fmt.Errorf("netnode: %w", err)
 		}
@@ -558,19 +569,37 @@ func New(cfg Config) (*Node, error) {
 		n.om.setRecovery(*n.recovery)
 	}
 
-	// Chain the persistence and telemetry event sinks: both observe the
-	// store without the replacement policies knowing.
-	switch {
-	case n.persister != nil && n.om != nil:
-		p, om := n.persister, n.om
+	// The own digest is seeded from the (possibly just recovered) store
+	// before the event sink starts feeding it; from here on every cache
+	// mutation maintains the advertised summary incrementally and this is
+	// the last full URL scan a healthy node ever performs.
+	if n.digests != nil {
+		n.digests.own.Seed(n.store.URLs())
+	}
+
+	// Chain the persistence, telemetry, and digest event sinks: all
+	// observe the store without the replacement policies knowing.
+	var sinks []func(cache.Event)
+	if n.persister != nil {
+		sinks = append(sinks, n.persister.Append)
+	}
+	if n.om != nil {
+		sinks = append(sinks, n.om.cacheEvent)
+	}
+	if n.digests != nil {
+		sinks = append(sinks, n.digestEvent)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		n.store.SetEventSink(sinks[0])
+	default:
+		chain := sinks
 		n.store.SetEventSink(func(ev cache.Event) {
-			p.Append(ev)
-			om.cacheEvent(ev)
+			for _, s := range chain {
+				s(ev)
+			}
 		})
-	case n.persister != nil:
-		n.store.SetEventSink(n.persister.Append)
-	case n.om != nil:
-		n.store.SetEventSink(n.om.cacheEvent)
 	}
 
 	icpServer, err := icp.NewServer(cfg.ICPAddr, icp.HandlerFunc(n.handleICP), stdLogger)
@@ -640,6 +669,13 @@ func New(cfg Config) (*Node, error) {
 	if n.ejectAfter > 0 {
 		n.wg.Add(1)
 		go n.membershipLoop()
+	}
+	if n.digests != nil {
+		// Background digest revalidation: known peer replicas are kept
+		// fresh off the request path (misses serve stale while a
+		// single-flight refresh runs).
+		n.wg.Add(1)
+		go n.digestLoop()
 	}
 	return n, nil
 }
@@ -1060,9 +1096,11 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 	putReader(br)
 
-	// The reserved digest URL serves this node's own cache digest.
-	if req.URL == DigestURL {
-		n.serveDigest(conn)
+	// The reserved digest URL serves this node's own cache digest —
+	// bare for the legacy full transfer, ?since=<gen> for the versioned
+	// delta sync.
+	if isDigestURL(req.URL) {
+		n.serveDigestRequest(conn, req.URL)
 		return
 	}
 
@@ -1502,31 +1540,4 @@ func (o *OriginServer) serveConn(conn net.Conn) {
 		ContentLength: size,
 		Source:        hproto.SourceOrigin,
 	}, zeroReader(size))
-}
-
-// serveDigest answers a peer's digest fetch with this node's serialized
-// summary, or 404 when the node does not run digests.
-func (n *Node) serveDigest(conn net.Conn) {
-	n.digestMu.Lock()
-	var (
-		data []byte
-		err  error
-	)
-	if n.digests != nil {
-		data, err = n.ownDigestBytes()
-	}
-	n.digestMu.Unlock()
-	if n.digests == nil || err != nil {
-		if err != nil {
-			n.warn("marshal digest failed", nil, "err", err)
-		}
-		_ = hproto.WriteResponse(conn, hproto.Response{Status: hproto.StatusNotFound}, nil)
-		return
-	}
-	if err := hproto.WriteResponse(conn, hproto.Response{
-		Status:        hproto.StatusOK,
-		ContentLength: int64(len(data)),
-	}, bytes.NewReader(data)); err != nil {
-		n.warn("write digest failed", nil, "err", err)
-	}
 }

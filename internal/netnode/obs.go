@@ -127,6 +127,15 @@ type nodeObs struct {
 	memEvents   [memCount]*obs.Counter // eac_membership_events_total{event}
 	pushStored  *obs.Counter           // eac_pushes_received_total{decision="stored"}
 	pushRefused *obs.Counter           // eac_pushes_received_total{decision="refused"}
+
+	// Digest maintenance (digestmode.go): transfers indexed by
+	// digestSyncFull/digestSyncDelta.
+	digestServedN  [2]*obs.Counter // eac_digest_transfers_total{kind,dir="served"}
+	digestAppliedN [2]*obs.Counter // eac_digest_transfers_total{kind,dir="applied"}
+	digestBytesN   [2]*obs.Counter // eac_digest_bytes_total{kind}
+	digestRebuilds *obs.Counter    // eac_digest_rebuild_escapes_total
+	digestStale    *obs.Counter    // eac_digest_stale_served_total
+	digestFetchErr *obs.Counter    // eac_digest_fetch_failures_total
 }
 
 // Membership event indexes on eac_membership_events_total.
@@ -236,6 +245,35 @@ func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
 	o.pushRefused = r.Counter("eac_pushes_received_total",
 		"Migration handoffs received, by whether the copy was stored.",
 		obs.Labels{"decision": "refused"})
+
+	for idx, kind := range [2]string{digestSyncFull: "full", digestSyncDelta: "delta"} {
+		o.digestServedN[idx] = r.Counter("eac_digest_transfers_total",
+			"Digest transfers, by kind (full filter vs generation delta) and direction.",
+			obs.Labels{"kind": kind, "dir": "served"})
+		o.digestAppliedN[idx] = r.Counter("eac_digest_transfers_total",
+			"Digest transfers, by kind (full filter vs generation delta) and direction.",
+			obs.Labels{"kind": kind, "dir": "applied"})
+		o.digestBytesN[idx] = r.Counter("eac_digest_bytes_total",
+			"Digest body bytes served, by transfer kind.",
+			obs.Labels{"kind": kind})
+	}
+	o.digestRebuilds = r.Counter("eac_digest_rebuild_escapes_total",
+		"Full-URL-scan digest rebuilds via the counter-saturation escape hatch (steady state: 0).", nil)
+	o.digestStale = r.Counter("eac_digest_stale_served_total",
+		"Lookups answered from a stale peer digest while a background refresh was in flight.", nil)
+	o.digestFetchErr = r.Counter("eac_digest_fetch_failures_total",
+		"Peer digest fetches that dialled but failed.", nil)
+	r.GaugeFunc("eac_digest_generation",
+		"Generation of this node's own advertised digest (0 when digests are off).",
+		nil, func() float64 {
+			if n.digests == nil {
+				return 0
+			}
+			n.digestMu.Lock()
+			g := n.digests.own.Generation()
+			n.digestMu.Unlock()
+			return float64(g)
+		})
 
 	r.GaugeFunc("eac_membership_epoch",
 		"Membership revision: bumped by every join, leave, ejection, and readmission.",
@@ -421,6 +459,49 @@ func (o *nodeObs) cacheEvent(ev cache.Event) {
 			c.Inc()
 		}
 	}
+}
+
+// digestServed counts one digest transfer answered for a peer, by kind
+// (digestSyncFull or digestSyncDelta) and body size.
+func (o *nodeObs) digestServed(kind, bytes int) {
+	if o == nil {
+		return
+	}
+	o.digestServedN[kind].Inc()
+	o.digestBytesN[kind].Add(int64(bytes))
+}
+
+// digestApplied counts one transfer applied to a peer-digest replica.
+func (o *nodeObs) digestApplied(kind int) {
+	if o == nil {
+		return
+	}
+	o.digestAppliedN[kind].Inc()
+}
+
+// digestStaleServed counts one lookup answered from a stale replica
+// while a background refresh ran.
+func (o *nodeObs) digestStaleServed() {
+	if o == nil {
+		return
+	}
+	o.digestStale.Inc()
+}
+
+// digestFetchFailure counts one failed peer digest fetch.
+func (o *nodeObs) digestFetchFailure() {
+	if o == nil {
+		return
+	}
+	o.digestFetchErr.Inc()
+}
+
+// digestRebuildEscape counts one counter-saturation full rebuild.
+func (o *nodeObs) digestRebuildEscape() {
+	if o == nil {
+		return
+	}
+	o.digestRebuilds.Inc()
 }
 
 // coalesced counts one request served as a single-flight follower.

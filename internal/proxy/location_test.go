@@ -3,6 +3,7 @@ package proxy
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"eacache/internal/cache"
 	"eacache/internal/core"
@@ -23,6 +24,27 @@ func newDigestProxy(t *testing.T, id string, capacity int64, rebuildEvery int64)
 		Origin:   SizeHintOrigin{},
 		Location: LocateDigest,
 		Digest:   DigestConfig{Expected: 64, FPRate: 0.01, RebuildEvery: rebuildEvery},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// newDigestProxyWithOrigin is newDigestProxy with a custom origin.
+func newDigestProxyWithOrigin(t *testing.T, id string, capacity int64, origin Origin) *Proxy {
+	t.Helper()
+	store, err := cache.New(cache.Config{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		ID:       id,
+		Store:    store,
+		Scheme:   core.AdHoc{},
+		Origin:   origin,
+		Location: LocateDigest,
+		Digest:   DigestConfig{Expected: 64, FPRate: 0.01, RebuildEvery: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,20 +94,21 @@ func TestDigestRemoteHit(t *testing.T) {
 	if b.ICP().DigestChecks == 0 {
 		t.Fatal("no digest checks recorded")
 	}
-	if a.ICP().DigestRebuilds == 0 {
-		t.Fatal("responder never rebuilt its summary")
+	// The summary is maintained incrementally: no full-scan rebuild ever
+	// runs in steady state.
+	if a.ICP().DigestRebuilds != 0 {
+		t.Fatalf("rebuilds = %d, want 0 (incremental maintenance)", a.ICP().DigestRebuilds)
 	}
 }
 
-func TestDigestStalenessCausesMiss(t *testing.T) {
-	// With a huge rebuild threshold, a's summary is built once (empty is
-	// never advertised, so the first consultation builds it) and then
-	// goes stale: documents cached afterwards are invisible to b.
+func TestDigestAdvertisesNewContentImmediately(t *testing.T) {
+	// The incremental summary tracks every mutation as it happens: a
+	// document a caches is visible to b's next consultation with no
+	// republication step and no rebuild.
 	a := newDigestProxy(t, "a", 1<<20, 1000)
 	b := newDigestProxy(t, "b", 1<<20, 1000)
 	wire(t, a, b)
 
-	// Force a's summary to be built while the cache holds only doc0.
 	if _, err := a.Request("http://d0/", 100, at(0)); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +116,7 @@ func TestDigestStalenessCausesMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// a caches a fresh document; the stale summary does not list it.
+	// a caches a fresh document; the live summary lists it at once.
 	if _, err := a.Request("http://fresh/", 100, at(2)); err != nil {
 		t.Fatal(err)
 	}
@@ -101,38 +124,51 @@ func TestDigestStalenessCausesMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Outcome != metrics.Miss {
-		t.Fatalf("res = %+v, want stale-summary miss", res)
+	if res.Outcome != metrics.RemoteHit || res.Responder != "a" {
+		t.Fatalf("res = %+v, want immediate remote hit", res)
+	}
+	if a.ICP().DigestRebuilds != 0 {
+		t.Fatalf("rebuilds = %d, want 0", a.ICP().DigestRebuilds)
+	}
+	// Evictions leave the summary too: drop the documents and the
+	// advertisement follows without a rebuild.
+	a.Store().Remove("http://fresh/")
+	if got, _, _ := a.DigestAdvertisement(); got == nil {
+		t.Fatal("digest proxy returned no advertisement")
+	}
+	if a.advertisedMayContain("http://fresh/") {
+		t.Fatal("removed document still advertised")
 	}
 }
 
+// expiringOrigin hands out documents that expire ttl after the fetch.
+type expiringOrigin struct{ ttl time.Duration }
+
+func (o expiringOrigin) Fetch(url string, sizeHint int64, now time.Time) (cache.Document, error) {
+	if sizeHint <= 0 {
+		sizeHint = 4096
+	}
+	return cache.Document{URL: url, Size: sizeHint, Expires: now.Add(o.ttl)}, nil
+}
+
 func TestDigestFalseHitFallsThrough(t *testing.T) {
-	// a advertises doc X, then evicts it without republishing: b's fetch
-	// attempt fails (false hit) and the request falls through to the
+	// The summary advertises membership, not freshness: a's copy of X
+	// expires while still resident, b's fetch attempt fails the
+	// freshness check (false hit), and the request falls through to the
 	// origin rather than erroring.
-	a := newDigestProxy(t, "a", 250, 1000)
-	b := newDigestProxy(t, "b", 1<<20, 1)
+	a := newDigestProxyWithOrigin(t, "a", 1<<20, expiringOrigin{ttl: 2 * time.Second})
+	b := newDigestProxyWithOrigin(t, "b", 1<<20, expiringOrigin{ttl: 2 * time.Second})
 	wire(t, a, b)
 
 	if _, err := a.Request("http://x/", 200, at(0)); err != nil {
 		t.Fatal(err)
 	}
-	// Build a's summary while X is resident.
-	if _, err := b.Request("http://x/", 200, at(1)); err != nil {
-		t.Fatal(err)
-	}
-	// Evict X from a (capacity 250 only fits one 200-byte doc).
-	if _, err := a.Request("http://y/", 200, at(2)); err != nil {
-		t.Fatal(err)
-	}
-	if a.Store().Contains("http://x/") {
-		t.Fatal("test setup: x still resident")
+	if !a.Store().Contains("http://x/") {
+		t.Fatal("test setup: x not resident at a")
 	}
 
-	// b evicts its own copy of x first so it must go looking.
-	if !b.Store().Remove("http://x/") {
-		t.Fatal("test setup: b had no copy")
-	}
+	// At at(3) a's copy has expired but is still resident — and still
+	// advertised, because the digest tracks membership only.
 	res, err := b.Request("http://x/", 200, at(3))
 	if err != nil {
 		t.Fatal(err)

@@ -45,8 +45,11 @@ type DigestConfig struct {
 	// FPRate is the target false-positive rate (default 0.01).
 	FPRate float64
 	// RebuildEvery is the number of cache mutations (insertions +
-	// evictions) tolerated before republishing; 0 derives 2% of the
-	// expected entry count, within Summary Cache's 1-10% guidance.
+	// evictions) tolerated before republishing by the periodic
+	// digest.Summary. The proxy itself now maintains its summary
+	// incrementally (zero steady-state rebuilds); the field is kept so
+	// existing configurations and the standalone Summary type keep
+	// working.
 	RebuildEvery int64
 }
 
@@ -202,8 +205,10 @@ type ICPStats struct {
 	// DigestFalseHits counts fetch attempts against a neighbour whose
 	// stale or colliding digest advertised a document it did not have.
 	DigestFalseHits int64
-	// DigestRebuilds counts republications of this proxy's own summary —
-	// each one models a digest transfer to every neighbour.
+	// DigestRebuilds counts full-URL-scan rebuilds of this proxy's own
+	// summary. The summary is maintained incrementally from cache
+	// events, so this stays 0 in steady state — it counts only the
+	// counter-saturation escape hatch.
 	DigestRebuilds int64
 }
 
@@ -216,7 +221,7 @@ type Proxy struct {
 	scheme   core.Scheme
 	origin   Origin
 	location Location
-	summary  *digest.Summary
+	summary  *digest.Incremental
 	tracer   Tracer
 
 	siblings []*Proxy
@@ -265,11 +270,17 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	if cfg.Location == LocateDigest {
 		dc := cfg.Digest.WithDefaults(cfg.Store.Capacity())
-		summary, err := digest.NewSummary(dc.Expected, dc.FPRate, dc.RebuildEvery)
+		summary, err := digest.NewIncremental(dc.Expected, dc.FPRate, 0)
 		if err != nil {
 			return nil, fmt.Errorf("proxy %s: %w", cfg.ID, err)
 		}
 		p.summary = summary
+		// The summary is maintained from the store's event sink — every
+		// Put/Evict/Remove is O(k) counter work, the same wiring the live
+		// node uses — after one seeding scan of whatever the store already
+		// holds.
+		summary.Seed(cfg.Store.URLs())
+		cfg.Store.SetEventSink(p.digestEvent)
 	}
 	p.engine = &resolve.Engine{
 		ID:        fmt.Sprintf("proxy %s", cfg.ID),
@@ -409,21 +420,48 @@ func (p *Proxy) digestLocate(url string) []*Proxy {
 	return candidates
 }
 
-// advertisedMayContain consults this proxy's published summary, rebuilding
-// it first if enough mutations accumulated since the last publication
-// (Summary Cache's delayed update).
+// digestEvent is the cache event sink feeding the proxy's own summary:
+// inserts count in, evictions and removals count out, refreshes of an
+// already cached URL are membership no-ops.
+func (p *Proxy) digestEvent(ev cache.Event) {
+	switch ev.Kind {
+	case cache.EventInsert:
+		if !ev.Refresh {
+			p.summary.Add(ev.Doc.URL)
+		}
+	case cache.EventEvict, cache.EventRemove:
+		p.summary.Remove(ev.Doc.URL)
+	}
+}
+
+// advertisedMayContain consults this proxy's published summary. The
+// summary tracks the cache incrementally, so it is always current;
+// the only remaining rebuild is the counter-saturation escape hatch.
+// Note the summary advertises membership, not freshness — an expired
+// resident copy is still advertised and surfaces as a false hit.
 func (p *Proxy) advertisedMayContain(url string) bool {
 	if p.summary == nil {
 		// Neighbour not running digests: fall back to an exact answer
 		// so mixed groups still work.
 		return p.store.Contains(url)
 	}
-	mutations := p.store.Insertions() + p.store.Evictions()
-	if p.summary.Stale(mutations) {
-		p.summary.Rebuild(p.store.URLs(), mutations)
+	if p.summary.NeedsRebuild() {
+		p.summary.Rebuild(p.store.URLs())
 		p.icp.DigestRebuilds++
 	}
 	return p.summary.MayContain(url)
+}
+
+// DigestAdvertisement returns the proxy's advertised summary encoded as
+// the versioned full-sync envelope — byte-comparable with a live node's
+// answer to "eac:digest?since=0". ok is false when the proxy does not
+// locate via digests.
+func (p *Proxy) DigestAdvertisement() ([]byte, bool, error) {
+	if p.summary == nil {
+		return nil, false, nil
+	}
+	data, err := digest.EncodeFull(p.summary.Filter(), p.summary.Generation())
+	return data, true, err
 }
 
 func (p *Proxy) neighbours() []*Proxy {
