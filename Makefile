@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test test-short test-race parity chaos churn-smoke bench bench-json load-json load-smoke obs-smoke digest-smoke fuzz
+.PHONY: check fmt build vet test test-short test-race parity chaos churn-smoke disk-smoke bench bench-json load-json load-smoke obs-smoke digest-smoke fuzz
 
 check: fmt vet build test-race
 
@@ -47,19 +47,38 @@ chaos:
 # same transitions over a smaller catalogue (the CI smoke); the verbose
 # log carries the per-step migration accounting and is kept as the
 # artifact.
-CHURN_LOG ?= churn-smoke.log
+CHURN_LOG ?= artifacts/churn-smoke.log
 churn-smoke:
+	@mkdir -p $(dir $(CHURN_LOG))
 	@$(GO) test -race -short -v -run TestChaosChurn ./internal/netnode/ > $(CHURN_LOG) 2>&1; \
 	status=$$?; cat $(CHURN_LOG); exit $$status
+
+# Disk-tier gate: the blob store's own suite (kill-at-every-offset index
+# recovery, checksum self-healing, compaction) plus the tier controller
+# unit surface, then the live end-to-end checks — a node overflows 10x
+# its memory capacity onto disk, dies without a checkpoint, and the
+# successor recovers every document with every blob checksum intact.
+# Finally the hot-path budget: benchjson -check-tier fails if the tiered
+# pass-through costs a single byte or alloc over the bare memory hit.
+DISK_LOG ?= artifacts/disk-smoke.log
+disk-smoke:
+	@mkdir -p $(dir $(DISK_LOG))
+	@{ $(GO) test -race -v ./internal/blob/ && \
+	   $(GO) test -race -v -run 'TestTiered|TestDemote|TestRestoreDisk' ./internal/cache/ && \
+	   $(GO) test -race -v -run 'TestJournalTier|TestMarshalEventRejects|TestSnapshotV2|TestSnapshotAccepts|TestSnapshotRejects|TestReplayTier|TestCheckpointPersistsDisk' ./internal/persist/ && \
+	   $(GO) test -race -v -run 'TestTier' ./internal/netnode/; } > $(DISK_LOG) 2>&1; \
+	status=$$?; cat $(DISK_LOG); exit $$status
+	$(GO) run ./cmd/benchjson -out /tmp/tier-smoke.json -artifacts=false -node-iters 2000 -node-reps 1 -check-tier
 
 bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Headless benchmark run: paper artifacts, a simulated group replay
-# (hit rate / byte hit rate / estimated latency), and the live-socket
-# node benchmarks — telemetry off/on plus the parallel run on the
-# sharded store. Writes BENCH_JSON.
-BENCH_JSON ?= BENCH_pr9.json
+# (hit rate / byte hit rate / estimated latency), the disk-tier
+# demote/promote paths plus the memory-hit parity pair, and the
+# live-socket node benchmarks — telemetry off/on plus the parallel run
+# on the sharded store. Writes BENCH_JSON.
+BENCH_JSON ?= BENCH_pr10.json
 BENCH_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) $(BENCH_FLAGS)

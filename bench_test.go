@@ -102,6 +102,27 @@ func BenchmarkDigestSync(b *testing.B) {
 	benchkit.DigestSync(8192, 16)(b)
 }
 
+// BenchmarkTierDemote measures the disk-tier demotion path: one Put into
+// a full memory tier per op, whose victim's checksummed body is written
+// to the blob store.
+func BenchmarkTierDemote(b *testing.B) {
+	benchkit.TierDemote()(b)
+}
+
+// BenchmarkTierPromote measures the disk-tier promotion path: one Get of
+// a disk-resident document per op — verified blob read, memory re-entry,
+// and the displaced victim's demotion.
+func BenchmarkTierPromote(b *testing.B) {
+	benchkit.TierPromote()(b)
+}
+
+// BenchmarkMemoryHit and BenchmarkMemoryHitTiered are the tier refactor's
+// hot-path guard: the same warm memory Get, direct vs through the
+// TieredStore pass-through. bytes/op and allocs/op must be identical
+// (cmd/benchjson -check-tier enforces it in CI).
+func BenchmarkMemoryHit(b *testing.B)       { benchkit.MemoryHit(false)(b) }
+func BenchmarkMemoryHitTiered(b *testing.B) { benchkit.MemoryHit(true)(b) }
+
 // BenchmarkSimulatorThroughput measures raw trace-replay speed through a
 // 4-cache EA group (requests per op reported as custom metric).
 func BenchmarkSimulatorThroughput(b *testing.B) {

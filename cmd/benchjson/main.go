@@ -89,6 +89,13 @@ type artifact struct {
 	// needs GOMAXPROCS >= 4; on fewer cores the figure only shows that
 	// concurrency costs nothing (~1.0).
 	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	// TierHitBytesDelta and TierHitAllocsDelta are the per-op cost the
+	// TieredStore pass-through adds to a warm memory Get over the bare
+	// sharded store. The disk-tier refactor's contract is that both are
+	// exactly zero (-check-tier enforces it).
+	TierHitBytesDelta  int64 `json:"tier_hit_bytes_delta"`
+	TierHitAllocsDelta int64 `json:"tier_hit_allocs_delta"`
 }
 
 func runBench(name, benchtime string, fn func(*testing.B)) (benchResult, error) {
@@ -146,6 +153,8 @@ func run() error {
 		"exit nonzero if parallel throughput falls meaningfully below single-threaded (smoke check)")
 	checkDigest := flag.Bool("check-digest", false,
 		"exit nonzero if digest delta transfers cost >=10% of full-filter bytes (smoke check)")
+	checkTier := flag.Bool("check-tier", false,
+		"exit nonzero if the tiered pass-through costs any bytes or allocs over the bare memory hit (smoke check)")
 	flag.Parse()
 
 	var results []benchResult
@@ -191,6 +200,25 @@ func run() error {
 		return err
 	}
 	results = append(results, dgInc, dgReb, dgSync)
+
+	// Disk tier: the demote and promote paths (real checksummed blob I/O
+	// in a temp dir), then the memory-hit parity pair — the same warm Get
+	// direct vs through the TieredStore pass-through.
+	if err := add("TierDemote", "5000x", benchkit.TierDemote()); err != nil {
+		return err
+	}
+	if err := add("TierPromote", "5000x", benchkit.TierPromote()); err != nil {
+		return err
+	}
+	memHit, err := runBench("MemoryHit", "500000x", benchkit.MemoryHit(false))
+	if err != nil {
+		return err
+	}
+	tierHit, err := runBench("MemoryHitTiered", "500000x", benchkit.MemoryHit(true))
+	if err != nil {
+		return err
+	}
+	results = append(results, memHit, tierHit)
 
 	// The node benchmarks ride live sockets, so a single run is at the
 	// mercy of whatever else the host schedules. Interleave the off/on
@@ -268,6 +296,14 @@ func run() error {
 	// throughput outright: parallel must not be meaningfully slower than
 	// single-threaded on any host. The 2x multi-core target is asserted
 	// only where the cores exist to reach it.
+	a.TierHitBytesDelta = tierHit.BytesPerOp - memHit.BytesPerOp
+	a.TierHitAllocsDelta = tierHit.AllocsPerOp - memHit.AllocsPerOp
+	fmt.Printf("tier pass-through: %+d bytes/op, %+d allocs/op over the bare memory hit (budget: 0)\n",
+		a.TierHitBytesDelta, a.TierHitAllocsDelta)
+	if *checkTier && (a.TierHitBytesDelta != 0 || a.TierHitAllocsDelta != 0) {
+		return fmt.Errorf("tier hot-path regression: pass-through memory hit costs %+d bytes/op, %+d allocs/op over the bare store (budget: 0)",
+			a.TierHitBytesDelta, a.TierHitAllocsDelta)
+	}
 	if *checkParallel {
 		if a.ParallelSpeedup < 0.75 {
 			return fmt.Errorf("parallel regression: speedup %.2fx < 0.75x single-threaded", a.ParallelSpeedup)

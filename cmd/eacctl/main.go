@@ -240,7 +240,26 @@ type NodeReport struct {
 	Evictions       float64            `json:"evictions"`      // policy evictions
 	Breakers        []memberRow        `json:"breakers,omitempty"`
 	Digest          *digestView        `json:"digest,omitempty"` // nil when the member predates /admin/digests
+	Tier            *tierView          `json:"tier,omitempty"`   // nil when the member has no disk tier
 	Resident        []string           `json:"-"`                // URLs, for the replication factor
+}
+
+// tierView is one member's eac_tier_* scrape: per-tier occupancy plus the
+// tier controller's monotonic counters. Attached to the report only when
+// the member actually runs a disk tier (capacity > 0) — untiered nodes
+// publish the same gauges as zeros.
+type tierView struct {
+	MemDocs          float64 `json:"mem_documents"`
+	MemBytes         float64 `json:"mem_bytes"`
+	MemCapacity      float64 `json:"mem_capacity"`
+	DiskDocs         float64 `json:"disk_documents"`
+	DiskBytes        float64 `json:"disk_bytes"`
+	DiskCapacity     float64 `json:"disk_capacity"`
+	Demotions        float64 `json:"demotions"`
+	DemotionDrops    float64 `json:"demotion_drops"`
+	Promotions       float64 `json:"promotions"`
+	DiskEvictions    float64 `json:"disk_evictions"`
+	ChecksumFailures float64 `json:"checksum_failures"`
 }
 
 // GroupReport is the aggregate over every reachable member.
@@ -403,8 +422,37 @@ func scrapeNode(cl *client, addr string) NodeReport {
 		return nr
 	}
 	samples := parseMetrics(body)
+	var tier tierView
 	for _, s := range samples {
 		switch s.name {
+		case "eac_tier_documents":
+			if s.labels["tier"] == "disk" {
+				tier.DiskDocs = s.value
+			} else {
+				tier.MemDocs = s.value
+			}
+		case "eac_tier_bytes":
+			if s.labels["tier"] == "disk" {
+				tier.DiskBytes = s.value
+			} else {
+				tier.MemBytes = s.value
+			}
+		case "eac_tier_capacity_bytes":
+			if s.labels["tier"] == "disk" {
+				tier.DiskCapacity = s.value
+			} else {
+				tier.MemCapacity = s.value
+			}
+		case "eac_tier_demotions":
+			tier.Demotions = s.value
+		case "eac_tier_demotion_drops":
+			tier.DemotionDrops = s.value
+		case "eac_tier_promotions":
+			tier.Promotions = s.value
+		case "eac_tier_disk_evictions":
+			tier.DiskEvictions = s.value
+		case "eac_tier_checksum_failures":
+			tier.ChecksumFailures = s.value
 		case "eac_requests_total":
 			nr.Requests[s.labels["outcome"]] += s.value
 		case "eac_bytes_served_total":
@@ -426,6 +474,9 @@ func scrapeNode(cl *client, addr string) NodeReport {
 		case "eac_cache_evictions":
 			nr.Evictions = s.value
 		}
+	}
+	if tier.DiskCapacity > 0 {
+		nr.Tier = &tier
 	}
 	var peers membershipView
 	if err := cl.getJSON(addr, "/admin/peers", &peers); err == nil {
@@ -598,6 +649,28 @@ func renderReport(w io.Writer, rep *GroupReport) {
 			nr.Documents, nr.CacheBytes, age, nr.Epoch, nr.PeersActive, state)
 	}
 	tw.Flush()
+
+	tiered := false
+	for _, nr := range rep.Nodes {
+		if nr.Tier != nil {
+			tiered = true
+			break
+		}
+	}
+	if tiered {
+		ttw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ttw, "NODE\tMEM-DOCS\tDISK-DOCS\tDISK-BYTES\tDISK-CAP\tDEMOTE\tDROP\tPROMOTE\tDISK-EVICT\tCKSUM-FAIL")
+		for _, nr := range rep.Nodes {
+			tv := nr.Tier
+			if tv == nil {
+				continue
+			}
+			fmt.Fprintf(ttw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				nr.Node, tv.MemDocs, tv.DiskDocs, tv.DiskBytes, tv.DiskCapacity,
+				tv.Demotions, tv.DemotionDrops, tv.Promotions, tv.DiskEvictions, tv.ChecksumFailures)
+		}
+		ttw.Flush()
+	}
 
 	if rep.DigestEnabled {
 		transfers := rep.DigestDeltasServed + rep.DigestFullsServed

@@ -232,6 +232,98 @@ func TestEacctlAgainstLiveGroup(t *testing.T) {
 	}
 }
 
+// TestEacctlTierReport boots a member whose memory tier overflows into a
+// blob disk tier and checks that eacctl surfaces the eac_tier_* gauges:
+// a tier table in the text report and a populated tier view in JSON,
+// while the untiered render path stays clean for memory-only members.
+func TestEacctlTierReport(t *testing.T) {
+	origin, err := netnode.NewOriginServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+
+	store, err := cache.New(cache.Config{Capacity: 4000, ExpirationHorizon: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := obs.New("tier-a", 64)
+	n, err := netnode.New(netnode.Config{
+		ID:           "tier-a",
+		ICPAddr:      "127.0.0.1:0",
+		HTTPAddr:     "127.0.0.1:0",
+		Store:        store,
+		Scheme:       core.EA{},
+		OriginAddr:   origin.Addr(),
+		ICPTimeout:   500 * time.Millisecond,
+		Obs:          tel,
+		DiskDir:      t.TempDir(),
+		DiskCapacity: 1 << 20,
+		DiskDemote:   "always",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n.Close() }()
+	admin, err := obs.ServeAdmin(obs.AdminConfig{
+		Addr:      "127.0.0.1:0",
+		Telemetry: tel,
+		Info:      map[string]string{"service": "proxyd", "node": "tier-a"},
+		Routes:    n.AdminRoutes(),
+		HealthDetail: func() map[string]any {
+			return map[string]any{"node": "tier-a"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = admin.Close() }()
+
+	// Overflow the 4000-byte memory tier so victims demote, then re-read
+	// the first document so a promotion registers too.
+	for i := 0; i < 8; i++ {
+		if _, err := n.Request(fmt.Sprintf("http://tierctl.example.edu/doc%d", i), 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Request("http://tierctl.example.edu/doc0", 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", admin.Addr(), "-json", "report"}, &out, &errb); err != nil {
+		t.Fatalf("eacctl -json report: %v\nstderr: %s", err, errb.String())
+	}
+	var rep GroupReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Nodes) != 1 || rep.Nodes[0].Tier == nil {
+		t.Fatalf("tiered member carries no tier view: %+v", rep.Nodes)
+	}
+	tv := rep.Nodes[0].Tier
+	if tv.DiskCapacity != 1<<20 || tv.DiskDocs == 0 || tv.DiskBytes == 0 {
+		t.Fatalf("disk occupancy not scraped: %+v", tv)
+	}
+	if tv.Demotions == 0 || tv.Promotions == 0 {
+		t.Fatalf("tier counters not scraped: %+v", tv)
+	}
+	if tv.ChecksumFailures != 0 {
+		t.Fatalf("checksum failures scraped as %v, want 0", tv.ChecksumFailures)
+	}
+
+	out.Reset()
+	if err := run([]string{"-addr", admin.Addr(), "report"}, &out, &errb); err != nil {
+		t.Fatalf("eacctl report: %v\nstderr: %s", err, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"DISK-DOCS", "DISK-CAP", "CKSUM-FAIL", "tier-a"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestEacctlFlagAndCommandErrors(t *testing.T) {
 	cases := []struct {
 		args []string

@@ -80,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		shedQueueLag = fs.Duration("shed-queue-wait", netnode.DefaultShedQueueWait, "how long an over-limit request may queue before it is shed (needs -max-inflight > 0)")
 		chaosSpec    = fs.String("chaos", "", `inject deterministic faults into every socket, e.g. "seed=42,udp-drop=0.3,tcp-stall=0.05" (see internal/faults)`)
 
+		diskDir      = fs.String("disk-dir", "", "directory for the checksummed blob disk tier; empty runs memory-only")
+		diskCap      = fs.String("disk-capacity", "", `disk tier capacity, e.g. "100GB" (needs -disk-dir)`)
+		diskDemote   = fs.String("disk-demote", "", `tier demotion rule: "ea" (paper placement rule at the tier boundary, default) or "always" (needs -disk-dir)`)
 		dataDir      = fs.String("data-dir", "", "directory for crash-safe cache persistence (snapshot + journal); empty runs in-memory only")
 		snapInterval = fs.Duration("snapshot-interval", netnode.DefaultSnapshotInterval, "how often to checkpoint the cache (needs -data-dir)")
 		journalBatch = fs.Int("journal-batch", 0,
@@ -230,6 +233,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nodeCfg.DataDir = *dataDir
 		nodeCfg.SnapshotInterval = *snapInterval
 	}
+	// The disk tier: the capacity string is parsed here, everything else
+	// (dir-without-capacity, demote-without-dir, ...) is validated by
+	// netnode.New so the flag combinations fail loudly instead of being
+	// silently ignored.
+	if *diskCap != "" {
+		diskBytes, err := parseBytes(*diskCap)
+		if err != nil {
+			return fmt.Errorf("-disk-capacity: %w", err)
+		}
+		nodeCfg.DiskCapacity = diskBytes
+	}
+	nodeCfg.DiskDir = *diskDir
+	nodeCfg.DiskDemote = *diskDemote
 	// Passed through unconditionally so netnode rejects -journal-batch
 	// without -data-dir and -digest-delta-window without -locate=digest
 	// instead of ignoring them.
@@ -278,9 +294,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "proxy up: icp=%s http=%s scheme=%s capacity=%s peers=%d\n",
 		node.ICPAddr(), node.HTTPAddr(), scheme.Name(), *capacity, len(peers.peers))
+	if *diskDir != "" {
+		demote := *diskDemote
+		if demote == "" {
+			demote = cache.DemoteEA.String()
+		}
+		fmt.Fprintf(stdout, "disk tier: %s (%s, demote=%s)\n", *diskDir, *diskCap, demote)
+	}
 	if rec, ok := node.Recovery(); ok {
 		fmt.Fprintf(stdout, "warm restart: recovered %d entries (%d bytes) from %s (snapshot %d entries + %d journal records)\n",
 			rec.Restored.Entries, rec.Restored.Bytes, *dataDir, rec.SnapshotEntries, rec.JournalRecords)
+		if rec.Restored.DiskRestored > 0 || rec.Restored.DiskLost > 0 {
+			fmt.Fprintf(stdout, "warm restart: disk tier kept %d documents, lost %d\n",
+				rec.Restored.DiskRestored, rec.Restored.DiskLost)
+		}
 		if rec.Discarded != "" {
 			fmt.Fprintf(stdout, "warm restart: discarded %d corrupt journal bytes (%s)\n",
 				rec.DiscardedBytes, rec.Discarded)

@@ -1,0 +1,181 @@
+package benchkit
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"testing"
+	"time"
+
+	"eacache/internal/blob"
+	"eacache/internal/cache"
+)
+
+// patternBody fills a demoted document's blob with bytes derived from its
+// URL, so every URL produces distinct content and the disk benchmarks pay
+// real (non-deduplicated) writes.
+func patternBody(doc cache.Document) io.Reader {
+	p := make([]byte, doc.Size)
+	for i := range p {
+		p[i] = doc.URL[i%len(doc.URL)]
+	}
+	return bytes.NewReader(p)
+}
+
+// newTiered builds a sharded memory store of memCap bytes over a blob
+// tier of diskCap bytes in a fresh per-run directory, demoting every
+// victim (the benchmarks measure tier mechanics, not the admission rule).
+func newTiered(b *testing.B, memCap, diskCap int64) *cache.TieredStore {
+	b.Helper()
+	mem, err := cache.NewSharded(cache.ShardedConfig{
+		// One shard: capacity splits per shard, and these benchmarks use
+		// memory tiers only a few documents deep.
+		Shards:            1,
+		Capacity:          memCap,
+		ExpirationHorizon: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := blob.Open(blob.Config{
+		Dir:               b.TempDir(),
+		Capacity:          diskCap,
+		ExpirationHorizon: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiered, err := cache.NewTiered(cache.TieredConfig{
+		Memory: mem,
+		Disk:   bs,
+		Demote: cache.DemoteAlways,
+		Body:   patternBody,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = tiered.CloseDisk() })
+	return tiered
+}
+
+// TierDemote measures the demotion path: every Put of a fresh document
+// into a full memory tier evicts one victim, whose checksummed body is
+// written to the blob tier and journaled in its index. One demotion per
+// op in steady state.
+func TierDemote() func(*testing.B) {
+	return func(b *testing.B) {
+		const docSize = 1024
+		tiered := newTiered(b, 64*docSize, 1<<31)
+		now := time.Now()
+		put := func(i int) {
+			doc := cache.Document{
+				URL:     "http://tier.bench.edu/demote" + strconv.Itoa(i),
+				Size:    docSize,
+				Expires: now.Add(time.Hour),
+			}
+			if _, err := tiered.Put(doc, now); err != nil {
+				b.Fatal(err)
+			}
+			now = now.Add(time.Millisecond)
+		}
+		for i := 0; i < 64; i++ {
+			put(-i - 1) // warm the memory tier so every timed Put evicts
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			put(i)
+		}
+		b.StopTimer()
+		c := tiered.TierCounters()
+		if c.Demotions < int64(b.N) {
+			b.Fatalf("only %d demotions in %d ops", c.Demotions, b.N)
+		}
+		b.ReportMetric(float64(c.Demotions)/float64(b.N), "demotions/op")
+	}
+}
+
+// TierPromote measures the promotion path: a Get of a disk-resident
+// document re-reads the blob through its verifying (checksumming) reader,
+// re-enters it into memory, and demotes the memory victim it displaces —
+// one promote + one demote per op in steady state.
+func TierPromote() func(*testing.B) {
+	return func(b *testing.B) {
+		const docSize, docs = 1024, 256
+		tiered := newTiered(b, 4*docSize, 1<<31)
+		now := time.Now()
+		urls := make([]string, docs)
+		for i := range urls {
+			urls[i] = "http://tier.bench.edu/promote" + strconv.Itoa(i)
+			doc := cache.Document{URL: urls[i], Size: docSize, Expires: now.Add(time.Hour)}
+			if _, err := tiered.Put(doc, now); err != nil {
+				b.Fatal(err)
+			}
+			now = now.Add(time.Millisecond)
+		}
+		if tiered.DiskLen() == 0 {
+			b.Fatal("warmup demoted nothing")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The working set is far larger than the memory tier, so each
+			// Get promotes from disk (and the displaced victim demotes).
+			if _, ok := tiered.Get(urls[i%docs], now); !ok {
+				b.Fatalf("lost %s", urls[i%docs])
+			}
+			now = now.Add(time.Millisecond)
+		}
+		b.StopTimer()
+		c := tiered.TierCounters()
+		if c.ChecksumFailures != 0 {
+			b.Fatalf("%d checksum failures", c.ChecksumFailures)
+		}
+		if c.Promotions == 0 {
+			b.Fatal("no promotions recorded")
+		}
+		b.ReportMetric(float64(c.Promotions)/float64(b.N), "promotions/op")
+	}
+}
+
+// MemoryHit measures the pure memory-hit path, either directly on the
+// sharded store or through a TieredStore with no disk tier configured.
+// The two must cost identical bytes and allocations per op: the tier
+// facade's pass-through is the guarantee that adding the disk-tier layer
+// left the hot path untouched (benchjson -check-tier enforces it).
+func MemoryHit(passthrough bool) func(*testing.B) {
+	return func(b *testing.B) {
+		const docs = 1024
+		mem, err := cache.NewSharded(cache.ShardedConfig{
+			Capacity:          docs * 2048,
+			ExpirationHorizon: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := time.Now()
+		urls := make([]string, docs)
+		for i := range urls {
+			urls[i] = "http://tier.bench.edu/hit" + strconv.Itoa(i)
+			doc := cache.Document{URL: urls[i], Size: 1024, Expires: now.Add(time.Hour)}
+			if _, err := mem.Put(doc, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+		get := mem.Get
+		if passthrough {
+			tiered, err := cache.NewTiered(cache.TieredConfig{Memory: mem})
+			if err != nil {
+				b.Fatal(err)
+			}
+			get = tiered.Get
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := get(urls[i%docs], now); !ok {
+				b.Fatal("miss on a warm store")
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Append-only index log for the blob store, framed exactly like
+// internal/persist's journal: every record is
+//
+//	u32 length | u8 kind | payload | u32 CRC32C(kind + payload)
+//
+// little-endian throughout, CRC over the kind byte and payload. A record
+// is either fully committed or not there: replay accepts the longest
+// verifiable prefix and reports where the damage starts, so a node
+// killed mid-append loses at most the record being written (torn tail),
+// never earlier state.
+package blob
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"eacache/internal/cache"
+)
+
+// Index record kinds.
+const (
+	iPut byte = 1 // full entry metadata: the URL became disk-resident
+	iDel byte = 2 // the URL left the tier
+)
+
+const (
+	// maxIndexURL bounds URL length, mirroring the journal's bound.
+	maxIndexURL = 8192
+	// maxIndexPayload bounds a frame payload against corrupt lengths.
+	maxIndexPayload = 64 << 10
+	// indexOverhead is the framing cost: length, kind, CRC.
+	indexOverhead = 4 + 1 + 4
+)
+
+// ErrCorrupt reports an index frame that failed structural validation.
+var ErrCorrupt = errors.New("blob: corrupt index record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// IndexRecord is one replayed index mutation.
+type IndexRecord struct {
+	// Del marks a removal record (only Entry.Doc.URL is meaningful).
+	Del bool
+	// Entry is the full metadata for put records.
+	Entry cache.DiskEntry
+}
+
+// timeToNano flattens a time for encoding; the zero time encodes as 0.
+func timeToNano(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// nanoToTime is the inverse of timeToNano.
+func nanoToTime(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// ienc is a little append-only encoder.
+type ienc struct{ b []byte }
+
+func (e *ienc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *ienc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *ienc) i64(v int64)  { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+func (e *ienc) raw(v []byte) { e.b = append(e.b, v...) }
+func (e *ienc) str(v string) { e.u32(uint32(len(v))); e.b = append(e.b, v...) }
+
+// marshalIndexRecord frames one record. Records with impossible fields
+// (URL too long) must not be produced by the store; they panic to catch
+// programming errors rather than persist garbage.
+func marshalIndexRecord(r IndexRecord) []byte {
+	if len(r.Entry.Doc.URL) == 0 || len(r.Entry.Doc.URL) > maxIndexURL {
+		panic("blob: index record with bad URL length")
+	}
+	var e ienc
+	if r.Del {
+		e.u8(iDel)
+		e.str(r.Entry.Doc.URL)
+	} else {
+		e.u8(iPut)
+		e.str(r.Entry.Doc.URL)
+		e.i64(r.Entry.Doc.Size)
+		e.i64(timeToNano(r.Entry.Doc.Expires))
+		e.i64(timeToNano(r.Entry.EnteredAt))
+		e.i64(timeToNano(r.Entry.LastHit))
+		e.i64(r.Entry.Hits)
+		e.raw(r.Entry.Sum[:])
+	}
+	frame := make([]byte, 0, len(e.b)+8)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(e.b)-1))
+	frame = append(frame, e.b...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(e.b, crcTable))
+	return frame
+}
+
+// idec is a latching decoder over one payload.
+type idec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *idec) fail() { d.bad = true }
+
+func (d *idec) take(n int) []byte {
+	if d.bad || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *idec) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (d *idec) i64() int64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(v))
+}
+
+func (d *idec) str() string {
+	n := d.u32()
+	if d.bad || n > maxIndexURL {
+		d.fail()
+		return ""
+	}
+	v := d.take(int(n))
+	if v == nil {
+		return ""
+	}
+	return string(v)
+}
+
+// done reports whether the payload was consumed exactly and cleanly.
+func (d *idec) done() bool { return !d.bad && d.off == len(d.b) }
+
+// decodeIndexPayload decodes one record from kind + payload bytes.
+func decodeIndexPayload(kind byte, payload []byte) (IndexRecord, error) {
+	d := &idec{b: payload}
+	var r IndexRecord
+	switch kind {
+	case iPut:
+		r.Entry.Doc.URL = d.str()
+		r.Entry.Doc.Size = d.i64()
+		r.Entry.Doc.Expires = nanoToTime(d.i64())
+		r.Entry.EnteredAt = nanoToTime(d.i64())
+		r.Entry.LastHit = nanoToTime(d.i64())
+		r.Entry.Hits = d.i64()
+		copy(r.Entry.Sum[:], d.take(32))
+		if !d.done() || r.Entry.Doc.URL == "" || r.Entry.Doc.Size < 0 {
+			return r, ErrCorrupt
+		}
+	case iDel:
+		r.Del = true
+		r.Entry.Doc.URL = d.str()
+		if !d.done() || r.Entry.Doc.URL == "" {
+			return r, ErrCorrupt
+		}
+	default:
+		return r, ErrCorrupt
+	}
+	return r, nil
+}
+
+// ReplayIndex decodes the longest verifiable prefix of raw. It returns
+// the records, the number of bytes that prefix covers, and the damage
+// that stopped replay (nil when raw was consumed exactly). Like the
+// journal, damage is not fatal to the caller: everything before it is
+// trustworthy, everything after is a torn tail to truncate.
+func ReplayIndex(raw []byte) (recs []IndexRecord, valid int, damage error) {
+	off := 0
+	for off < len(raw) {
+		if len(raw)-off < indexOverhead {
+			return recs, off, ErrCorrupt
+		}
+		plen := binary.LittleEndian.Uint32(raw[off:])
+		if plen > maxIndexPayload || plen > math.MaxInt32 {
+			return recs, off, ErrCorrupt
+		}
+		total := indexOverhead + int(plen)
+		if off+total > len(raw) {
+			return recs, off, ErrCorrupt
+		}
+		body := raw[off+4 : off+4+1+int(plen)]
+		wantCRC := binary.LittleEndian.Uint32(raw[off+5+int(plen):])
+		if crc32.Checksum(body, crcTable) != wantCRC {
+			return recs, off, ErrCorrupt
+		}
+		rec, err := decodeIndexPayload(body[0], body[1:])
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += total
+	}
+	return recs, off, nil
+}

@@ -129,6 +129,30 @@ const DefaultExpirationWindow = 512
 // layer uses by default for the contention signal.
 const DefaultExpirationHorizon = 6 * time.Hour
 
+// Tier identifies which storage tier an event concerns. The zero value is
+// the memory tier, so every pre-tiering event (and journal record) reads
+// unchanged.
+type Tier int8
+
+const (
+	// TierMemory is the in-memory tier (the classic Store).
+	TierMemory Tier = iota
+	// TierDisk is the content-addressed blob tier beneath it.
+	TierDisk
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
 // EventKind classifies a Store mutation as seen by an event sink.
 type EventKind int
 
@@ -149,6 +173,18 @@ const (
 	// EventRemove: the document was explicitly invalidated via Remove
 	// (no expiration age recorded).
 	EventRemove
+	// EventDemote: the memory tier evicted the document and the tier
+	// controller moved it to the disk tier instead of dropping it. The
+	// event carries the entry metadata (EnteredAt/LastHit/Hits) and the
+	// blob checksum so replay can rebuild disk residency exactly. A
+	// demotion is a tier move, not an exit: no expiration age is recorded
+	// and set-membership observers (the digest) keep advertising the URL.
+	EventDemote
+	// EventPromoteFromDisk: a disk-resident document was accessed and
+	// moved back into the memory tier. EnteredAt/Hits carry the metadata
+	// of the promoted memory entry (original entry time preserved, the
+	// promoting access counted as a hit at At).
+	EventPromoteFromDisk
 )
 
 // String implements fmt.Stringer.
@@ -164,6 +200,10 @@ func (k EventKind) String() string {
 		return "evict"
 	case EventRemove:
 		return "remove"
+	case EventDemote:
+		return "demote"
+	case EventPromoteFromDisk:
+		return "promote-disk"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -189,6 +229,22 @@ type Event struct {
 	// Set-membership observers (the incremental cache digest) must not
 	// count a refresh as a second insertion of the same URL.
 	Refresh bool
+	// Tier is the storage tier the event concerns. The zero value is
+	// TierMemory, so all pre-tiering events read unchanged. An
+	// EventEvict or EventRemove with Tier == TierDisk left the disk
+	// tier; demote/promote-disk events describe the move between tiers.
+	Tier Tier
+	// EnteredAt/LastHit/Hits carry the entry metadata on EventEvict,
+	// EventDemote and EventPromoteFromDisk, so the tier controller can
+	// rebuild a disk-resident entry (and journal replay can restore a
+	// promoted one) without re-querying the store.
+	EnteredAt time.Time
+	LastHit   time.Time
+	Hits      int64
+	// Sum is the blob checksum (EventDemote only): the SHA-256 of the
+	// demoted body as stored by the disk tier, journaled so recovery can
+	// cross-check residency against the blob index.
+	Sum [32]byte
 }
 
 // Store is a single proxy cache: documents, capacity accounting, replacement
@@ -438,6 +494,46 @@ func (s *Store) RestoreEntry(doc Document, enteredAt, lastHit time.Time, hits in
 	return nil
 }
 
+// PromoteEntry re-inserts a document returning from the disk tier into
+// the memory tier, preserving its original entry time and hit history and
+// counting the access that triggered the promotion as a hit at now (so the
+// promoted entry's LastHit is now and Hits is the disk-carried count plus
+// one). If the URL is already present — a racing fetch re-admitted it —
+// the call degrades to a Touch. Victims evicted to make room are returned
+// like Put's; oversized documents are rejected with ErrTooLarge.
+func (s *Store) PromoteEntry(doc Document, enteredAt time.Time, hits int64, now time.Time) ([]Eviction, error) {
+	if doc.Size < 0 {
+		return nil, fmt.Errorf("cache: negative size %d for %q", doc.Size, doc.URL)
+	}
+	if doc.Size > s.capacity {
+		return nil, ErrTooLarge
+	}
+	if _, ok := s.entries[doc.URL]; ok {
+		s.Touch(doc.URL, now)
+		return nil, nil
+	}
+	evicted, err := s.makeRoomFor(doc.Size, now, doc.URL)
+	if err != nil {
+		return evicted, err
+	}
+	if hits < 0 {
+		hits = 0
+	}
+	if enteredAt.IsZero() {
+		enteredAt = now
+	}
+	e := &Entry{Doc: doc, EnteredAt: enteredAt, LastHit: now, Hits: hits + 1}
+	s.entries[doc.URL] = e
+	s.used += doc.Size
+	s.insertions++
+	s.policy.Add(e)
+	s.emit(Event{
+		Kind: EventPromoteFromDisk, Doc: doc, At: now,
+		EnteredAt: enteredAt, LastHit: now, Hits: e.Hits,
+	})
+	return evicted, nil
+}
+
 // TrackerState exports the expiration-age tracker for persistence.
 func (s *Store) TrackerState() TrackerState { return s.ages.State() }
 
@@ -508,7 +604,10 @@ func (s *Store) evict(v *Entry, now time.Time) Eviction {
 	s.used -= v.Doc.Size
 	s.evictions++
 	s.ages.Record(age, now)
-	s.emit(Event{Kind: EventEvict, Doc: v.Doc, At: now, Age: age})
+	s.emit(Event{
+		Kind: EventEvict, Doc: v.Doc, At: now, Age: age,
+		EnteredAt: v.EnteredAt, LastHit: v.LastHit, Hits: v.Hits,
+	})
 	return Eviction{
 		Doc:           v.Doc,
 		Age:           age,

@@ -211,6 +211,20 @@ func (s *ShardedStore) Put(doc Document, now time.Time) ([]Eviction, error) {
 	return evicted, err
 }
 
+// PromoteEntry re-inserts a disk-promoted document into its shard with
+// its carried metadata (see Store.PromoteEntry), evicting within the
+// shard as needed.
+func (s *ShardedStore) PromoteEntry(doc Document, enteredAt time.Time, hits int64, now time.Time) ([]Eviction, error) {
+	sh := s.shardFor(doc.URL)
+	sh.mu.Lock()
+	evicted, err := sh.store.PromoteEntry(doc, enteredAt, hits, now)
+	sh.mu.Unlock()
+	if len(evicted) > 0 {
+		s.ea.Store(nil)
+	}
+	return evicted, err
+}
+
 // Remove deletes url without recording an eviction age.
 func (s *ShardedStore) Remove(url string) bool {
 	sh := s.shardFor(url)

@@ -1,0 +1,678 @@
+// Tiered storage: the EA-aware controller that joins the sharded memory
+// tier to a content-addressed disk tier (internal/blob) and presents the
+// two as one logical store to the node.
+//
+// The controller applies the paper's placement logic to the tier boundary
+// exactly as the EA scheme applies it to the cache group: a memory
+// eviction is demoted to disk only when the victim's document expiration
+// age (eq. 2/3) is below the disk tier's cache expiration age (eq. 5) —
+// the document would outlive the disk tier's current contention level, so
+// spilling it is worthwhile. A disk tier that has evicted nothing reports
+// NoContention and accepts every demotion. Disk hits re-promote into
+// memory on access, preserving the entry's metadata (entry time and hit
+// history survive the round trip; the promoting access counts as a hit).
+//
+// Three expiration-age signals coexist, one per decision:
+//
+//   - each memory shard's tracker keeps driving shard-local eviction
+//     bookkeeping (untouched);
+//   - the disk tier's own tracker prices demotion admission;
+//   - the TieredStore's logical "exit" tracker records only documents
+//     that truly left the node (memory evictions that were dropped, and
+//     disk evictions) — this is the contention signal the node advertises
+//     to its peers, because a demotion is a tier move, not an exit.
+//
+// Demotions happen inside the memory store's event sink, under the owning
+// shard's lock: the controller swallows the inner EventEvict and emits
+// either EventDemote (tier move) or the EventEvict itself (true exit), so
+// the per-URL event order the journal replays is exactly the order the
+// logical store mutated. Blob I/O under a shard lock is deliberate — it
+// serialises the victim's lifecycle and it is off the memory-hit hot
+// path, which does not take the disk tier into account at all: with no
+// disk tier configured every method is a direct pass-through and the
+// memory-hit benchmark is byte-identical to the plain sharded store.
+package cache
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DiskEntry is a document resident in the disk tier together with the
+// metadata that must survive the demote→promote round trip.
+type DiskEntry struct {
+	Doc Document
+	// EnteredAt is the original memory-tier entry time, preserved across
+	// the round trip.
+	EnteredAt time.Time
+	// LastHit is the last hit time as of demotion (promotions refresh it).
+	LastHit time.Time
+	// Hits is the hit counter as of demotion.
+	Hits int64
+	// Sum is the SHA-256 of the stored body, assigned by the disk tier at
+	// admission and verified on every read.
+	Sum [32]byte
+}
+
+// DiskEviction records one document the disk tier evicted to make room,
+// with its document expiration age (now - LastHit; the disk tier is LRU).
+type DiskEviction struct {
+	Entry DiskEntry
+	Age   time.Duration
+}
+
+// DiskTier is the disk blob store as the tier controller sees it
+// (implemented by internal/blob.Store). Implementations must be safe for
+// concurrent use and must tolerate calls after Close as no-ops: a
+// promotion in flight during shutdown may complete its bookkeeping late.
+type DiskTier interface {
+	// Admit stores e's body (read fully from body) and returns the entry
+	// with its checksum filled in, plus any entries evicted to make room.
+	Admit(e DiskEntry, body io.Reader, now time.Time) (DiskEntry, []DiskEviction, error)
+	// Open returns the entry and a streaming reader over its body. The
+	// reader verifies the checksum as it goes: a read or Close error
+	// means the blob was corrupt (the tier drops it and counts the
+	// failure).
+	Open(url string) (DiskEntry, io.ReadCloser, bool)
+	// Remove drops url, returning the removed entry.
+	Remove(url string) (DiskEntry, bool)
+	// Contains reports whether url is disk-resident.
+	Contains(url string) bool
+	// Peek returns the entry metadata without touching recency state.
+	Peek(url string) (DiskEntry, bool)
+	// ExpirationAge is the disk tier's cache expiration age (eq. 5 over
+	// its own evictions) — the admission price for demotions.
+	ExpirationAge(now time.Time) time.Duration
+	Len() int
+	Used() int64
+	Capacity() int64
+	URLs() []string
+	Entries() []DiskEntry
+	// ChecksumFailures counts blobs that failed verification on read.
+	ChecksumFailures() int64
+	// Sync flushes the blob index to stable storage.
+	Sync() error
+	Close() error
+}
+
+// DemotePolicy selects how the controller prices demotions.
+type DemotePolicy int
+
+const (
+	// DemoteEA demotes a memory victim only when its document expiration
+	// age is strictly below the disk tier's expiration age (the paper's
+	// placement rule applied to the tier boundary). The default.
+	DemoteEA DemotePolicy = iota
+	// DemoteAlways spills every memory victim to disk (a blind LRU
+	// spill, for comparison runs).
+	DemoteAlways
+)
+
+// ParseDemotePolicy parses the -disk-demote flag values.
+func ParseDemotePolicy(s string) (DemotePolicy, error) {
+	switch s {
+	case "", "ea":
+		return DemoteEA, nil
+	case "always":
+		return DemoteAlways, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown demote policy %q (want ea or always)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (p DemotePolicy) String() string {
+	if p == DemoteAlways {
+		return "always"
+	}
+	return "ea"
+}
+
+// TieredConfig configures a TieredStore.
+type TieredConfig struct {
+	// Memory is the sharded memory tier. Required.
+	Memory *ShardedStore
+	// Disk is the blob tier; nil builds a pure pass-through (every method
+	// delegates to Memory with no added cost).
+	Disk DiskTier
+	// Demote selects the demotion admission rule. Defaults to DemoteEA.
+	Demote DemotePolicy
+	// Body supplies the body bytes for a document being demoted (the
+	// node's bodies are synthetic). Nil means doc.Size zero bytes.
+	Body func(doc Document) io.Reader
+}
+
+// TierCounters are the controller's monotonic counters, for metrics.
+type TierCounters struct {
+	// Demotions is the number of memory victims moved to disk.
+	Demotions int64
+	// DemotionDrops is the number of memory victims the EA rule (or a
+	// disk-tier failure) dropped instead of demoting.
+	DemotionDrops int64
+	// Promotions is the number of disk hits moved back into memory.
+	Promotions int64
+	// DiskEvictions is the number of documents the disk tier evicted.
+	DiskEvictions int64
+	// ChecksumFailures is the number of blobs that failed verification.
+	ChecksumFailures int64
+}
+
+// TieredStore joins the sharded memory tier and an optional disk tier
+// behind the single logical store surface internal/netnode consumes.
+// All methods are safe for concurrent use.
+type TieredStore struct {
+	mem    *ShardedStore
+	disk   DiskTier
+	demote DemotePolicy
+	body   func(Document) io.Reader
+
+	// extSink is the external event sink (persist/obs/digest chain). The
+	// controller's internal transformer runs under shard locks and reads
+	// it through the atomic so SetEventSink stays safe mid-traffic.
+	extSink atomic.Pointer[func(Event)]
+
+	// exits is the logical exit tracker (see package comment). Guarded by
+	// exitMu against concurrent reads; writes additionally happen only
+	// under some shard lock, so the all-shards Checkpoint barrier excludes
+	// them.
+	exitMu sync.Mutex
+	exits  *ExpAgeTracker
+
+	demotions     atomic.Int64
+	demotionDrops atomic.Int64
+	promotions    atomic.Int64
+	diskEvictions atomic.Int64
+}
+
+// NewTiered builds a TieredStore from cfg.
+func NewTiered(cfg TieredConfig) (*TieredStore, error) {
+	if cfg.Memory == nil {
+		return nil, fmt.Errorf("cache: tiered store requires a memory tier")
+	}
+	t := &TieredStore{mem: cfg.Memory, disk: cfg.Disk, demote: cfg.Demote, body: cfg.Body}
+	if t.disk != nil {
+		if t.body == nil {
+			t.body = zeroBody
+		}
+		// The logical exit tracker adopts the memory tier's window shape
+		// so the advertised signal is configured once.
+		st := cfg.Memory.TrackerState()
+		t.exits = NewTrackerFromState(TrackerState{Window: st.Window, Horizon: st.Horizon})
+		cfg.Memory.SetEventSink(t.memEvent)
+	}
+	return t, nil
+}
+
+// Tiered reports whether a disk tier is configured.
+func (t *TieredStore) Tiered() bool { return t.disk != nil }
+
+// Memory exposes the underlying memory tier (tests, benchmarks).
+func (t *TieredStore) Memory() *ShardedStore { return t.mem }
+
+// Disk exposes the disk tier (nil without one) for introspection: the
+// admin surface type-asserts it for operations beyond the DiskTier
+// interface, like a full checksum verification pass.
+func (t *TieredStore) Disk() DiskTier { return t.disk }
+
+// forward delivers ev to the external sink, if any.
+func (t *TieredStore) forward(ev Event) {
+	if p := t.extSink.Load(); p != nil && *p != nil {
+		(*p)(ev)
+	}
+}
+
+// recordExit folds one true exit into the logical tracker.
+func (t *TieredStore) recordExit(age time.Duration, now time.Time) {
+	t.exitMu.Lock()
+	t.exits.Record(age, now)
+	t.exitMu.Unlock()
+}
+
+// memEvent is the transformer installed as the memory tier's sink. It
+// runs synchronously under the owning shard's lock; on eviction it
+// decides the victim's fate and rewrites the event stream accordingly.
+func (t *TieredStore) memEvent(ev Event) {
+	if ev.Kind != EventEvict {
+		t.forward(ev)
+		return
+	}
+	now := ev.At
+	if t.shouldDemote(ev.Age, now) {
+		de := DiskEntry{Doc: ev.Doc, EnteredAt: ev.EnteredAt, LastHit: ev.LastHit, Hits: ev.Hits}
+		admitted, evicted, err := t.disk.Admit(de, t.body(ev.Doc), now)
+		if err == nil {
+			t.demotions.Add(1)
+			t.forward(Event{
+				Kind: EventDemote, Doc: ev.Doc, At: now, Age: ev.Age,
+				EnteredAt: ev.EnteredAt, LastHit: ev.LastHit, Hits: ev.Hits,
+				Sum: admitted.Sum,
+			})
+			t.diskExits(evicted, now)
+			return
+		}
+		// Admission failed (oversized for the disk tier, I/O error, or
+		// the tier is closed): fall through to a true exit.
+	}
+	t.demotionDrops.Add(1)
+	t.recordExit(ev.Age, now)
+	t.forward(ev)
+}
+
+// shouldDemote applies the demotion admission rule: the victim must
+// outlive the disk tier's expiration age (strict, like the paper's
+// placement rule — ties reject).
+func (t *TieredStore) shouldDemote(victimAge time.Duration, now time.Time) bool {
+	if t.demote == DemoteAlways {
+		return true
+	}
+	return victimAge < t.disk.ExpirationAge(now)
+}
+
+// diskExits records documents the disk tier evicted: true exits from the
+// logical store, surfaced as disk-tier EventEvicts so the digest stops
+// advertising them and replay drops their residency.
+func (t *TieredStore) diskExits(evs []DiskEviction, now time.Time) {
+	for _, de := range evs {
+		t.diskEvictions.Add(1)
+		t.recordExit(de.Age, now)
+		t.forward(Event{
+			Kind: EventEvict, Tier: TierDisk, Doc: de.Entry.Doc, At: now, Age: de.Age,
+			EnteredAt: de.Entry.EnteredAt, LastHit: de.Entry.LastHit, Hits: de.Entry.Hits,
+		})
+	}
+}
+
+// Get returns the document and records a hit. A memory miss consults the
+// disk tier and re-promotes on a disk hit.
+func (t *TieredStore) Get(url string, now time.Time) (Document, bool) {
+	doc, ok := t.mem.Get(url, now)
+	if ok || t.disk == nil {
+		return doc, ok
+	}
+	return t.promoteFromDisk(url, now)
+}
+
+// promoteFromDisk moves a disk-resident document back into memory: the
+// blob is read through its verifying reader (bodies are synthetic, so the
+// bytes are discarded — the read is the checksum verification), the entry
+// re-enters the memory tier with its metadata preserved, and the blob is
+// dropped afterwards (recovery prefers the memory copy during the
+// overlap window).
+func (t *TieredStore) promoteFromDisk(url string, now time.Time) (Document, bool) {
+	de, rc, ok := t.disk.Open(url)
+	if !ok {
+		return Document{}, false
+	}
+	_, err := io.Copy(io.Discard, rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Corrupt blob: the disk tier already dropped it and counted the
+		// failure; tell observers the URL left the logical store.
+		t.forward(Event{Kind: EventRemove, Tier: TierDisk, Doc: de.Doc})
+		return Document{}, false
+	}
+	if _, err := t.mem.PromoteEntry(de.Doc, de.EnteredAt, de.Hits, now); err != nil {
+		// The document does not fit the memory tier (oversized for its
+		// shard slice). Serve it from disk without promoting.
+		return de.Doc, true
+	}
+	t.promotions.Add(1)
+	t.disk.Remove(url)
+	return de.Doc, true
+}
+
+// Peek returns the document without touching recency state, from either
+// tier.
+func (t *TieredStore) Peek(url string) (Document, bool) {
+	doc, ok := t.mem.Peek(url)
+	if ok || t.disk == nil {
+		return doc, ok
+	}
+	de, ok := t.disk.Peek(url)
+	return de.Doc, ok
+}
+
+// Contains reports whether url is resident in either tier.
+func (t *TieredStore) Contains(url string) bool {
+	if t.mem.Contains(url) {
+		return true
+	}
+	return t.disk != nil && t.disk.Contains(url)
+}
+
+// Touch promotes url as if hit at now. A disk-resident document is
+// re-promoted into memory (the touch is the promoting hit).
+func (t *TieredStore) Touch(url string, now time.Time) bool {
+	if t.mem.Touch(url, now) {
+		return true
+	}
+	if t.disk == nil {
+		return false
+	}
+	_, ok := t.promoteFromDisk(url, now)
+	return ok
+}
+
+// Put inserts doc into the memory tier. A stale disk copy of the same URL
+// (possible when a push races a demotion) is dropped first so the tiers
+// stay exclusive, and the drop is journaled before the insert.
+func (t *TieredStore) Put(doc Document, now time.Time) ([]Eviction, error) {
+	if t.disk != nil && t.disk.Contains(doc.URL) {
+		if de, ok := t.disk.Remove(doc.URL); ok {
+			t.forward(Event{Kind: EventRemove, Tier: TierDisk, Doc: de.Doc})
+		}
+	}
+	return t.mem.Put(doc, now)
+}
+
+// Remove deletes url from both tiers.
+func (t *TieredStore) Remove(url string) bool {
+	ok := t.mem.Remove(url)
+	if t.disk != nil {
+		if de, ok2 := t.disk.Remove(url); ok2 {
+			t.forward(Event{Kind: EventRemove, Tier: TierDisk, Doc: de.Doc})
+			return true
+		}
+	}
+	return ok
+}
+
+// ExpirationAge returns the node's advertised cache expiration age: with
+// a disk tier, the logical exit tracker's windowed mean (only documents
+// that truly left the node count as contention evidence); without one,
+// the memory tier's signal unchanged.
+func (t *TieredStore) ExpirationAge(now time.Time) time.Duration {
+	if t.disk == nil {
+		return t.mem.ExpirationAge(now)
+	}
+	t.exitMu.Lock()
+	age := t.exits.WindowedAt(now)
+	t.exitMu.Unlock()
+	return age
+}
+
+// Capacity returns the total byte budget across both tiers.
+func (t *TieredStore) Capacity() int64 {
+	if t.disk == nil {
+		return t.mem.Capacity()
+	}
+	return t.mem.Capacity() + t.disk.Capacity()
+}
+
+// Used returns the bytes occupied across both tiers.
+func (t *TieredStore) Used() int64 {
+	if t.disk == nil {
+		return t.mem.Used()
+	}
+	return t.mem.Used() + t.disk.Used()
+}
+
+// Len returns the number of documents across both tiers.
+func (t *TieredStore) Len() int {
+	if t.disk == nil {
+		return t.mem.Len()
+	}
+	return t.mem.Len() + t.disk.Len()
+}
+
+// MemLen/MemUsed/MemCapacity and DiskLen/DiskUsed/DiskCapacity expose the
+// per-tier occupancy for the eac_tier_* gauges.
+func (t *TieredStore) MemLen() int        { return t.mem.Len() }
+func (t *TieredStore) MemUsed() int64     { return t.mem.Used() }
+func (t *TieredStore) MemCapacity() int64 { return t.mem.Capacity() }
+
+func (t *TieredStore) DiskLen() int {
+	if t.disk == nil {
+		return 0
+	}
+	return t.disk.Len()
+}
+
+func (t *TieredStore) DiskUsed() int64 {
+	if t.disk == nil {
+		return 0
+	}
+	return t.disk.Used()
+}
+
+func (t *TieredStore) DiskCapacity() int64 {
+	if t.disk == nil {
+		return 0
+	}
+	return t.disk.Capacity()
+}
+
+// TierCounters returns the controller's monotonic counters.
+func (t *TieredStore) TierCounters() TierCounters {
+	c := TierCounters{
+		Demotions:     t.demotions.Load(),
+		DemotionDrops: t.demotionDrops.Load(),
+		Promotions:    t.promotions.Load(),
+		DiskEvictions: t.diskEvictions.Load(),
+	}
+	if t.disk != nil {
+		c.ChecksumFailures = t.disk.ChecksumFailures()
+	}
+	return c
+}
+
+// Evictions counts replacement-policy evictions across both tiers.
+func (t *TieredStore) Evictions() int64 {
+	if t.disk == nil {
+		return t.mem.Evictions()
+	}
+	return t.mem.Evictions() + t.diskEvictions.Load()
+}
+
+// Insertions counts memory-tier insertions (promotions included).
+func (t *TieredStore) Insertions() int64 { return t.mem.Insertions() }
+
+// PolicyName returns the memory tier's replacement policy name.
+func (t *TieredStore) PolicyName() string { return t.mem.PolicyName() }
+
+// Shards returns the memory tier's shard count.
+func (t *TieredStore) Shards() int { return t.mem.Shards() }
+
+// URLs returns every resident URL across both tiers (the union migration
+// walks and the digest advertises). Transient duplicates from an
+// in-flight promotion are collapsed.
+func (t *TieredStore) URLs() []string {
+	m := t.mem.URLs()
+	if t.disk == nil {
+		return m
+	}
+	d := t.disk.URLs()
+	if len(d) == 0 {
+		return m
+	}
+	seen := make(map[string]struct{}, len(m))
+	for _, u := range m {
+		seen[u] = struct{}{}
+	}
+	for _, u := range d {
+		if _, ok := seen[u]; !ok {
+			m = append(m, u)
+		}
+	}
+	return m
+}
+
+// Entry returns the metadata for url from whichever tier holds it.
+func (t *TieredStore) Entry(url string) (Entry, bool) {
+	if e, ok := t.mem.Entry(url); ok {
+		return e, true
+	}
+	if t.disk == nil {
+		return Entry{}, false
+	}
+	de, ok := t.disk.Peek(url)
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{Doc: de.Doc, EnteredAt: de.EnteredAt, LastHit: de.LastHit, Hits: de.Hits}, true
+}
+
+// SetEventSink installs fn as the logical store's mutation observer. With
+// no disk tier this is the memory tier's sink directly (zero added cost);
+// with one, fn receives the controller's rewritten event stream.
+func (t *TieredStore) SetEventSink(fn func(Event)) {
+	if t.disk == nil {
+		t.mem.SetEventSink(fn)
+		return
+	}
+	if fn == nil {
+		t.extSink.Store(nil)
+		return
+	}
+	t.extSink.Store(&fn)
+}
+
+// RestoreEntry reinserts a recovered document into the memory tier. A
+// blob left over from the crash window where a journal-visible memory
+// entry also reached disk (a promotion whose blob drop never landed) is
+// trimmed: recovery always prefers the memory copy.
+func (t *TieredStore) RestoreEntry(doc Document, enteredAt, lastHit time.Time, hits int64) error {
+	err := t.mem.RestoreEntry(doc, enteredAt, lastHit, hits)
+	if err == nil && t.disk != nil {
+		t.disk.Remove(doc.URL)
+	}
+	return err
+}
+
+// RestoreDisk reconciles persisted disk residency against the blob
+// index rebuilt by the disk tier's own recovery: entries both agree on
+// (URL, size and checksum) are kept, entries the persist layer knows but
+// the blob tier lost (torn index tail, missing or resized blob file) are
+// counted lost, and blobs the persist layer does not account for are
+// swept. Memory-resident URLs always win (see RestoreEntry). Returns the
+// kept and lost counts.
+func (t *TieredStore) RestoreDisk(entries []DiskEntry) (restored, lost int) {
+	if t.disk == nil {
+		return 0, len(entries)
+	}
+	want := make(map[string]struct{}, len(entries))
+	for _, de := range entries {
+		if t.mem.Contains(de.Doc.URL) {
+			t.disk.Remove(de.Doc.URL)
+			continue
+		}
+		want[de.Doc.URL] = struct{}{}
+		got, ok := t.disk.Peek(de.Doc.URL)
+		if !ok || got.Sum != de.Sum || got.Doc.Size != de.Doc.Size {
+			if ok {
+				t.disk.Remove(de.Doc.URL)
+			}
+			lost++
+			continue
+		}
+		restored++
+	}
+	for _, url := range t.disk.URLs() {
+		if _, ok := want[url]; !ok {
+			t.disk.Remove(url)
+		}
+	}
+	return restored, lost
+}
+
+// TrackerState exports the advertised tracker for persistence: the
+// logical exit tracker with a disk tier, the memory tier's otherwise.
+func (t *TieredStore) TrackerState() TrackerState {
+	if t.disk == nil {
+		return t.mem.TrackerState()
+	}
+	t.exitMu.Lock()
+	st := t.exits.State()
+	t.exitMu.Unlock()
+	return st
+}
+
+// RestoreTracker rebuilds the advertised tracker from a persisted state,
+// re-windowed into the configured shape (see Store.RestoreTracker).
+func (t *TieredStore) RestoreTracker(st TrackerState) {
+	if t.disk == nil {
+		t.mem.RestoreTracker(st)
+		return
+	}
+	t.exitMu.Lock()
+	st.Window = t.exits.Window()
+	st.Horizon = t.exits.Horizon()
+	t.exits = NewTrackerFromState(st)
+	t.exitMu.Unlock()
+}
+
+// tieredCheckpointView augments the all-shards-locked memory view with
+// the disk tier's entries and swaps in the logical tracker, so one
+// checkpoint images the whole logical store.
+type tieredCheckpointView struct {
+	StoreView
+	tracker TrackerState
+	disk    []DiskEntry
+}
+
+// TrackerState returns the logical (advertised) tracker state.
+func (v tieredCheckpointView) TrackerState() TrackerState { return v.tracker }
+
+// DiskEntries returns the disk tier's entries at the checkpoint instant.
+func (v tieredCheckpointView) DiskEntries() []DiskEntry { return v.disk }
+
+// Checkpoint runs capture with a consistent point-in-time view of the
+// logical store. All memory shard locks are held, which also excludes
+// every tier transition (demotions and promotions mutate under a shard
+// lock), so the memory image, the disk image and the logical tracker are
+// mutually consistent.
+func (t *TieredStore) Checkpoint(capture func(view StoreView) error) error {
+	if t.disk == nil {
+		return t.mem.Checkpoint(capture)
+	}
+	return t.mem.Checkpoint(func(v StoreView) error {
+		t.exitMu.Lock()
+		tr := t.exits.State()
+		t.exitMu.Unlock()
+		return capture(tieredCheckpointView{StoreView: v, tracker: tr, disk: t.disk.Entries()})
+	})
+}
+
+// Quiesce blocks until every in-flight tier transition has completed and
+// flushes the blob index to stable storage. Transitions mutate under
+// shard locks, so taking the full checkpoint barrier is the flush: any
+// demotion that began before Quiesce has finished its blob and index
+// writes by the time the barrier is acquired. Node.Close runs this
+// before the journal's final rotate so the snapshot and the blob index
+// agree.
+func (t *TieredStore) Quiesce() error {
+	if t.disk == nil {
+		return nil
+	}
+	if err := t.mem.Checkpoint(func(StoreView) error { return nil }); err != nil {
+		return err
+	}
+	return t.disk.Sync()
+}
+
+// CloseDisk closes the disk tier (final index fsync). Safe without one.
+func (t *TieredStore) CloseDisk() error {
+	if t.disk == nil {
+		return nil
+	}
+	return t.disk.Close()
+}
+
+// zeroSrc is an endless zero-byte reader.
+type zeroSrc struct{}
+
+func (zeroSrc) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// zeroBody is the default demotion body source: doc.Size zero bytes (the
+// node's synthetic bodies).
+func zeroBody(doc Document) io.Reader { return io.LimitReader(zeroSrc{}, doc.Size) }

@@ -1,0 +1,513 @@
+package cache_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"eacache/internal/blob"
+	"eacache/internal/cache"
+	"eacache/internal/dist"
+)
+
+// t0 is the workload epoch.
+func t0() time.Time { return time.Unix(1_700_000_000, 0) }
+
+// docBody derives a deterministic pseudorandom body for url — the
+// round-trip tests need bodies that are NOT all zeros so a byte mismatch
+// is detectable.
+func docBody(url string, size int64) []byte {
+	h := sha256.Sum256([]byte(url))
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = h[i%len(h)] ^ byte(i)
+	}
+	return out
+}
+
+// bodyFn is the TieredConfig.Body source over docBody.
+func bodyFn(doc cache.Document) io.Reader {
+	return bytes.NewReader(docBody(doc.URL, doc.Size))
+}
+
+// newTiered builds a single-shard memory tier over a blob tier in a
+// temp dir, with an event recorder attached.
+func newTiered(t *testing.T, memCap, diskCap int64, pol cache.DemotePolicy) (*cache.TieredStore, *blob.Store, *[]cache.Event) {
+	t.Helper()
+	mem, err := cache.NewSharded(cache.ShardedConfig{Shards: 1, Capacity: memCap, ExpirationWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := blob.Open(blob.Config{Dir: t.TempDir(), Capacity: diskCap, ExpirationWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cache.NewTiered(cache.TieredConfig{Memory: mem, Disk: disk, Demote: pol, Body: bodyFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := &[]cache.Event{}
+	ts.SetEventSink(func(ev cache.Event) { *events = append(*events, ev) })
+	t.Cleanup(func() { disk.Close() })
+	return ts, disk, events
+}
+
+// TestTieredPassthroughMatchesSharded: with no disk tier every operation
+// and signal must match the bare sharded store exactly.
+func TestTieredPassthroughMatchesSharded(t *testing.T) {
+	mkPair := func() (*cache.ShardedStore, *cache.TieredStore) {
+		a, err := cache.NewSharded(cache.ShardedConfig{Shards: 1, Capacity: 4096, ExpirationWindow: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cache.NewSharded(cache.ShardedConfig{Shards: 1, Capacity: 4096, ExpirationWindow: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := cache.NewTiered(cache.TieredConfig{Memory: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, ts
+	}
+	plain, tiered := mkPair()
+	var plainEvents, tieredEvents []cache.Event
+	plain.SetEventSink(func(ev cache.Event) { plainEvents = append(plainEvents, ev) })
+	tiered.SetEventSink(func(ev cache.Event) { tieredEvents = append(tieredEvents, ev) })
+
+	rng := dist.NewRNG(42)
+	now := t0()
+	for i := 0; i < 2000; i++ {
+		now = now.Add(time.Duration(1+rng.Intn(500)) * time.Millisecond)
+		url := fmt.Sprintf("http://pt/%d", rng.Intn(30))
+		switch rng.Intn(10) {
+		case 0:
+			plain.Remove(url)
+			tiered.Remove(url)
+		case 1, 2:
+			plain.Get(url, now)
+			tiered.Get(url, now)
+		case 3:
+			plain.Touch(url, now)
+			tiered.Touch(url, now)
+		default:
+			size := int64(64 + rng.Intn(1024))
+			plain.Put(cache.Document{URL: url, Size: size}, now)
+			tiered.Put(cache.Document{URL: url, Size: size}, now)
+		}
+	}
+	if plain.Len() != tiered.Len() || plain.Used() != tiered.Used() {
+		t.Fatalf("len/used diverged: %d/%d vs %d/%d", plain.Len(), plain.Used(), tiered.Len(), tiered.Used())
+	}
+	if a, b := plain.ExpirationAge(now), tiered.ExpirationAge(now); a != b {
+		t.Fatalf("expiration age diverged: %v vs %v", a, b)
+	}
+	if len(plainEvents) != len(tieredEvents) {
+		t.Fatalf("event counts diverged: %d vs %d", len(plainEvents), len(tieredEvents))
+	}
+	for i := range plainEvents {
+		if plainEvents[i] != tieredEvents[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, plainEvents[i], tieredEvents[i])
+		}
+	}
+	if tiered.Tiered() {
+		t.Fatal("passthrough store claims a disk tier")
+	}
+}
+
+// TestDemotePromoteRoundTripProperty is the satellite property test:
+// across randomized documents and hit histories, evict→demote→promote
+// must round-trip body bytes, hit metadata and DocExpAge exactly — the
+// only metadata change across the whole trip is the promoting access
+// itself.
+func TestDemotePromoteRoundTripProperty(t *testing.T) {
+	rng := dist.NewRNG(1234)
+	for trial := 0; trial < 40; trial++ {
+		ts, disk, events := newTiered(t, 4096, 1<<20, cache.DemoteEA)
+		url := fmt.Sprintf("http://prop/%d", trial)
+		size := int64(64 + rng.Intn(2048))
+		enter := t0().Add(time.Duration(rng.Intn(1000)) * time.Second)
+		hits := int64(1 + rng.Intn(50))
+		lastHit := enter.Add(time.Duration(rng.Intn(3600)) * time.Second)
+
+		if err := ts.RestoreEntry(cache.Document{URL: url, Size: size}, enter, lastHit, hits); err != nil {
+			t.Fatal(err)
+		}
+
+		// Fill memory so the subject is evicted (fresh filler docs are
+		// more recently used; LRU victims the subject first).
+		evictAt := lastHit.Add(time.Duration(1+rng.Intn(7200)) * time.Second)
+		for i := 0; ts.Memory().Contains(url); i++ {
+			if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://fill/%d", i), Size: 1024}, evictAt); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Demoted, not dropped: a fresh disk tier reports NoContention.
+		de, ok := disk.Peek(url)
+		if !ok {
+			t.Fatalf("trial %d: subject not demoted", trial)
+		}
+		if !de.EnteredAt.Equal(enter) || !de.LastHit.Equal(lastHit) || de.Hits != hits {
+			t.Fatalf("trial %d: disk metadata %+v, want enter=%v lastHit=%v hits=%d",
+				trial, de, enter, lastHit, hits)
+		}
+		var demote cache.Event
+		for _, ev := range *events {
+			if ev.Kind == cache.EventDemote && ev.Doc.URL == url {
+				demote = ev
+			}
+		}
+		if demote.Kind == 0 {
+			t.Fatalf("trial %d: no demote event", trial)
+		}
+		// DocExpAge at eviction is eq. 2 (LRU): evict time - last hit.
+		if want := evictAt.Sub(lastHit); demote.Age != want {
+			t.Fatalf("trial %d: demote age %v, want %v", trial, demote.Age, want)
+		}
+		if demote.Sum != de.Sum {
+			t.Fatalf("trial %d: demote event sum differs from index", trial)
+		}
+
+		// Body bytes round-trip through the verified reader.
+		_, rc, ok := disk.Open(url)
+		if !ok {
+			t.Fatalf("trial %d: blob unreadable", trial)
+		}
+		got, err := io.ReadAll(rc)
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if !bytes.Equal(got, docBody(url, size)) {
+			t.Fatalf("trial %d: body bytes corrupted across demotion", trial)
+		}
+
+		// Promote via Get: metadata survives, plus exactly one hit.
+		promoteAt := evictAt.Add(time.Duration(1+rng.Intn(3600)) * time.Second)
+		doc, ok := ts.Get(url, promoteAt)
+		if !ok || doc.Size != size {
+			t.Fatalf("trial %d: promote get failed", trial)
+		}
+		me, ok := ts.Memory().Entry(url)
+		if !ok {
+			t.Fatalf("trial %d: not in memory after promotion", trial)
+		}
+		if !me.EnteredAt.Equal(enter) {
+			t.Fatalf("trial %d: EnteredAt %v, want %v", trial, me.EnteredAt, enter)
+		}
+		if me.Hits != hits+1 {
+			t.Fatalf("trial %d: Hits %d, want %d", trial, me.Hits, hits+1)
+		}
+		if !me.LastHit.Equal(promoteAt) {
+			t.Fatalf("trial %d: LastHit %v, want %v", trial, me.LastHit, promoteAt)
+		}
+		if disk.Contains(url) {
+			t.Fatalf("trial %d: still disk-resident after promotion", trial)
+		}
+		last := (*events)[len(*events)-1]
+		if last.Kind != cache.EventPromoteFromDisk || last.Doc.URL != url ||
+			!last.EnteredAt.Equal(enter) || last.Hits != hits+1 || !last.At.Equal(promoteAt) {
+			t.Fatalf("trial %d: promote event %+v", trial, last)
+		}
+	}
+}
+
+// TestDemoteEAGate: the strict EA rule — a victim whose DocExpAge is not
+// below the disk tier's expiration age is dropped, not demoted, and the
+// drop feeds the logical exit tracker.
+func TestDemoteEAGate(t *testing.T) {
+	ts, disk, events := newTiered(t, 2048, 4096, cache.DemoteEA)
+	now := t0()
+
+	// Load the disk tier's tracker with small ages: evict disk entries
+	// whose last hit was just before eviction.
+	for i := 0; i < 8; i++ {
+		now = now.Add(time.Second)
+		if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://churn/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The churn demoted memory victims to disk and then evicted some of
+	// them from disk (capacity 4096 holds 4). Disk EA is now ~ the
+	// small ages of those disk victims.
+	diskEA := disk.ExpirationAge(now)
+	if diskEA == cache.NoContention {
+		t.Fatalf("disk tier never evicted; test needs contention (disk len %d)", disk.Len())
+	}
+
+	// A victim idle longer than diskEA must be dropped (EventEvict
+	// forwarded), not demoted. Make room for it first.
+	ts.Remove(ts.Memory().URLs()[0])
+	idle := cache.Document{URL: "http://idle/doc", Size: 1024}
+	if err := ts.RestoreEntry(idle, now.Add(-diskEA-2*time.Hour), now.Add(-diskEA-time.Hour), 1); err != nil {
+		t.Fatal(err)
+	}
+	*events = nil
+	now = now.Add(time.Second)
+	for i := 0; ts.Memory().Contains(idle.URL); i++ {
+		if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://fill2/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if disk.Contains(idle.URL) {
+		t.Fatal("stale victim was demoted past the EA gate")
+	}
+	var sawDrop bool
+	for _, ev := range *events {
+		if ev.Kind == cache.EventEvict && ev.Doc.URL == idle.URL && ev.Tier == cache.TierMemory {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Fatal("dropped victim emitted no evict event")
+	}
+	c := ts.TierCounters()
+	if c.DemotionDrops == 0 || c.Demotions == 0 || c.DiskEvictions == 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestDemoteAlwaysSpills: the blind-spill policy demotes regardless of
+// the EA comparison.
+func TestDemoteAlwaysSpills(t *testing.T) {
+	ts, disk, _ := newTiered(t, 2048, 1<<20, cache.DemoteAlways)
+	now := t0()
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Minute)
+		if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://spill/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := ts.TierCounters()
+	if c.DemotionDrops != 0 {
+		t.Fatalf("always-policy dropped %d victims", c.DemotionDrops)
+	}
+	if got := ts.Len(); got != 10 {
+		t.Fatalf("logical len = %d, want 10", got)
+	}
+	if disk.Len() != 8 {
+		t.Fatalf("disk len = %d, want 8", disk.Len())
+	}
+}
+
+// TestTieredUnionSurface: membership, sizes, Entry and URLs span both
+// tiers; Remove and Put keep the tiers exclusive.
+func TestTieredUnionSurface(t *testing.T) {
+	ts, disk, events := newTiered(t, 2048, 1<<20, cache.DemoteAlways)
+	now := t0()
+	for i := 0; i < 6; i++ {
+		now = now.Add(time.Minute)
+		if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://u/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2 in memory, 4 on disk.
+	if ts.MemLen() != 2 || ts.DiskLen() != 4 || ts.Len() != 6 {
+		t.Fatalf("mem/disk/len = %d/%d/%d", ts.MemLen(), ts.DiskLen(), ts.Len())
+	}
+	if ts.Used() != 6*1024 || ts.Capacity() != 2048+1<<20 {
+		t.Fatalf("used/capacity = %d/%d", ts.Used(), ts.Capacity())
+	}
+	if len(ts.URLs()) != 6 {
+		t.Fatalf("URLs = %v", ts.URLs())
+	}
+	for i := 0; i < 6; i++ {
+		url := fmt.Sprintf("http://u/%d", i)
+		if !ts.Contains(url) {
+			t.Fatalf("missing %s", url)
+		}
+		if _, ok := ts.Entry(url); !ok {
+			t.Fatalf("no entry for %s", url)
+		}
+		if _, ok := ts.Peek(url); !ok {
+			t.Fatalf("no peek for %s", url)
+		}
+	}
+	// Remove a disk-resident URL: gone from the logical store, with a
+	// disk-tier remove event for the digest/journal.
+	*events = nil
+	if !ts.Remove("http://u/0") {
+		t.Fatal("remove of disk-resident URL failed")
+	}
+	if ts.Contains("http://u/0") || disk.Contains("http://u/0") {
+		t.Fatal("removed URL still resident")
+	}
+	if len(*events) != 1 || (*events)[0].Kind != cache.EventRemove || (*events)[0].Tier != cache.TierDisk {
+		t.Fatalf("events = %+v", *events)
+	}
+	// Put over a disk-resident URL drops the stale blob first (journal
+	// sees disk-remove then insert).
+	*events = nil
+	if _, err := ts.Put(cache.Document{URL: "http://u/1", Size: 512}, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Contains("http://u/1") {
+		t.Fatal("stale disk copy survived Put")
+	}
+	if len(*events) < 2 || (*events)[0].Kind != cache.EventRemove || (*events)[0].Tier != cache.TierDisk ||
+		(*events)[len(*events)-1].Kind != cache.EventInsert {
+		t.Fatalf("events = %+v", *events)
+	}
+}
+
+// TestTieredTouchPromotes: a Touch on a disk-resident URL re-promotes it
+// (the responder-side promotion reaches through the tiers).
+func TestTieredTouchPromotes(t *testing.T) {
+	ts, disk, _ := newTiered(t, 2048, 1<<20, cache.DemoteAlways)
+	now := t0()
+	for i := 0; i < 6; i++ {
+		now = now.Add(time.Minute)
+		if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://t/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !disk.Contains("http://t/0") {
+		t.Fatal("setup: t/0 not on disk")
+	}
+	if !ts.Touch("http://t/0", now.Add(time.Hour)) {
+		t.Fatal("touch on disk-resident URL failed")
+	}
+	if !ts.Memory().Contains("http://t/0") || disk.Contains("http://t/0") {
+		t.Fatal("touch did not promote")
+	}
+	if ts.Touch("http://t/none", now) {
+		t.Fatal("touch on absent URL succeeded")
+	}
+}
+
+// TestTieredExitTracker: the advertised expiration age reflects only
+// true exits — demotions are invisible, drops and disk evictions count.
+func TestTieredExitTracker(t *testing.T) {
+	ts, _, _ := newTiered(t, 2048, 1<<30, cache.DemoteAlways)
+	now := t0()
+	// Everything demotes (huge disk): the logical store never exits
+	// anything, so the advertised signal stays NoContention.
+	for i := 0; i < 20; i++ {
+		now = now.Add(time.Minute)
+		if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://x/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ts.ExpirationAge(now); got != cache.NoContention {
+		t.Fatalf("age with demotions only = %v, want NoContention", got)
+	}
+	// Tracker state round-trips through persistence.
+	st := ts.TrackerState()
+	if st.TotalCount != 0 {
+		t.Fatalf("tracker counted demotions: %+v", st)
+	}
+
+	// Now with a small disk: disk evictions are true exits.
+	ts2, _, _ := newTiered(t, 2048, 3072, cache.DemoteAlways)
+	now = t0()
+	for i := 0; i < 20; i++ {
+		now = now.Add(time.Minute)
+		if _, err := ts2.Put(cache.Document{URL: fmt.Sprintf("http://y/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ts2.ExpirationAge(now); got == cache.NoContention {
+		t.Fatal("disk evictions left no contention evidence")
+	}
+	st2 := ts2.TrackerState()
+	if st2.TotalCount == 0 {
+		t.Fatal("exit tracker empty after disk evictions")
+	}
+	// RestoreTracker round-trip.
+	ts3, _, _ := newTiered(t, 2048, 3072, cache.DemoteAlways)
+	ts3.RestoreTracker(st2)
+	if a, b := ts3.ExpirationAge(now), ts2.ExpirationAge(now); a != b {
+		t.Fatalf("restored age %v, want %v", a, b)
+	}
+}
+
+// TestTieredCheckpointView: the checkpoint view carries both tiers and
+// the logical tracker.
+func TestTieredCheckpointView(t *testing.T) {
+	ts, _, _ := newTiered(t, 2048, 1<<20, cache.DemoteAlways)
+	now := t0()
+	for i := 0; i < 6; i++ {
+		now = now.Add(time.Minute)
+		if _, err := ts.Put(cache.Document{URL: fmt.Sprintf("http://cp/%d", i), Size: 1024}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := ts.Checkpoint(func(v cache.StoreView) error {
+		mem := v.Entries()
+		if len(mem) != 2 {
+			t.Fatalf("checkpoint memory entries = %d", len(mem))
+		}
+		dv, ok := v.(interface{ DiskEntries() []cache.DiskEntry })
+		if !ok {
+			t.Fatal("checkpoint view has no DiskEntries")
+		}
+		if got := dv.DiskEntries(); len(got) != 4 {
+			t.Fatalf("checkpoint disk entries = %d", len(got))
+		}
+		if v.TrackerState().TotalCount != 0 {
+			t.Fatal("logical tracker counted tier moves")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreDiskReconciles: persisted residency is cross-checked
+// against the blob index; mismatches are lost, memory wins, orphans are
+// swept.
+func TestRestoreDiskReconciles(t *testing.T) {
+	ts, disk, _ := newTiered(t, 4096, 1<<20, cache.DemoteAlways)
+	now := t0()
+	// Three entries straight into the disk tier.
+	var des []cache.DiskEntry
+	for i := 0; i < 3; i++ {
+		url := fmt.Sprintf("http://rd/%d", i)
+		e, _, err := disk.Admit(cache.DiskEntry{
+			Doc: cache.Document{URL: url, Size: 256}, EnteredAt: now, LastHit: now, Hits: 1,
+		}, bytes.NewReader(docBody(url, 256)), now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		des = append(des, e)
+	}
+	// rd/0 is also memory-resident (promotion crash window): memory wins.
+	if err := ts.RestoreEntry(cache.Document{URL: "http://rd/0", Size: 256}, now, now, 2); err != nil {
+		t.Fatal(err)
+	}
+	// rd/1's persisted record has a stale sum (the blob was re-written
+	// after the snapshot): lost.
+	stale := des[1]
+	stale.Sum[0] ^= 0xff
+	// rd/2 round-trips. An orphan blob (never persisted) is swept.
+	orphanURL := "http://rd/orphan"
+	if _, _, err := disk.Admit(cache.DiskEntry{
+		Doc: cache.Document{URL: orphanURL, Size: 64}, EnteredAt: now, LastHit: now, Hits: 1,
+	}, bytes.NewReader(docBody(orphanURL, 64)), now); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, lost := ts.RestoreDisk([]cache.DiskEntry{des[0], stale, des[2]})
+	if restored != 1 || lost != 1 {
+		t.Fatalf("restored/lost = %d/%d, want 1/1", restored, lost)
+	}
+	if disk.Contains("http://rd/0") {
+		t.Fatal("memory-resident URL kept its blob")
+	}
+	if disk.Contains("http://rd/1") {
+		t.Fatal("stale-sum entry kept its blob")
+	}
+	if !disk.Contains("http://rd/2") {
+		t.Fatal("clean entry lost")
+	}
+	if disk.Contains(orphanURL) {
+		t.Fatal("orphan blob survived reconciliation")
+	}
+}

@@ -91,6 +91,12 @@ func newDigestState(cfg proxy.DigestConfig, capacity int64, refresh time.Duratio
 // cached URL are membership no-ops. It runs synchronously inside store
 // mutations (under a shard lock), so it only touches the digest state —
 // never the store.
+//
+// Tier moves fall out naturally: a demotion or a promotion-from-disk
+// keeps the document resident in the logical store, so both kinds miss
+// every case below and the membership is untouched; a disk-tier evict or
+// remove means the URL truly left the node, and those share the Kind
+// values the exit arm already matches.
 func (n *Node) digestEvent(ev cache.Event) {
 	switch ev.Kind {
 	case cache.EventInsert:

@@ -207,8 +207,12 @@ func TestUpstreamConcurrencyBounded(t *testing.T) {
 		}(i)
 	}
 	// One fetch holds the only slot inside the gated origin; the other
-	// must be queued on the semaphore, not connected to the origin.
-	waitUntil(t, func() bool { return n.Robustness().OriginWaits == 1 })
+	// must be queued on the semaphore, not connected to the origin. The
+	// waiter is counted before the winner's request reaches the origin
+	// handler, so wait for both before asserting no second fetch leaked.
+	waitUntil(t, func() bool {
+		return n.Robustness().OriginWaits == 1 && origin.fetches.Load() == 1
+	})
 	if got := origin.fetches.Load(); got != 1 {
 		t.Fatalf("origin fetches = %d while semaphore held, want 1", got)
 	}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eacache/internal/blob"
 	"eacache/internal/cache"
 	"eacache/internal/core"
 	"eacache/internal/faults"
@@ -125,6 +126,21 @@ type Config struct {
 	// to serve concurrent traffic, or a plain *cache.Store (wrapped in a
 	// one-shard adapter internally). Required.
 	Store Store
+	// DiskDir, when set, adds a content-addressed blob tier below the
+	// memory store (internal/blob): memory victims whose expiration age
+	// says they still have life ahead demote to checksummed files under
+	// this directory instead of exiting, and disk hits re-promote on
+	// access — one logical store holding far more than memory allows.
+	// Requires DiskCapacity.
+	DiskDir string
+	// DiskCapacity is the disk tier's byte budget. Required with DiskDir,
+	// rejected without it; negative is rejected.
+	DiskCapacity int64
+	// DiskDemote selects the demotion admission rule: "ea" (the default —
+	// demote only victims younger than the disk tier's own expiration
+	// age, the paper's placement rule applied between tiers) or "always"
+	// (spill every victim). Requires DiskDir when set.
+	DiskDemote string
 	// Scheme is the placement scheme. Required.
 	Scheme core.Scheme
 	// OriginAddr is the TCP address of an hproto origin server used to
@@ -299,9 +315,11 @@ type Node struct {
 	// The request path has no global lock: the sharded store serialises
 	// per shard, the peer set is an immutable snapshot swapped atomically
 	// by every membership change, and the digest machinery has its own
-	// small mutex.
-	store *cache.ShardedStore
-	peers atomic.Pointer[[]Peer]
+	// small mutex. The store is the tiered facade; without a disk tier it
+	// is a zero-cost pass-through to the sharded memory store.
+	store     *cache.TieredStore
+	blobStore *blob.Store // nil without a disk tier
+	peers     atomic.Pointer[[]Peer]
 	// hash is the consistent-hash locator under LocateHash, rebuilt on
 	// every membership change and swapped atomically like the peer
 	// snapshot.
@@ -437,6 +455,22 @@ func New(cfg Config) (*Node, error) {
 	if cfg.DataDir != "" && cfg.SnapshotInterval == 0 {
 		cfg.SnapshotInterval = DefaultSnapshotInterval
 	}
+	if cfg.DiskCapacity < 0 {
+		return nil, fmt.Errorf("netnode: negative DiskCapacity %d", cfg.DiskCapacity)
+	}
+	if cfg.DiskCapacity > 0 && cfg.DiskDir == "" {
+		return nil, errors.New("netnode: DiskCapacity requires DiskDir")
+	}
+	if cfg.DiskDir != "" && cfg.DiskCapacity == 0 {
+		return nil, errors.New("netnode: DiskDir requires DiskCapacity")
+	}
+	if cfg.DiskDemote != "" && cfg.DiskDir == "" {
+		return nil, errors.New("netnode: DiskDemote requires DiskDir")
+	}
+	demotePolicy, err := cache.ParseDemotePolicy(cfg.DiskDemote)
+	if err != nil {
+		return nil, fmt.Errorf("netnode: %w", err)
+	}
 	if cfg.Location == 0 {
 		cfg.Location = resolve.LocateICP
 	}
@@ -465,6 +499,34 @@ func New(cfg Config) (*Node, error) {
 	default:
 		return nil, fmt.Errorf("netnode: unsupported store type %T", cfg.Store)
 	}
+	// The tiered facade always fronts the memory store. Without DiskDir it
+	// is a pure pass-through (identical behaviour and cost); with it, the
+	// blob tier recovers its own index here — a warm restart that never
+	// re-reads blob bodies — and the EA-aware controller starts demoting
+	// memory victims that still have life ahead of them.
+	var blobStore *blob.Store
+	tcfg := cache.TieredConfig{Memory: store, Demote: demotePolicy}
+	if cfg.DiskDir != "" {
+		shape := store.TrackerState()
+		bs, err := blob.Open(blob.Config{
+			Dir:               cfg.DiskDir,
+			Capacity:          cfg.DiskCapacity,
+			ExpirationWindow:  shape.Window,
+			ExpirationHorizon: shape.Horizon,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netnode: disk tier: %w", err)
+		}
+		blobStore = bs
+		tcfg.Disk = bs
+	}
+	tiered, err := cache.NewTiered(tcfg)
+	if err != nil {
+		if blobStore != nil {
+			_ = blobStore.Close()
+		}
+		return nil, fmt.Errorf("netnode: %w", err)
+	}
 	n := &Node{
 		id:            cfg.ID,
 		scheme:        cfg.Scheme,
@@ -478,7 +540,8 @@ func New(cfg Config) (*Node, error) {
 		nowFn:         cfg.Now,
 		faults:        cfg.Faults,
 		logger:        cfg.Logger,
-		store:         store,
+		store:         tiered,
+		blobStore:     blobStore,
 		originSem:     make(chan struct{}, cfg.OriginConcurrency),
 		shedWait:      cfg.ShedQueueWait,
 		ejectAfter:    cfg.EjectAfter,
@@ -532,7 +595,9 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	if cfg.Location == resolve.LocateDigest {
-		ds, err := newDigestState(cfg.Digest, cfg.Store.Capacity(), cfg.DigestRefresh, cfg.DigestDeltaWindow)
+		// The digest advertises both tiers (disk-resident documents are
+		// servable), so the filter is sized for the whole logical store.
+		ds, err := newDigestState(cfg.Digest, cfg.Store.Capacity()+cfg.DiskCapacity, cfg.DigestRefresh, cfg.DigestDeltaWindow)
 		if err != nil {
 			return nil, fmt.Errorf("netnode: %w", err)
 		}
@@ -562,6 +627,10 @@ func New(cfg Config) (*Node, error) {
 		stats := persist.Restore(n.store, p.RecoveredState())
 		if stats.Skipped > 0 {
 			n.warn("recovery skipped entries that no longer fit", nil, "skipped", stats.Skipped)
+		}
+		if stats.DiskLost > 0 {
+			n.warn("recovery lost disk-tier residency claims", nil,
+				"lost", stats.DiskLost, "restored", stats.DiskRestored)
 		}
 		n.persister = p
 		n.snapEvery = cfg.SnapshotInterval
@@ -605,6 +674,7 @@ func New(cfg Config) (*Node, error) {
 	icpServer, err := icp.NewServer(cfg.ICPAddr, icp.HandlerFunc(n.handleICP), stdLogger)
 	if err != nil {
 		n.closePersister()
+		n.closeDiskTier()
 		return nil, err
 	}
 	n.icpServer = icpServer
@@ -613,6 +683,7 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		_ = icpServer.Close()
 		n.closePersister()
+		n.closeDiskTier()
 		return nil, fmt.Errorf("netnode: listen %q: %w", cfg.HTTPAddr, err)
 	}
 	if cfg.Faults != nil {
@@ -689,6 +760,15 @@ func (n *Node) closePersister() {
 	n.store.SetEventSink(nil)
 	_ = n.persister.Close()
 	n.persister = nil
+}
+
+// closeDiskTier closes the blob tier (constructor error paths only; the
+// normal path closes it through shutdown).
+func (n *Node) closeDiskTier() {
+	if n.blobStore != nil {
+		_ = n.blobStore.Close()
+		n.blobStore = nil
+	}
 }
 
 // ID returns the node name.
@@ -777,6 +857,15 @@ func (n *Node) shutdown(wait time.Duration) error {
 			<-done
 		}
 
+		// Tier-drain barrier BEFORE the journal's final rotate: Quiesce
+		// takes the all-shards checkpoint barrier (every in-flight demotion
+		// and promotion mutates under a shard lock, so acquiring all of
+		// them means none is mid-flight) and fsyncs the blob index. Only
+		// then does the final checkpoint capture and rotate, so the
+		// snapshot's disk-residency claims are backed by durable blobs.
+		if err := n.store.Quiesce(); err != nil {
+			n.warn("disk tier quiesce failed", nil, "err", err)
+		}
 		if n.persister != nil {
 			if err := n.checkpoint(); err != nil {
 				n.warn("final snapshot failed", nil, "err", err)
@@ -785,6 +874,9 @@ func (n *Node) shutdown(wait time.Duration) error {
 			if err := n.persister.Close(); err != nil {
 				n.warn("close persister failed", nil, "err", err)
 			}
+		}
+		if err := n.store.CloseDisk(); err != nil {
+			n.warn("close disk tier failed", nil, "err", err)
 		}
 		_ = n.icpClient.Close()
 

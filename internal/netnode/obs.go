@@ -191,6 +191,7 @@ func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
 	kinds := []cache.EventKind{
 		cache.EventInsert, cache.EventHit, cache.EventPromote,
 		cache.EventEvict, cache.EventRemove,
+		cache.EventDemote, cache.EventPromoteFromDisk,
 	}
 	max := 0
 	for _, k := range kinds {
@@ -321,6 +322,37 @@ func newNodeObs(n *Node, tel *obs.Telemetry) *nodeObs {
 		nil, func() float64 {
 			return float64(n.store.Evictions())
 		})
+
+	// Tier occupancy and movement (eac_tier_*). Registered unconditionally:
+	// an untiered node scrapes zeros for the disk series, so dashboards stay
+	// stable across configurations.
+	r.GaugeFunc("eac_tier_documents", "Resident documents, by storage tier.",
+		obs.Labels{"tier": "memory"}, func() float64 { return float64(n.store.MemLen()) })
+	r.GaugeFunc("eac_tier_documents", "Resident documents, by storage tier.",
+		obs.Labels{"tier": "disk"}, func() float64 { return float64(n.store.DiskLen()) })
+	r.GaugeFunc("eac_tier_bytes", "Resident bytes, by storage tier.",
+		obs.Labels{"tier": "memory"}, func() float64 { return float64(n.store.MemUsed()) })
+	r.GaugeFunc("eac_tier_bytes", "Resident bytes, by storage tier.",
+		obs.Labels{"tier": "disk"}, func() float64 { return float64(n.store.DiskUsed()) })
+	r.GaugeFunc("eac_tier_capacity_bytes", "Byte budget, by storage tier.",
+		obs.Labels{"tier": "memory"}, func() float64 { return float64(n.store.MemCapacity()) })
+	r.GaugeFunc("eac_tier_capacity_bytes", "Byte budget, by storage tier.",
+		obs.Labels{"tier": "disk"}, func() float64 { return float64(n.store.DiskCapacity()) })
+	r.GaugeFunc("eac_tier_demotions",
+		"Memory victims moved to the disk tier instead of exiting.",
+		nil, func() float64 { return float64(n.store.TierCounters().Demotions) })
+	r.GaugeFunc("eac_tier_demotion_drops",
+		"Memory victims the demotion rule dropped (past the disk tier's expiration age, or the tier refused them).",
+		nil, func() float64 { return float64(n.store.TierCounters().DemotionDrops) })
+	r.GaugeFunc("eac_tier_promotions",
+		"Disk hits re-promoted into the memory tier.",
+		nil, func() float64 { return float64(n.store.TierCounters().Promotions) })
+	r.GaugeFunc("eac_tier_disk_evictions",
+		"Documents the disk tier evicted (true exits from the node).",
+		nil, func() float64 { return float64(n.store.TierCounters().DiskEvictions) })
+	r.GaugeFunc("eac_tier_checksum_failures",
+		"Blobs that failed checksum verification (each is dropped and the document refetched).",
+		nil, func() float64 { return float64(n.store.TierCounters().ChecksumFailures) })
 	return o
 }
 
@@ -415,6 +447,10 @@ func (o *nodeObs) setRecovery(rep RecoveryReport) {
 		float64(rep.Restored.Entries))
 	set("eac_recovery_skipped_documents", "Recovered documents skipped because they no longer fit.",
 		float64(rep.Restored.Skipped))
+	set("eac_recovery_disk_documents", "Disk-tier documents whose residency survived the last recovery.",
+		float64(rep.Restored.DiskRestored))
+	set("eac_recovery_disk_lost", "Disk-tier residency claims lost at the last recovery (blob missing or stale).",
+		float64(rep.Restored.DiskLost))
 }
 
 // observeRequest records the end-to-end outcome of one Request call.

@@ -1,0 +1,240 @@
+package netnode
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"eacache/internal/core"
+	"eacache/internal/metrics"
+)
+
+// startTieredNode starts a node with a small memory tier backed by a blob
+// disk tier, journaling into dataDir. DiskDemote is "always" so every
+// memory victim spills deterministically. The caller closes it; no
+// t.Cleanup, because these tests restart nodes on the same dirs.
+func startTieredNode(t *testing.T, id, dataDir, diskDir, origin string, memCap, diskCap int64) *Node {
+	t.Helper()
+	n, err := New(Config{
+		ID:               id,
+		ICPAddr:          "127.0.0.1:0",
+		HTTPAddr:         "127.0.0.1:0",
+		Store:            newStore(t, memCap),
+		Scheme:           core.AdHoc{},
+		OriginAddr:       origin,
+		ICPTimeout:       500 * time.Millisecond,
+		DataDir:          dataDir,
+		SnapshotInterval: time.Hour,
+		DiskDir:          diskDir,
+		DiskCapacity:     diskCap,
+		DiskDemote:       "always",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTierConfigValidation(t *testing.T) {
+	origin := startOrigin(t)
+	base := Config{
+		ICPAddr:    "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		Store:      newStore(t, 1000),
+		Scheme:     core.AdHoc{},
+		OriginAddr: origin.Addr(),
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"capacity without dir", func(c *Config) { c.DiskCapacity = 1 << 20 }},
+		{"dir without capacity", func(c *Config) { c.DiskDir = t.TempDir() }},
+		{"negative capacity", func(c *Config) { c.DiskDir = t.TempDir(); c.DiskCapacity = -1 }},
+		{"demote without dir", func(c *Config) { c.DiskDemote = "always" }},
+		{"unknown demote policy", func(c *Config) {
+			c.DiskDir = t.TempDir()
+			c.DiskCapacity = 1 << 20
+			c.DiskDemote = "sometimes"
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if n, err := New(cfg); err == nil {
+			_ = n.Close()
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestTierPromoteOverWire drives more documents through a node than its
+// memory tier holds, so victims demote to disk, then re-requests a
+// demoted document: the disk hit must re-promote and serve locally
+// without touching the origin.
+func TestTierPromoteOverWire(t *testing.T) {
+	origin := startOrigin(t)
+	n := startTieredNode(t, "tp0", t.TempDir(), t.TempDir(), origin.Addr(), 4000, 1<<20)
+	defer func() { _ = n.Close() }()
+
+	urls := make([]string, 8)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://tier.example.edu/doc%d", i)
+		if _, err := n.Request(urls[i], 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.store.TierCounters().Demotions; got < 4 {
+		t.Fatalf("demotions = %d, want >= 4", got)
+	}
+	if n.store.DiskLen() == 0 {
+		t.Fatal("no documents on disk after overflow")
+	}
+	// The first document is the coldest: it must be disk-resident now.
+	if n.store.Contains(urls[0]) != true {
+		t.Fatalf("%s not resident in either tier", urls[0])
+	}
+	fetches := origin.Fetches()
+	res, err := n.Request(urls[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.LocalHit {
+		t.Fatalf("disk-resident request = %+v, want local hit", res)
+	}
+	if origin.Fetches() != fetches {
+		t.Fatalf("disk hit refetched from origin: %d -> %d", fetches, origin.Fetches())
+	}
+	if got := n.store.TierCounters().Promotions; got == 0 {
+		t.Fatal("disk hit did not count a promotion")
+	}
+	if got := n.store.TierCounters().ChecksumFailures; got != 0 {
+		t.Fatalf("checksum failures = %d", got)
+	}
+}
+
+// TestTierCloseFlushesDemotions is the drain/close-ordering check: a
+// graceful Close must flush in-flight tier demotions (Quiesce) before the
+// journal's final rotate, so the restart snapshot and the blob index
+// agree on every disk resident.
+func TestTierCloseFlushesDemotions(t *testing.T) {
+	origin := startOrigin(t)
+	dataDir, diskDir := t.TempDir(), t.TempDir()
+
+	n1 := startTieredNode(t, "tc0", dataDir, diskDir, origin.Addr(), 4000, 1<<20)
+	urls := make([]string, 16)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://tierclose.example.edu/doc%d", i)
+		if _, err := n1.Request(urls[i], 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diskLen, memLen := n1.store.DiskLen(), n1.store.MemLen()
+	if diskLen == 0 {
+		t.Fatal("workload produced no demotions")
+	}
+	if err := n1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n2 := startTieredNode(t, "tc0", dataDir, diskDir, origin.Addr(), 4000, 1<<20)
+	defer func() { _ = n2.Close() }()
+	rep, ok := n2.Recovery()
+	if !ok || !rep.SnapshotLoaded {
+		t.Fatalf("recovery = %+v, ok=%v; want snapshot-led", rep, ok)
+	}
+	if rep.Restored.DiskRestored != diskLen || rep.Restored.DiskLost != 0 {
+		t.Fatalf("disk recovery = %d restored / %d lost, want %d / 0",
+			rep.Restored.DiskRestored, rep.Restored.DiskLost, diskLen)
+	}
+	if n2.store.DiskLen() != diskLen || n2.store.MemLen() != memLen {
+		t.Fatalf("restored occupancy = %d mem / %d disk, want %d / %d",
+			n2.store.MemLen(), n2.store.DiskLen(), memLen, diskLen)
+	}
+	fetches := origin.Fetches()
+	for _, u := range urls {
+		if !n2.Contains(u) {
+			t.Fatalf("restart lost %s", u)
+		}
+	}
+	res, err := n2.Request(urls[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != metrics.LocalHit {
+		t.Fatalf("post-restart disk request = %+v", res)
+	}
+	if origin.Fetches() != fetches {
+		t.Fatal("warm tier restart refetched from origin")
+	}
+}
+
+// TestTierKill9Recovery is the tentpole end-to-end check: a node holds
+// over 10x its memory capacity on disk, dies without any checkpoint
+// (kill -9: the journal and the blob index are all that survive), and a
+// successor on the same directories recovers every document with every
+// blob checksum intact.
+func TestTierKill9Recovery(t *testing.T) {
+	origin := startOrigin(t)
+	dataDir, diskDir := t.TempDir(), t.TempDir()
+	const memCap, docSize, docs = 4000, 1000, 64
+
+	n1 := startTieredNode(t, "tk0", dataDir, diskDir, origin.Addr(), memCap, 1<<20)
+	urls := make([]string, docs)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://tierkill.example.edu/doc%d", i)
+		if _, err := n1.Request(urls[i], docSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diskLen := n1.store.DiskLen()
+	if used := n1.store.DiskUsed(); used < 10*memCap {
+		t.Fatalf("disk tier holds %d bytes, want >= 10x memory capacity (%d)", used, 10*memCap)
+	}
+	// Simulated kill -9: tear down the sockets so the ports are free, but
+	// skip every flush a graceful shutdown would run — no Quiesce, no
+	// final checkpoint, no blob-index fsync. n1 is deliberately never
+	// Closed (see TestKilledNodeRecoversFromJournal).
+	_ = n1.icpServer.Close()
+	_ = n1.httpLn.Close()
+
+	n2 := startTieredNode(t, "tk0", dataDir, diskDir, origin.Addr(), memCap, 1<<20)
+	defer func() { _ = n2.Close() }()
+	rep, ok := n2.Recovery()
+	if !ok || rep.SnapshotLoaded || rep.JournalRecords == 0 {
+		t.Fatalf("recovery = %+v, ok=%v; want journal-only", rep, ok)
+	}
+	if rep.Restored.DiskLost != 0 {
+		t.Fatalf("kill -9 lost %d disk residents", rep.Restored.DiskLost)
+	}
+	if n2.store.DiskLen() != diskLen {
+		t.Fatalf("recovered disk tier = %d documents, want %d", n2.store.DiskLen(), diskLen)
+	}
+	if used := n2.store.DiskUsed(); used < 10*memCap {
+		t.Fatalf("recovered disk tier holds %d bytes, want >= 10x memory capacity", used)
+	}
+	// Every blob must read back byte-for-byte against its checksum.
+	vrep := n2.blobStore.VerifyAll()
+	if vrep.Failed != 0 {
+		t.Fatalf("post-crash verification failed %d blobs: %v", vrep.Failed, vrep.FailedURLs)
+	}
+	fetches := origin.Fetches()
+	for _, u := range urls {
+		if !n2.Contains(u) {
+			t.Fatalf("kill -9 restart lost %s", u)
+		}
+	}
+	// Serve one cold (disk-resident) and one hot document; both local.
+	for _, u := range []string{urls[0], urls[docs-1]} {
+		res, err := n2.Request(u, docSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != metrics.LocalHit {
+			t.Fatalf("post-crash request %s = %+v", u, res)
+		}
+	}
+	if origin.Fetches() != fetches {
+		t.Fatal("post-crash restart refetched from origin")
+	}
+}

@@ -13,11 +13,22 @@
 //
 // Payloads per kind (url = u16 length + bytes, times are unix nanos):
 //
-//	insert:  url, i64 size, i64 expires, i64 at
-//	hit:     url, i64 at
-//	promote: url, i64 at
-//	evict:   url, i64 at, i64 age
-//	remove:  url
+//	insert:       url, i64 size, i64 expires, i64 at
+//	hit:          url, i64 at
+//	promote:      url, i64 at
+//	evict:        url, i64 at, i64 age
+//	remove:       url
+//	demote:       url, i64 at, i64 age, i64 size, i64 expires,
+//	              i64 enteredAt, i64 lastHit, i64 hits, 32b sum
+//	promote-disk: url, i64 at, i64 size, i64 expires, i64 enteredAt,
+//	              i64 hits
+//	disk-evict:   url, i64 at, i64 age
+//	disk-remove:  url
+//
+// The tier dimension rides the kind byte: memory-tier events keep their
+// cache.EventKind values (1-5), demote/promote-disk are the EventKind
+// values 6/7, and disk-tier evict/remove get the dedicated codes 8/9 so
+// the original five frames never widened.
 package persist
 
 import (
@@ -41,10 +52,30 @@ const (
 	frameOverhead = 9
 )
 
+// Journal kind bytes for disk-tier exits. Memory-tier events use their
+// cache.EventKind value as the kind byte; a disk-tier evict or remove
+// carries the same payload as its memory twin but needs a distinct code
+// so replay can restore the Tier dimension.
+const (
+	kindDiskEvict  byte = 8
+	kindDiskRemove byte = 9
+)
+
 // MarshalEvent frames one cache event for the journal.
 func MarshalEvent(ev cache.Event) ([]byte, error) {
 	if ev.Doc.URL == "" || len(ev.Doc.URL) > maxJournalURL {
 		return nil, fmt.Errorf("persist: bad journal URL (len %d)", len(ev.Doc.URL))
+	}
+	kind := byte(ev.Kind)
+	if ev.Tier == cache.TierDisk {
+		switch ev.Kind {
+		case cache.EventEvict:
+			kind = kindDiskEvict
+		case cache.EventRemove:
+			kind = kindDiskRemove
+		default:
+			return nil, fmt.Errorf("persist: disk-tier %v event has no journal encoding", ev.Kind)
+		}
 	}
 	var p encoder
 	p.str(ev.Doc.URL)
@@ -60,13 +91,28 @@ func MarshalEvent(ev cache.Event) ([]byte, error) {
 		p.i64(int64(ev.Age))
 	case cache.EventRemove:
 		// URL only.
+	case cache.EventDemote:
+		p.i64(timeToNano(ev.At))
+		p.i64(int64(ev.Age))
+		p.i64(ev.Doc.Size)
+		p.i64(timeToNano(ev.Doc.Expires))
+		p.i64(timeToNano(ev.EnteredAt))
+		p.i64(timeToNano(ev.LastHit))
+		p.i64(ev.Hits)
+		p.b = append(p.b, ev.Sum[:]...)
+	case cache.EventPromoteFromDisk:
+		p.i64(timeToNano(ev.At))
+		p.i64(ev.Doc.Size)
+		p.i64(timeToNano(ev.Doc.Expires))
+		p.i64(timeToNano(ev.EnteredAt))
+		p.i64(ev.Hits)
 	default:
 		return nil, fmt.Errorf("persist: unknown event kind %v", ev.Kind)
 	}
 
 	var f encoder
 	f.u32(uint32(len(p.b)))
-	f.u8(byte(ev.Kind))
+	f.u8(kind)
 	f.b = append(f.b, p.b...)
 	f.u32(crc32.Checksum(f.b[4:], crcTable))
 	return f.b, nil
@@ -75,26 +121,54 @@ func MarshalEvent(ev cache.Event) ([]byte, error) {
 // decodeEventPayload rebuilds the event from one verified frame payload.
 func decodeEventPayload(kind byte, payload []byte) (cache.Event, error) {
 	ev := cache.Event{Kind: cache.EventKind(kind)}
+	switch kind {
+	case kindDiskEvict:
+		ev.Kind, ev.Tier = cache.EventEvict, cache.TierDisk
+	case kindDiskRemove:
+		ev.Kind, ev.Tier = cache.EventRemove, cache.TierDisk
+	}
 	d := &decoder{b: payload}
 	ev.Doc.URL = d.str(maxJournalURL)
 	if d.err == nil && ev.Doc.URL == "" {
 		d.fail("empty URL")
 	}
-	switch ev.Kind {
-	case cache.EventInsert:
+	switch {
+	case ev.Kind == cache.EventInsert:
 		ev.Doc.Size = d.i64()
 		ev.Doc.Expires = nanoToTime(d.i64())
 		ev.At = nanoToTime(d.i64())
 		if d.err == nil && ev.Doc.Size <= 0 {
 			d.fail("non-positive size %d", ev.Doc.Size)
 		}
-	case cache.EventHit, cache.EventPromote:
+	case ev.Kind == cache.EventHit, ev.Kind == cache.EventPromote:
 		ev.At = nanoToTime(d.i64())
-	case cache.EventEvict:
+	case ev.Kind == cache.EventEvict:
 		ev.At = nanoToTime(d.i64())
 		ev.Age = clampDuration(d.i64())
-	case cache.EventRemove:
+	case ev.Kind == cache.EventRemove:
 		// URL only.
+	case ev.Kind == cache.EventDemote:
+		ev.At = nanoToTime(d.i64())
+		ev.Age = clampDuration(d.i64())
+		ev.Doc.Size = d.i64()
+		ev.Doc.Expires = nanoToTime(d.i64())
+		ev.EnteredAt = nanoToTime(d.i64())
+		ev.LastHit = nanoToTime(d.i64())
+		ev.Hits = d.i64()
+		copy(ev.Sum[:], d.take(32))
+		if d.err == nil && ev.Doc.Size <= 0 {
+			d.fail("non-positive size %d", ev.Doc.Size)
+		}
+	case ev.Kind == cache.EventPromoteFromDisk:
+		ev.At = nanoToTime(d.i64())
+		ev.Doc.Size = d.i64()
+		ev.Doc.Expires = nanoToTime(d.i64())
+		ev.EnteredAt = nanoToTime(d.i64())
+		ev.Hits = d.i64()
+		ev.LastHit = ev.At
+		if d.err == nil && ev.Doc.Size <= 0 {
+			d.fail("non-positive size %d", ev.Doc.Size)
+		}
 	default:
 		d.fail("unknown record kind %d", kind)
 	}

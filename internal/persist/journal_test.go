@@ -20,6 +20,14 @@ func sampleEvents() []cache.Event {
 		{Kind: cache.EventPromote, Doc: cache.Document{URL: "http://a/2", Size: 2048}, At: at.Add(3 * time.Second)},
 		{Kind: cache.EventEvict, Doc: cache.Document{URL: "http://a/1", Size: 100}, At: at.Add(4 * time.Second), Age: 90 * time.Second},
 		{Kind: cache.EventRemove, Doc: cache.Document{URL: "http://a/2", Size: 2048}},
+		{Kind: cache.EventDemote, Doc: cache.Document{URL: "http://a/3", Size: 512, Expires: at.Add(time.Hour)},
+			At: at.Add(5 * time.Second), Age: 30 * time.Second,
+			EnteredAt: at, LastHit: at.Add(2 * time.Second), Hits: 4, Sum: [32]byte{1, 2, 3}},
+		{Kind: cache.EventPromoteFromDisk, Doc: cache.Document{URL: "http://a/3", Size: 512, Expires: at.Add(time.Hour)},
+			At: at.Add(6 * time.Second), EnteredAt: at, LastHit: at.Add(6 * time.Second), Hits: 5},
+		{Kind: cache.EventEvict, Tier: cache.TierDisk, Doc: cache.Document{URL: "http://a/4", Size: 64},
+			At: at.Add(7 * time.Second), Age: 45 * time.Second},
+		{Kind: cache.EventRemove, Tier: cache.TierDisk, Doc: cache.Document{URL: "http://a/5"}},
 	}
 }
 
@@ -52,7 +60,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	for i := range want {
 		w := want[i]
 		g := got[i]
-		if g.Kind != w.Kind || g.Doc.URL != w.Doc.URL || g.Age != w.Age {
+		if g.Kind != w.Kind || g.Doc.URL != w.Doc.URL || g.Age != w.Age || g.Tier != w.Tier {
 			t.Fatalf("event %d = %+v, want %+v", i, g, w)
 		}
 		if !g.At.Equal(w.At) {

@@ -79,6 +79,10 @@ type Report struct {
 	// Entries and Bytes describe the final recovered state.
 	Entries int
 	Bytes   int64
+	// DiskEntries and DiskBytes describe the recovered blob-tier residency
+	// claims (before reconciliation against the blob store's own index).
+	DiskEntries int
+	DiskBytes   int64
 }
 
 // Persister owns a node's data directory: it replays whatever survived
@@ -216,6 +220,10 @@ func Open(cfg Config) (*Persister, error) {
 	p.recovered.Gen = appendGen
 	p.report.Entries = len(p.recovered.Entries)
 	p.report.Bytes = p.recovered.LiveBytes()
+	p.report.DiskEntries = len(p.recovered.Disk)
+	for _, de := range p.recovered.Disk {
+		p.report.DiskBytes += de.Doc.Size
+	}
 
 	// 3. Open the append target, truncating away any torn tail so new
 	// frames land on a verifiable boundary; sweep journals outside the
@@ -528,9 +536,14 @@ func (p *Persister) logf(format string, args ...any) {
 // replayState folds journal events over a snapshot base, mirroring
 // cache.Store semantics exactly: an insert of a cached URL refreshes it
 // like a hit, hits and promotions bump the counter and last-hit time, and
-// evictions feed the expiration-age tracker.
+// evictions feed the expiration-age tracker. Tier moves mirror
+// cache.TieredStore: a demote shifts the entry from the memory map to the
+// disk map without touching the tracker (the document did not exit), a
+// promote-disk shifts it back, and only disk evictions and demotion drops
+// (which stay plain memory evicts) record an exit age.
 type replayState struct {
 	entries map[string]*EntryState
+	disk    map[string]*cache.DiskEntry
 	tracker *cache.ExpAgeTracker
 }
 
@@ -548,18 +561,36 @@ func newReplayState(base State) *replayState {
 	}
 	r := &replayState{
 		entries: make(map[string]*EntryState, len(base.Entries)),
+		disk:    make(map[string]*cache.DiskEntry, len(base.Disk)),
 		tracker: cache.NewTrackerFromState(tr),
 	}
 	for i := range base.Entries {
 		e := base.Entries[i]
 		r.entries[e.URL] = &e
 	}
+	for i := range base.Disk {
+		de := base.Disk[i]
+		r.disk[de.Doc.URL] = &de
+	}
 	return r
 }
 
 func (r *replayState) apply(ev cache.Event) {
+	if ev.Tier == cache.TierDisk {
+		switch ev.Kind {
+		case cache.EventEvict:
+			delete(r.disk, ev.Doc.URL)
+			r.tracker.Record(ev.Age, ev.At)
+		case cache.EventRemove:
+			delete(r.disk, ev.Doc.URL)
+		}
+		return
+	}
 	switch ev.Kind {
 	case cache.EventInsert:
+		// A fresh body supersedes any stale disk copy (the tiered store
+		// journals the disk-remove first; this is belt and braces).
+		delete(r.disk, ev.Doc.URL)
 		if e, ok := r.entries[ev.Doc.URL]; ok {
 			e.Size = ev.Doc.Size
 			e.Expires = ev.Doc.Expires
@@ -585,6 +616,25 @@ func (r *replayState) apply(ev cache.Event) {
 		r.tracker.Record(ev.Age, ev.At)
 	case cache.EventRemove:
 		delete(r.entries, ev.Doc.URL)
+	case cache.EventDemote:
+		delete(r.entries, ev.Doc.URL)
+		r.disk[ev.Doc.URL] = &cache.DiskEntry{
+			Doc:       ev.Doc,
+			EnteredAt: ev.EnteredAt,
+			LastHit:   ev.LastHit,
+			Hits:      ev.Hits,
+			Sum:       ev.Sum,
+		}
+	case cache.EventPromoteFromDisk:
+		delete(r.disk, ev.Doc.URL)
+		r.entries[ev.Doc.URL] = &EntryState{
+			URL:       ev.Doc.URL,
+			Size:      ev.Doc.Size,
+			Expires:   ev.Doc.Expires,
+			EnteredAt: ev.EnteredAt,
+			LastHit:   ev.At,
+			Hits:      ev.Hits,
+		}
 	}
 }
 
@@ -604,5 +654,17 @@ func (r *replayState) state() State {
 		}
 		return st.Entries[i].URL < st.Entries[j].URL
 	})
+	if len(r.disk) > 0 {
+		st.Disk = make([]cache.DiskEntry, 0, len(r.disk))
+		for _, de := range r.disk {
+			st.Disk = append(st.Disk, *de)
+		}
+		sort.Slice(st.Disk, func(i, j int) bool {
+			if !st.Disk[i].LastHit.Equal(st.Disk[j].LastHit) {
+				return st.Disk[i].LastHit.Before(st.Disk[j].LastHit)
+			}
+			return st.Disk[i].Doc.URL < st.Disk[j].Doc.URL
+		})
+	}
 	return st
 }

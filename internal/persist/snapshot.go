@@ -7,7 +7,7 @@
 //
 // File layout (little-endian):
 //
-//	[8]b  magic "EACSNAP1"
+//	[8]b  magic "EACSNAP2" ("EACSNAP1" accepted: same layout, no disk section)
 //	u64   journal generation
 //	u32   entry count
 //	per entry: url (u16 len + bytes), i64 size, i64 expires,
@@ -15,7 +15,15 @@
 //	i64   tracker window, i64 tracker horizon
 //	f64   tracker cumulative sum (seconds), i64 tracker cumulative count
 //	u32   tracker sample count, per sample: i64 at, i64 age
+//	u32   disk entry count (EACSNAP2 only)
+//	per disk entry: url, i64 size, i64 expires, i64 enteredAt,
+//	                i64 lastHit, i64 hits, 32b sum
 //	u32   CRC32C over everything after the magic
+//
+// The disk section records which documents were blob-tier resident at the
+// checkpoint; recovery reconciles it against the blob store's own index
+// (cache.TieredStore.RestoreDisk), so a snapshot claiming a blob that was
+// lost to corruption trims cleanly instead of resurrecting a ghost.
 package persist
 
 import (
@@ -28,7 +36,10 @@ import (
 	"eacache/internal/cache"
 )
 
-var snapMagic = []byte("EACSNAP1")
+var (
+	snapMagic   = []byte("EACSNAP2")
+	snapMagicV1 = []byte("EACSNAP1")
+)
 
 // EntryState is one cached document's persisted metadata.
 type EntryState struct {
@@ -50,8 +61,13 @@ type State struct {
 	Gen uint64
 	// Entries are the live documents, oldest last-hit first.
 	Entries []EntryState
-	// Tracker is the expiration-age tracker (the contention signal).
+	// Tracker is the expiration-age tracker (the contention signal). For a
+	// tiered store this is the logical exit tracker — the signal the node
+	// advertises — not the memory tier's internal one.
 	Tracker cache.TrackerState
+	// Disk lists the documents resident in the blob tier at capture time,
+	// oldest last-hit first. Empty for untiered stores and v1 snapshots.
+	Disk []cache.DiskEntry
 }
 
 // LiveBytes sums the entry sizes.
@@ -85,6 +101,16 @@ func EncodeSnapshot(st State) []byte {
 		e.i64(timeToNano(s.At))
 		e.i64(int64(s.Age))
 	}
+	e.u32(uint32(len(st.Disk)))
+	for _, de := range st.Disk {
+		e.str(de.Doc.URL)
+		e.i64(de.Doc.Size)
+		e.i64(timeToNano(de.Doc.Expires))
+		e.i64(timeToNano(de.EnteredAt))
+		e.i64(timeToNano(de.LastHit))
+		e.i64(de.Hits)
+		e.b = append(e.b, de.Sum[:]...)
+	}
 
 	out := make([]byte, 0, len(snapMagic)+len(e.b)+4)
 	out = append(out, snapMagic...)
@@ -98,6 +124,10 @@ func EncodeSnapshot(st State) []byte {
 // to sanity-bound counts before allocating.
 const minSnapEntry = 2 + 1 + 5*8
 
+// minSnapDiskEntry is the smallest encoded disk entry: a memory entry's
+// fields plus the 32-byte content sum.
+const minSnapDiskEntry = minSnapEntry + 32
+
 // DecodeSnapshot parses and verifies a snapshot. Any structural damage or
 // checksum mismatch returns an error wrapping ErrCorrupt; the caller falls
 // back to a cold start rather than trusting a partial image.
@@ -105,7 +135,8 @@ func DecodeSnapshot(data []byte) (State, error) {
 	if len(data) < len(snapMagic)+4 {
 		return State{}, fmt.Errorf("%w: snapshot too short (%d bytes)", ErrCorrupt, len(data))
 	}
-	if !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+	v1 := bytes.Equal(data[:len(snapMagicV1)], snapMagicV1)
+	if !v1 && !bytes.Equal(data[:len(snapMagic)], snapMagic) {
 		return State{}, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	body := data[len(snapMagic) : len(data)-4]
@@ -152,6 +183,32 @@ func DecodeSnapshot(data []byte) (State, error) {
 		age := clampDuration(d.i64())
 		st.Tracker.Samples = append(st.Tracker.Samples, cache.TrackerSample{At: at, Age: age})
 	}
+	if !v1 {
+		dn := int(d.u32())
+		if d.err == nil && dn > (len(body)-d.off)/minSnapDiskEntry+1 {
+			return State{}, fmt.Errorf("%w: disk entry count %d impossible", ErrCorrupt, dn)
+		}
+		st.Disk = make([]cache.DiskEntry, 0, dn)
+		diskSeen := make(map[string]bool, dn)
+		for i := 0; i < dn; i++ {
+			var de cache.DiskEntry
+			de.Doc.URL = d.str(maxJournalURL)
+			de.Doc.Size = d.i64()
+			de.Doc.Expires = nanoToTime(d.i64())
+			de.EnteredAt = nanoToTime(d.i64())
+			de.LastHit = nanoToTime(d.i64())
+			de.Hits = d.i64()
+			copy(de.Sum[:], d.take(32))
+			if d.err != nil {
+				return State{}, d.err
+			}
+			if de.Doc.URL == "" || de.Doc.Size <= 0 || diskSeen[de.Doc.URL] || seen[de.Doc.URL] {
+				return State{}, fmt.Errorf("%w: snapshot disk entry %d invalid (url %q, size %d)", ErrCorrupt, i, de.Doc.URL, de.Doc.Size)
+			}
+			diskSeen[de.Doc.URL] = true
+			st.Disk = append(st.Disk, de)
+		}
+	}
 	if err := d.done(); err != nil {
 		return State{}, err
 	}
@@ -184,6 +241,16 @@ func CaptureState(store cache.StoreView) State {
 			Hits:      e.Hits,
 		})
 	}
+	if dv, ok := store.(interface{ DiskEntries() []cache.DiskEntry }); ok {
+		disk := dv.DiskEntries()
+		sort.Slice(disk, func(i, j int) bool {
+			if !disk[i].LastHit.Equal(disk[j].LastHit) {
+				return disk[i].LastHit.Before(disk[j].LastHit)
+			}
+			return disk[i].Doc.URL < disk[j].Doc.URL
+		})
+		st.Disk = disk
+	}
 	return st
 }
 
@@ -195,6 +262,11 @@ type RestoreStats struct {
 	// Skipped counts entries that could not be restored (they no longer
 	// fit, e.g. the store was reopened with a smaller capacity).
 	Skipped int
+	// DiskRestored and DiskLost count blob-tier residency reconciliation:
+	// restored entries had a matching checksummed blob on disk, lost ones
+	// were claimed by the persisted state but the blob was gone or stale.
+	DiskRestored int
+	DiskLost     int
 }
 
 // RestoreTarget is the write side of recovery: what Restore needs from a
@@ -225,6 +297,17 @@ func Restore(store RestoreTarget, st State) RestoreStats {
 		}
 		stats.Entries++
 		stats.Bytes += e.Size
+	}
+	if dt, ok := store.(interface {
+		RestoreDisk([]cache.DiskEntry) (int, int)
+	}); ok {
+		// Reconcile even when st.Disk is empty: blobs the persisted state
+		// does not claim are crash-window leftovers the tier must trim.
+		stats.DiskRestored, stats.DiskLost = dt.RestoreDisk(st.Disk)
+	} else if len(st.Disk) > 0 {
+		// No disk tier to receive them (store reopened untiered): the
+		// residency claims are unrecoverable, count them lost.
+		stats.DiskLost = len(st.Disk)
 	}
 	store.RestoreTracker(st.Tracker)
 	return stats
